@@ -1,0 +1,430 @@
+//! Meces (USENIX ATC '22): latency-efficient rescaling via prioritized state
+//! migration, re-implemented as in the paper's §V-A port:
+//!
+//! * **single synchronization** — routing tables flip immediately at scale
+//!   start (lowest propagation delay of all mechanisms),
+//! * **fetch-on-demand** — an instance that needs absent state issues a
+//!   priority fetch to the current holder; in-flight records at the *old*
+//!   instance fetch state *back*, producing the back-and-forth migration
+//!   pathology the paper quantifies (§V-B: on Q7 one sub-key-group moved
+//!   6.25× on average, up to 46×),
+//! * **hierarchical state organization** — sub-key-group granularity
+//!   (configure `EngineConfig::sub_group_fanout > 1`),
+//! * **background migration** — units not demanded are migrated gradually
+//!   so scaling eventually completes,
+//! * **no scheduling buffer** (per the paper: the buffer makes Meces fetch
+//!   more aggressively and regress).
+//!
+//! Fetch-on-demand does not preserve execution semantics (paper §II-B): the
+//! old and new instances may interleave a key's records out of emission
+//! order. The semantics checker counts these violations.
+
+use std::collections::{HashMap, HashSet};
+
+use simcore::time::{ms, SimTime};
+use streamflow::events::PriorityMsg;
+use streamflow::ids::{ChannelId, InstId, KeyGroup, OpId, SubscaleId};
+use streamflow::record::{Record, RecordKind, ScaleSignal, StreamElement};
+use streamflow::scaling::{ScalePlan, ScalePlugin, Selection};
+use streamflow::state::StateUnit;
+use streamflow::world::World;
+
+const TAG_BG: u64 = 11;
+/// High bit marks a deferred-fetch timer; the low bits encode the request.
+const TAG_FETCH: u64 = 1 << 63;
+
+fn encode_fetch(kg: u16, sub: u8, requester: InstId) -> u64 {
+    TAG_FETCH | ((kg as u64) << 40) | ((sub as u64) << 32) | requester.0 as u64
+}
+
+fn decode_fetch(tag: u64) -> (KeyGroup, u8, InstId) {
+    (
+        KeyGroup(((tag >> 40) & 0xFFFF) as u16),
+        ((tag >> 32) & 0xFF) as u8,
+        InstId((tag & 0xFFFF_FFFF) as u32),
+    )
+}
+
+/// The Meces mechanism.
+pub struct MecesPlugin {
+    /// Period of the background migration pump.
+    pub background_interval: SimTime,
+    /// Units migrated per background pump.
+    pub background_batch: usize,
+    op: Option<OpId>,
+    started: bool,
+    done: bool,
+    /// Final planned owner per unit.
+    dest: HashMap<(u16, u8), InstId>,
+    /// Outstanding fetch requests: (requester, unit).
+    requested: HashSet<(InstId, (u16, u8))>,
+    /// Records orphaned mid-quantum, replayed when their unit returns.
+    orphans: HashMap<InstId, Vec<Record>>,
+    /// When each unit last arrived at its current holder. A freshly arrived
+    /// unit is held for [`Self::fetch_holdoff`] before a competing fetch may
+    /// take it away, giving the holder time to drain its pending records —
+    /// without this the hot units ping-pong forever without progress.
+    arrived_at: HashMap<(u16, u8), SimTime>,
+    /// How many times each unit has been fetched *back* by a non-final
+    /// holder (the back-and-forth counter).
+    fetch_back: HashMap<(u16, u8), u32>,
+    timer_armed: bool,
+    /// Minimum residence time before a unit can be fetched away again.
+    pub fetch_holdoff: SimTime,
+    /// After this many fetch-backs of a unit, the old instance stops
+    /// pulling state and *forwards* its records to the new owner instead —
+    /// Meces' record-forwarding path, which is where its execution-order
+    /// guarantee breaks (paper §II-B).
+    pub max_fetch_back: u32,
+}
+
+impl Default for MecesPlugin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MecesPlugin {
+    /// Meces with the paper's configuration.
+    pub fn new() -> Self {
+        Self {
+            background_interval: ms(40),
+            background_batch: 1,
+            op: None,
+            started: false,
+            done: false,
+            dest: HashMap::new(),
+            requested: HashSet::new(),
+            orphans: HashMap::new(),
+            arrived_at: HashMap::new(),
+            fetch_back: HashMap::new(),
+            timer_armed: false,
+            fetch_holdoff: ms(100),
+            max_fetch_back: 6,
+        }
+    }
+
+    /// Units (kg, sub) of a key under the world's hierarchy config.
+    fn unit_of(w: &World, inst: InstId, key: u64) -> (KeyGroup, u8) {
+        let kg = w.kg_of(key);
+        let sub = w.insts[inst.0 as usize].state.sub_of(key);
+        (kg, sub)
+    }
+
+    fn issue_fetch(&mut self, w: &mut World, requester: InstId, kg: KeyGroup, sub: u8) {
+        let unit = (kg.0, sub);
+        if self.requested.contains(&(requester, unit)) {
+            return;
+        }
+        let Some(&(holder, in_transit)) = w.scale.unit_loc.get(&unit) else { return };
+        if in_transit.is_some() || holder == requester {
+            return; // already on the move (or arriving here): wait
+        }
+        if self.dest.get(&unit) != Some(&requester) {
+            // A non-final holder pulling state back: back-and-forth.
+            *self.fetch_back.entry(unit).or_insert(0) += 1;
+        }
+        self.requested.insert((requester, unit));
+        w.send_priority(holder, PriorityMsg::Fetch { kg, sub, requester });
+    }
+
+    /// May `inst` still pull this unit back, or must it forward records?
+    fn may_fetch_back(&self, inst: InstId, unit: (u16, u8)) -> bool {
+        self.dest.get(&unit) == Some(&inst)
+            || self.fetch_back.get(&unit).copied().unwrap_or(0) < self.max_fetch_back
+    }
+
+    fn replay_orphans(&mut self, w: &mut World, inst: InstId) {
+        let Some(buf) = self.orphans.get_mut(&inst) else { return };
+        if buf.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(buf);
+        let mut still = Vec::new();
+        for rec in pending {
+            let (kg, sub) = Self::unit_of(w, inst, rec.key);
+            if w.insts[inst.0 as usize].state.holds(kg, sub) {
+                w.apply_record_basic(inst, rec);
+            } else {
+                still.push(rec);
+            }
+        }
+        for rec in &still {
+            let (kg, sub) = Self::unit_of(w, inst, rec.key);
+            self.issue_fetch(w, inst, kg, sub);
+        }
+        self.orphans.insert(inst, still);
+    }
+
+    fn background_pump(&mut self, w: &mut World) {
+        let mut moved = 0;
+        let entries: Vec<((u16, u8), (InstId, Option<InstId>))> =
+            w.scale.unit_loc.iter().map(|(&u, &l)| (u, l)).collect();
+        for (unit, (holder, transit)) in entries {
+            if moved >= self.background_batch {
+                break;
+            }
+            if transit.is_some() {
+                continue;
+            }
+            let Some(&dest) = self.dest.get(&unit) else { continue };
+            if holder == dest {
+                continue;
+            }
+            if w.migrate_unit(holder, dest, KeyGroup(unit.0), unit.1, SubscaleId(0)) {
+                moved += 1;
+            }
+        }
+    }
+
+    fn serve_fetch(&mut self, w: &mut World, inst: InstId, kg: KeyGroup, sub: u8, requester: InstId) {
+        // Serve the fetch if we still hold the unit; otherwise the requester
+        // re-fetches when it observes the next install. A unit that only
+        // just arrived is held briefly so the holder can make progress.
+        if !w.insts[inst.0 as usize].state.holds(kg, sub) {
+            return;
+        }
+        let now = w.now();
+        let arrived = self.arrived_at.get(&(kg.0, sub)).copied().unwrap_or(0);
+        let release_at = arrived + self.fetch_holdoff;
+        if now < release_at {
+            w.schedule_plugin(release_at - now, encode_fetch(kg.0, sub, requester));
+            return;
+        }
+        w.migrate_unit(inst, requester, kg, sub, SubscaleId(0));
+    }
+
+    fn check_done(&mut self, w: &mut World) {
+        if self.done || !self.started {
+            return;
+        }
+        let settled = self
+            .dest
+            .iter()
+            .all(|(u, &d)| w.scale.unit_loc.get(u).map(|&(h, t)| h == d && t.is_none()).unwrap_or(false));
+        let orphans_empty = self.orphans.values().all(|v| v.is_empty());
+        if settled && orphans_empty {
+            self.done = true;
+        }
+    }
+}
+
+impl ScalePlugin for MecesPlugin {
+    fn name(&self) -> &'static str {
+        "Meces"
+    }
+
+    fn active(&self) -> bool {
+        self.started && !self.done
+    }
+
+    fn on_scale_start(&mut self, w: &mut World, plan: &ScalePlan) {
+        self.op = Some(plan.op);
+        self.started = true;
+        self.done = false;
+        let now = w.now();
+        // Single synchronization: flip every predecessor's routing at once.
+        let kgs: Vec<KeyGroup> = plan.moves.iter().map(|m| m.kg).collect();
+        for pred in w.predecessors(plan.op) {
+            for m in &plan.moves {
+                w.reroute_groups(plan.op, pred, &[m.kg], m.to);
+            }
+        }
+        let _ = kgs;
+        w.scale.metrics.injected.insert(SubscaleId(0), now);
+        let fanout = w.cfg.sub_group_fanout.max(1);
+        for m in &plan.moves {
+            for s in 0..fanout {
+                self.dest.insert((m.kg.0, s), m.to);
+                w.scale.metrics.unit_injected.insert((m.kg.0, s), now);
+            }
+        }
+        if !self.timer_armed {
+            self.timer_armed = true;
+            let t = self.background_interval;
+            w.schedule_plugin(t, TAG_BG);
+        }
+    }
+
+    fn on_signal(&mut self, _w: &mut World, _i: InstId, _c: ChannelId, _s: ScaleSignal) {}
+
+    fn on_control(&mut self, w: &mut World, tag: u64) {
+        if tag & TAG_FETCH != 0 {
+            // A deferred fetch matured: serve it if we still hold the unit.
+            let (kg, sub, requester) = decode_fetch(tag);
+            if let Some(&(holder, transit)) = w.scale.unit_loc.get(&(kg.0, sub)) {
+                if transit.is_none() && holder != requester {
+                    self.serve_fetch(w, holder, kg, sub, requester);
+                }
+            }
+            return;
+        }
+        if tag != TAG_BG {
+            return;
+        }
+        if self.done {
+            self.timer_armed = false;
+            return;
+        }
+        self.background_pump(w);
+        self.check_done(w);
+        if !self.done {
+            let t = self.background_interval;
+            w.schedule_plugin(t, TAG_BG);
+        } else {
+            self.timer_armed = false;
+        }
+    }
+
+    fn on_fetch(&mut self, w: &mut World, inst: InstId, kg: KeyGroup, sub: u8, requester: InstId) {
+        self.serve_fetch(w, inst, kg, sub, requester);
+    }
+
+    fn on_chunk(&mut self, w: &mut World, inst: InstId, unit: StateUnit, _ss: SubscaleId, _from: InstId) {
+        let key = (unit.kg.0, unit.sub);
+        self.arrived_at.insert(key, w.now());
+        w.install_unit(inst, unit, true);
+        self.requested.retain(|&(_, u)| u != key);
+        self.replay_orphans(w, inst);
+        // Wake every scaling-operator instance: suspended peers may now
+        // re-issue fetches for units that were in transit.
+        if let Some(op) = self.op {
+            for i in w.ops[op.0 as usize].instances.clone() {
+                w.wake(i);
+            }
+        }
+        self.check_done(w);
+    }
+
+    fn admit(&mut self, w: &mut World, inst: InstId, _ch: ChannelId, rec: &Record) -> bool {
+        if !self.active() || rec.kind == RecordKind::Marker {
+            return true;
+        }
+        if self.op != Some(w.insts[inst.0 as usize].op) {
+            return true;
+        }
+        let (kg, sub) = Self::unit_of(w, inst, rec.key);
+        if w.insts[inst.0 as usize].state.holds(kg, sub) {
+            return true;
+        }
+        if self.dest.contains_key(&(kg.0, sub)) {
+            // Fetch-on-demand, then suspend until it lands.
+            self.issue_fetch(w, inst, kg, sub);
+            false
+        } else {
+            true // not part of the scale: must be a non-moving group
+        }
+    }
+
+    fn selects(&self, w: &World, inst: InstId) -> bool {
+        self.active() && self.op == Some(w.insts[inst.0 as usize].op)
+    }
+
+    /// Active-channel selection (no scheduling buffer, per the paper), with
+    /// Meces' record-forwarding path for units that exhausted their
+    /// fetch-back budget.
+    fn select(&mut self, w: &mut World, inst: InstId) -> Selection {
+        let (n, start) = {
+            let i = &w.insts[inst.0 as usize];
+            (i.in_channels.len(), i.active_ch)
+        };
+        if n == 0 {
+            return Selection::Idle;
+        }
+        for k in 0..n {
+            let idx = (start + k) % n;
+            let ch = w.insts[inst.0 as usize].in_channels[idx];
+            if w.insts[inst.0 as usize].blocked_channels.contains(&ch) {
+                continue;
+            }
+            loop {
+                let Some(front) = w.chans[ch.0 as usize].queue.front() else { break };
+                match front {
+                    StreamElement::Record(r) => {
+                        w.insts[inst.0 as usize].active_ch = idx;
+                        if r.kind == RecordKind::Marker {
+                            let mut shim = MecesAdmit(self);
+                            return w.build_run(&mut shim, inst, ch);
+                        }
+                        let (kg, sub) = Self::unit_of(w, inst, r.key);
+                        if w.insts[inst.0 as usize].state.holds(kg, sub) {
+                            let mut shim = MecesAdmit(self);
+                            return w.build_run(&mut shim, inst, ch);
+                        }
+                        if self.dest.contains_key(&(kg.0, sub)) {
+                            if self.may_fetch_back(inst, (kg.0, sub)) {
+                                self.issue_fetch(w, inst, kg, sub);
+                                return Selection::Suspend;
+                            }
+                            // Forward to the owner (order no longer
+                            // guaranteed — the Meces semantics gap).
+                            let dest = self.dest[&(kg.0, sub)];
+                            let Some(StreamElement::Record(rec)) = w.chan_pop(ch) else {
+                                unreachable!("front was a record")
+                            };
+                            w.send_priority(
+                                dest,
+                                PriorityMsg::ReroutedRecords { from: inst, records: vec![rec] },
+                            );
+                            continue;
+                        }
+                        return Selection::Suspend;
+                    }
+                    _ => {
+                        w.insts[inst.0 as usize].active_ch = idx;
+                        let elem = w.chan_pop(ch).expect("non-empty");
+                        return Selection::Control(ch, elem);
+                    }
+                }
+            }
+        }
+        Selection::Idle
+    }
+
+    fn on_rerouted_records(&mut self, w: &mut World, inst: InstId, _from: InstId, records: Vec<Record>) {
+        for rec in records {
+            let (kg, sub) = Self::unit_of(w, inst, rec.key);
+            if w.insts[inst.0 as usize].state.holds(kg, sub) {
+                // Applied out-of-band relative to the instance's own queue:
+                // this is where per-key order can break.
+                w.apply_record_basic(inst, rec);
+            } else {
+                self.issue_fetch(w, inst, kg, sub);
+                self.orphans.entry(inst).or_default().push(rec);
+            }
+        }
+        w.wake(inst);
+    }
+
+    fn on_orphan_record(&mut self, w: &mut World, inst: InstId, rec: &Record) -> bool {
+        // The unit left between admission and application.
+        let (kg, sub) = Self::unit_of(w, inst, rec.key);
+        if self.may_fetch_back(inst, (kg.0, sub)) {
+            // Buffer and fetch the state back — the back-and-forth path.
+            self.orphans.entry(inst).or_default().push(rec.clone());
+            self.issue_fetch(w, inst, kg, sub);
+        } else if let Some(&dest) = self.dest.get(&(kg.0, sub)) {
+            w.send_priority(
+                dest,
+                PriorityMsg::ReroutedRecords { from: inst, records: vec![rec.clone()] },
+            );
+        }
+        true
+    }
+}
+
+/// Admission shim for quantum building: process only locally held units.
+struct MecesAdmit<'a>(#[allow(dead_code)] &'a mut MecesPlugin);
+
+impl ScalePlugin for MecesAdmit<'_> {
+    fn name(&self) -> &'static str {
+        "Meces"
+    }
+    fn on_scale_start(&mut self, _w: &mut World, _p: &ScalePlan) {}
+    fn on_signal(&mut self, _w: &mut World, _i: InstId, _c: ChannelId, _s: ScaleSignal) {}
+    fn on_chunk(&mut self, _w: &mut World, _i: InstId, _u: StateUnit, _s: SubscaleId, _f: InstId) {}
+    fn admit(&mut self, w: &mut World, inst: InstId, _ch: ChannelId, rec: &Record) -> bool {
+        let (kg, sub) = MecesPlugin::unit_of(w, inst, rec.key);
+        w.insts[inst.0 as usize].state.holds(kg, sub)
+    }
+}

@@ -1,0 +1,107 @@
+//! Stop-Checkpoint-Restart: the mainstream-SPE scaling mechanism the paper
+//! argues against (§I, §II-A). The whole job halts, a global checkpoint of
+//! all state is taken, the job restarts under the new configuration from
+//! that checkpoint, and the Kafka backlog is replayed — a latency cliff
+//! proportional to total state size.
+
+use simcore::time::SimTime;
+use streamflow::ids::{ChannelId, InstId, OpId, SubscaleId};
+use streamflow::record::{Record, ScaleSignal};
+use streamflow::scaling::{ScalePlan, ScalePlugin};
+use streamflow::state::StateUnit;
+use streamflow::world::World;
+
+const TAG_RESUME: u64 = 21;
+
+/// The Stop-Checkpoint-Restart mechanism.
+pub struct StopRestartPlugin {
+    /// Fixed restart overhead on top of checkpoint write + restore
+    /// (JVM/container restart, task re-scheduling).
+    pub restart_overhead: SimTime,
+    op: Option<OpId>,
+    plan: Option<ScalePlan>,
+    started: bool,
+    done: bool,
+}
+
+impl Default for StopRestartPlugin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StopRestartPlugin {
+    /// With a 5-second fixed restart overhead.
+    pub fn new() -> Self {
+        Self {
+            restart_overhead: 5_000_000,
+            op: None,
+            plan: None,
+            started: false,
+            done: false,
+        }
+    }
+}
+
+impl ScalePlugin for StopRestartPlugin {
+    fn name(&self) -> &'static str {
+        "Stop-Restart"
+    }
+
+    fn active(&self) -> bool {
+        self.started && !self.done
+    }
+
+    fn on_scale_start(&mut self, w: &mut World, plan: &ScalePlan) {
+        self.op = Some(plan.op);
+        self.plan = Some(plan.clone());
+        self.started = true;
+        self.done = false;
+        let now = w.now();
+        w.scale.metrics.injected.insert(SubscaleId(0), now);
+        let fanout = w.cfg.sub_group_fanout.max(1);
+        for m in &plan.moves {
+            for s in 0..fanout {
+                w.scale.metrics.unit_injected.insert((m.kg.0, s), now);
+            }
+        }
+        // Global halt, then checkpoint *all* operators' state (the paper's
+        // point: even non-scaling operators pay), write + restore.
+        w.halt_all();
+        let total_bytes: u64 = w.insts.iter().map(|i| i.state.total_bytes()).sum();
+        let ckpt = (total_bytes as f64 / w.cfg.ser_bytes_per_us).ceil() as SimTime;
+        let restore = ckpt; // read + deserialize symmetric
+        let dur = ckpt + restore + self.restart_overhead;
+        w.schedule_plugin(dur, TAG_RESUME);
+    }
+
+    fn on_control(&mut self, w: &mut World, tag: u64) {
+        if tag != TAG_RESUME || self.done {
+            return;
+        }
+        let plan = self.plan.clone().expect("resume after start");
+        // Restore = direct installation at the new owners (state comes from
+        // the checkpoint store, not the old instances' memory).
+        for pred in w.predecessors(plan.op) {
+            for m in &plan.moves {
+                w.reroute_groups(plan.op, pred, &[m.kg], m.to);
+            }
+        }
+        for m in &plan.moves {
+            let units = w.insts[m.from.0 as usize].state.extract_group(m.kg);
+            for u in units {
+                w.install_unit(m.to, u, true);
+            }
+        }
+        self.done = true;
+        w.resume_all();
+    }
+
+    fn on_signal(&mut self, _w: &mut World, _i: InstId, _c: ChannelId, _s: ScaleSignal) {}
+    fn on_chunk(&mut self, w: &mut World, inst: InstId, unit: StateUnit, _ss: SubscaleId, _f: InstId) {
+        w.install_unit(inst, unit, true);
+    }
+    fn admit(&mut self, _w: &mut World, _i: InstId, _c: ChannelId, _r: &Record) -> bool {
+        true
+    }
+}

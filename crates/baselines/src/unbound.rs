@@ -1,0 +1,132 @@
+//! Unbound (paper §II-B): the "extreme" correctness-free scaling solution
+//! used to validate the overhead hypothesis `L = Lp + Ls + Ld + Lo`.
+//!
+//! Unbound updates routing tables and triggers state migration
+//! independently (no signals → no `Lp`), and converts record keys into
+//! "universal keys" so any local state can process any record (no
+//! suspensions → no `Ls`, and `Ld` never manifests as latency). Its output
+//! is **not** equivalent to a non-scaled execution — the semantics checker
+//! is expected to flag violations, which `fig02` reports.
+
+use streamflow::ids::{ChannelId, InstId, OpId, SubscaleId};
+use streamflow::record::{Record, ScaleSignal};
+use streamflow::scaling::{ScalePlan, ScalePlugin};
+use streamflow::state::StateUnit;
+use streamflow::world::World;
+
+/// The Unbound pseudo-mechanism.
+#[derive(Default)]
+pub struct UnboundPlugin {
+    op: Option<OpId>,
+    started: bool,
+}
+
+impl UnboundPlugin {
+    /// Create the mechanism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ScalePlugin for UnboundPlugin {
+    fn name(&self) -> &'static str {
+        "Unbound"
+    }
+
+    fn active(&self) -> bool {
+        false // never interferes with input selection
+    }
+
+    fn on_scale_start(&mut self, w: &mut World, plan: &ScalePlan) {
+        self.op = Some(plan.op);
+        self.started = true;
+        let now = w.now();
+        w.scale.metrics.injected.insert(SubscaleId(0), now);
+        let fanout = w.cfg.sub_group_fanout.max(1);
+        // Independent routing update + migration trigger, no signals.
+        for pred in w.predecessors(plan.op) {
+            for m in &plan.moves {
+                w.reroute_groups(plan.op, pred, &[m.kg], m.to);
+            }
+        }
+        for m in &plan.moves {
+            for s in 0..fanout {
+                w.scale.metrics.unit_injected.insert((m.kg.0, s), now);
+            }
+            w.migrate_group(m.from, m.to, m.kg, SubscaleId(0));
+        }
+    }
+
+    fn on_signal(&mut self, _w: &mut World, _i: InstId, _c: ChannelId, _s: ScaleSignal) {}
+
+    fn on_chunk(&mut self, w: &mut World, inst: InstId, unit: StateUnit, _ss: SubscaleId, _from: InstId) {
+        // Merge into whatever local state exists: the instance may already
+        // have created a universal-key group for these keys.
+        let kg = unit.kg;
+        if w.insts[inst.0 as usize].state.holds(kg, unit.sub) {
+            // Fold entries into the existing group (commutative merge).
+            let bytes = unit.state.nominal_bytes;
+            let some_key = unit.state.entries.keys().next().copied();
+            for (k, v) in unit.state.entries {
+                let slot = w.insts[inst.0 as usize]
+                    .state
+                    .entry_or(kg, k, || zero_like(&v));
+                merge_value(slot, &v);
+            }
+            if let Some(k) = some_key {
+                w.insts[inst.0 as usize].state.add_bytes(kg, k, bytes as i64);
+            }
+            w.wake(inst);
+        } else {
+            w.install_unit(inst, unit, true);
+        }
+    }
+
+    fn admit(&mut self, w: &mut World, inst: InstId, _ch: ChannelId, rec: &Record) -> bool {
+        // Universal keys: fabricate local state if it is missing.
+        if self.started && self.op == Some(w.insts[inst.0 as usize].op) {
+            let kg = w.kg_of(rec.key);
+            if !w.insts[inst.0 as usize].state.holds_group(kg) {
+                w.insts[inst.0 as usize].state.ensure_group(kg);
+            }
+        }
+        true
+    }
+
+    fn on_orphan_record(&mut self, w: &mut World, inst: InstId, rec: &Record) -> bool {
+        // Mid-quantum extraction: process against fresh universal state.
+        let kg = w.kg_of(rec.key);
+        w.insts[inst.0 as usize].state.ensure_group(kg);
+        w.apply_record_basic(inst, rec.clone());
+        true
+    }
+}
+
+fn zero_like(v: &streamflow::state::StateValue) -> streamflow::state::StateValue {
+    use streamflow::state::StateValue as SV;
+    match v {
+        SV::Count(_) => SV::Count(0),
+        SV::Sum { .. } => SV::Sum { count: 0, sum: 0 },
+        SV::Panes(_) => SV::Panes(Default::default()),
+        SV::Lists(..) => SV::Lists(Vec::new(), Vec::new()),
+    }
+}
+
+fn merge_value(acc: &mut streamflow::state::StateValue, v: &streamflow::state::StateValue) {
+    use streamflow::state::StateValue as SV;
+    match (acc, v) {
+        (SV::Count(a), SV::Count(b)) => *a += b,
+        (SV::Sum { count, sum }, SV::Sum { count: c2, sum: s2 }) => {
+            *count += c2;
+            *sum += s2;
+        }
+        (SV::Lists(a1, b1), SV::Lists(a2, b2)) => {
+            a1.extend_from_slice(a2);
+            b1.extend_from_slice(b2);
+        }
+        // Window panes would need pane-wise merging; Unbound is only run on
+        // aggregation workloads in the paper's Fig. 2 methodology.
+        _ => {}
+    }
+}
+

@@ -1,0 +1,167 @@
+//! Criterion micro-benchmarks for the engine's hot paths: the event queue,
+//! key-group routing, the state backend's migration primitives, sliding-
+//! window panes, the Zipf sampler, and a small end-to-end simulation
+//! throughput benchmark (events/second of simulated pipeline).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use simcore::time::secs;
+use simcore::{DetRng, EventQueue, Zipf};
+use streamflow::ids::{key_group_of, InstId, KeyGroup};
+use streamflow::keygroup::{uniform_repartition, RoutingTable};
+use streamflow::state::{StateBackend, StateValue};
+use streamflow::window::{Agg, PaneSet};
+use streamflow::world::tests_support::tiny_job;
+use streamflow::world::Sim;
+use streamflow::{EngineConfig, NoScale};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(i % 97, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let targets: Vec<InstId> = (0..12).map(InstId).collect();
+    let table = RoutingTable::uniform(128, &targets);
+    let mut g = c.benchmark_group("routing");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("key_to_instance_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in 0..1_000u64 {
+                let kg = key_group_of(black_box(k), 128);
+                acc = acc.wrapping_add(table.route(kg).0);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("uniform_repartition_8_to_12", |b| {
+        let old = RoutingTable::uniform(128, &(0..8).map(InstId).collect::<Vec<_>>());
+        let new: Vec<InstId> = (0..12).map(InstId).collect();
+        b.iter(|| black_box(uniform_repartition(&old, &new)))
+    });
+    g.finish();
+}
+
+fn bench_state_backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_backend");
+    g.bench_function("update_1k_keys", |b| {
+        let mut backend = StateBackend::new(128, 1);
+        for kg in 0..128 {
+            backend.ensure_group(KeyGroup(kg));
+        }
+        b.iter(|| {
+            for k in 0..1_000u64 {
+                let kg = key_group_of(k, 128);
+                if let StateValue::Count(c) = backend.entry_or(kg, k, || StateValue::Count(0)) {
+                    *c += 1;
+                }
+            }
+        })
+    });
+    g.bench_function("extract_install_128_groups", |b| {
+        b.iter_with_setup(
+            || {
+                let mut backend = StateBackend::new(128, 1);
+                for kg in 0..128 {
+                    backend.ensure_group(KeyGroup(kg));
+                }
+                for k in 0..10_000u64 {
+                    let kg = key_group_of(k, 128);
+                    backend.entry_or(kg, k, || StateValue::Count(1));
+                }
+                backend
+            },
+            |mut backend| {
+                let mut dst = StateBackend::new(128, 1);
+                for kg in 0..128 {
+                    for u in backend.extract_group(KeyGroup(kg)) {
+                        dst.install(u, true);
+                    }
+                }
+                black_box(dst.total_keys())
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_panes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_panes");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("add_and_fire_sliding", |b| {
+        b.iter(|| {
+            let mut p = PaneSet::default();
+            for t in 0..1_000u64 {
+                p.add(t * 500, (t % 97) as i64, 1, 500_000, Agg::Max);
+            }
+            black_box(p.window_agg(500_000, 10_000_000, Agg::Max))
+        })
+    });
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let z = Zipf::new(200_000, 1.0);
+    let mut rng = DetRng::seed(1);
+    let mut g = c.benchmark_group("zipf");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("sample_200k_universe", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(z.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("pipeline_5s_at_10ktps", |b| {
+        b.iter(|| {
+            let (w, _) = tiny_job(EngineConfig::test(), 10_000.0, 256, 4);
+            let mut sim = Sim::new(w, Box::new(NoScale));
+            sim.run_until(secs(5));
+            black_box(sim.world.metrics.sink_records)
+        })
+    });
+    g.bench_function("drrs_rescale_5s", |b| {
+        b.iter(|| {
+            let (mut w, agg) = tiny_job(EngineConfig::test(), 10_000.0, 256, 4);
+            w.schedule_scale(secs(1), agg, 6);
+            let mut sim = Sim::new(w, Box::new(drrs_core::FlexScaler::drrs()));
+            sim.run_until(secs(5));
+            black_box(sim.world.scale.metrics.migration_done)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_routing,
+    bench_state_backend,
+    bench_panes,
+    bench_zipf,
+    bench_end_to_end
+);
+criterion_main!(benches);

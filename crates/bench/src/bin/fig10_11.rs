@@ -1,0 +1,165 @@
+//! Fig. 10 + Fig. 11 — fundamental effectiveness: end-to-end latency and
+//! throughput during scaling for **DRRS**, **Meces** and **Megaphone** on
+//! NEXMark Q7, Q8 and Twitch.
+//!
+//! Protocol (paper §V-B): 300 s warm-up, scale the bottleneck operator from
+//! 8 to 12 instances (migrating 111 of 128 key-groups, uniform
+//! re-partitioning), then a stabilization period. The scaling period ends
+//! when latency stays within 110% of the pre-scaling level for 100 s.
+//!
+//! Paper reference (Fig. 10): on Q7 DRRS peak 15.8 s / avg 1.7 s vs Meces
+//! 80.2 s / 29.4 s vs Megaphone 83.5 s / 37.8 s; Twitch shows Megaphone
+//! with competitive latency but a 5.6× longer scaling period.
+
+use baselines::{megaphone, MecesPlugin};
+use bench::{pm, print_series, quick, run};
+use drrs_core::FlexScaler;
+use simcore::time::{secs, SimTime};
+use streamflow::{OpId, ScalePlugin, World};
+use workloads::nexmark::{nexmark_engine_config, q7, q8, Q7Params, Q8Params};
+use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
+
+fn mechanisms() -> Vec<&'static str> {
+    vec!["DRRS", "Meces", "Megaphone"]
+}
+
+fn plugin_for(name: &str) -> Box<dyn ScalePlugin> {
+    match name {
+        "DRRS" => Box::new(FlexScaler::drrs()),
+        "Meces" => Box::new(MecesPlugin::new()),
+        "Megaphone" => Box::new(megaphone(1)),
+        _ => unreachable!(),
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    build: Box<dyn Fn(u64) -> (World, OpId)>,
+    horizon: SimTime,
+}
+
+fn workloads_under_test() -> Vec<Workload> {
+    if quick() {
+        vec![
+            Workload {
+                name: "Q7",
+                build: Box::new(|seed| {
+                    q7(nexmark_engine_config(seed), &Q7Params { tps: 10_000.0, ..Default::default() })
+                }),
+                horizon: secs(200),
+            },
+            Workload {
+                name: "Twitch",
+                build: Box::new(|seed| {
+                    twitch(
+                        twitch_engine_config(seed),
+                        &TwitchParams { events: 1_200_000, duration_s: 300, ..Default::default() },
+                    )
+                }),
+                horizon: secs(200),
+            },
+        ]
+    } else {
+        vec![
+            Workload {
+                name: "Q7",
+                build: Box::new(|seed| q7(nexmark_engine_config(seed), &Q7Params::default())),
+                horizon: secs(620),
+            },
+            Workload {
+                name: "Q8",
+                build: Box::new(|seed| q8(nexmark_engine_config(seed), &Q8Params::default())),
+                horizon: secs(900),
+            },
+            Workload {
+                name: "Twitch",
+                build: Box::new(|seed| twitch(twitch_engine_config(seed), &TwitchParams::default())),
+                horizon: secs(650),
+            },
+        ]
+    }
+}
+
+fn main() {
+    let scale_at = if quick() { secs(60) } else { secs(300) };
+    let seeds: Vec<u64> = if quick() { vec![1] } else { vec![1, 2] };
+
+    for wl in workloads_under_test() {
+        println!("=== {} (scale at {} s, 8 -> 12 instances) ===", wl.name, scale_at / 1_000_000);
+        // First pass: run everything and find the longest scaling period —
+        // the paper uses "the longest observed scaling period among all
+        // three methods as the statistical basis".
+        let mut runs: Vec<(String, Vec<bench::RunResult>)> = Vec::new();
+        let mut longest_end = scale_at + secs(30);
+        for mech in mechanisms() {
+            let mut per_seed = Vec::new();
+            for &seed in &seeds {
+                let (w, op) = (wl.build)(seed);
+                let r = run(mech, w, op, plugin_for(mech), scale_at, 12, wl.horizon);
+                let end = r.scaling_period_end().unwrap_or(wl.horizon);
+                longest_end = longest_end.max(end);
+                per_seed.push(r);
+            }
+            runs.push((mech.to_string(), per_seed));
+        }
+        println!(
+            "statistical window: [{}, {}] s (longest scaling period)\n",
+            scale_at / 1_000_000,
+            longest_end / 1_000_000
+        );
+        let mut table: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+        for (mech, per_seed) in &runs {
+            let mut peaks = Vec::new();
+            let mut avgs = Vec::new();
+            let mut periods = Vec::new();
+            for (si, r) in per_seed.iter().enumerate() {
+                let end = r.scaling_period_end().unwrap_or(wl.horizon);
+                let (peak, avg) = r.latency_ms(scale_at, longest_end);
+                peaks.push(peak);
+                avgs.push(avg);
+                periods.push((end.saturating_sub(scale_at)) as f64 / 1_000_000.0);
+                if si == 0 {
+                    println!("-- {mech} (seed {})", seeds[0]);
+                    print_series(
+                        "Fig.10 latency",
+                        &bench::latency_series_ms(r),
+                        if quick() { 10 } else { 25 },
+                        "ms",
+                    );
+                    print_series(
+                        "Fig.11 throughput",
+                        &r.sim.world.metrics.throughput(),
+                        if quick() { 10 } else { 25 },
+                        "rec/s",
+                    );
+                    println!(
+                        "  migration done: {:?} s, stabilized at: {:?} s, order violations: {}",
+                        r.migration_done().map(|t| t / 1_000_000),
+                        r.scaling_period_end().map(|t| t / 1_000_000),
+                        r.violations()
+                    );
+                }
+            }
+            table.push((mech.clone(), peaks, avgs, periods));
+        }
+        println!("\nIn scaling window          Peak(ms)           Average(ms)    Period(s)");
+        for (m, p, a, d) in &table {
+            println!("{:<10} {} {} {}", m, pm(p), pm(a), pm(d));
+        }
+        let drrs_avg = table[0].2.iter().sum::<f64>() / table[0].2.len() as f64;
+        for (m, _, a, d) in table.iter().skip(1) {
+            let avg = a.iter().sum::<f64>() / a.len() as f64;
+            let dd = d.iter().sum::<f64>() / d.len() as f64;
+            let d0 = table[0].3.iter().sum::<f64>() / table[0].3.len() as f64;
+            println!(
+                "  DRRS vs {m}: avg latency -{:.1}%, scaling time -{:.1}%",
+                (1.0 - drrs_avg / avg.max(1e-9)) * 100.0,
+                (1.0 - d0 / dd.max(1e-9)) * 100.0
+            );
+        }
+        println!();
+    }
+    println!("paper Q7: DRRS 15760/1705, Meces 80172/29439, Megaphone 83482/37791 (peak/avg ms)");
+    println!("paper Q8: DRRS 45562/4501, Meces 122373/38266, Megaphone 194566/70182");
+    println!("paper Twitch: DRRS 21651/5300, Meces 59978/33293, Megaphone 18422/5598");
+}

@@ -1,0 +1,98 @@
+//! Fig. 15 — sensitivity analysis on the cluster configuration: throughput
+//! deviation from the input rate across input rates (5K–20K tps), total
+//! state sizes (5–30 GB) and Zipf skewness (0.0/0.5/1.0/1.5) for DRRS,
+//! Megaphone and Meces.
+//!
+//! Cluster setup per the paper §V-D: 256 key-groups, the aggregator scales
+//! 25 → 30 instances (migrating 229 key-groups), throughput collected over
+//! a 10-minute window (latency is unreliable under heavy skew backlogs).
+//!
+//! Paper shape: deviation grows with rate/state/skew; DRRS dominates every
+//! cell and is up to 89% better at <20K tps, 30 GB>; Megaphone and Meces
+//! show skew anomalies (incomplete migrations / fetch instability).
+
+use baselines::{megaphone, MecesPlugin};
+use bench::{quick, run};
+use drrs_core::FlexScaler;
+use simcore::time::secs;
+use streamflow::ScalePlugin;
+use workloads::custom::{cluster_engine_config, custom, CustomParams};
+
+fn main() {
+    let (rates, sizes_gb, skews): (Vec<f64>, Vec<u64>, Vec<f64>) = if quick() {
+        (vec![5_000.0, 20_000.0], vec![5, 30], vec![0.0, 1.5])
+    } else {
+        (
+            vec![5_000.0, 10_000.0, 15_000.0, 20_000.0],
+            vec![5, 10, 20, 30],
+            vec![0.0, 0.5, 1.0, 1.5],
+        )
+    };
+    let (scale_at, measure) = if quick() {
+        (secs(40), secs(120))
+    } else {
+        (secs(120), secs(600)) // 10-minute collection window
+    };
+    let horizon = scale_at + measure + secs(10);
+    let mechs = ["DRRS", "Megaphone", "Meces"];
+
+    println!("=== Fig. 15: throughput deviation (input rate - measured, rec/s) ===");
+    println!("25 -> 30 instances, 256 key-groups (229 migrated), {}s window\n", measure / 1_000_000);
+
+    for mech in mechs {
+        println!("--- {mech} ---");
+        for &skew in &skews {
+            println!("Skewness {skew}:");
+            print!("{:>8}", "GB\\tps");
+            for r in &rates {
+                print!(" {:>12}", *r as u64);
+            }
+            println!("   (deviation rec/s | migration completed %)");
+            for &gb in &sizes_gb {
+                print!("{gb:>8}");
+                for &tps in &rates {
+                    let p = CustomParams {
+                        tps,
+                        total_state_bytes: gb * 1_000_000_000,
+                        skew,
+                        ..Default::default()
+                    };
+                    let (w, op) = custom(cluster_engine_config(15), &p);
+                    let plugin: Box<dyn ScalePlugin> = match mech {
+                        "DRRS" => Box::new(FlexScaler::drrs()),
+                        "Megaphone" => Box::new(megaphone(4)),
+                        _ => Box::new(MecesPlugin::new()),
+                    };
+                    let r = run(mech, w, op, plugin, scale_at, 30, horizon);
+                    let lo = scale_at / 1_000_000;
+                    let hi = (scale_at + measure) / 1_000_000;
+                    let measured = r.sim.world.metrics.mean_throughput(lo, hi);
+                    let deviation = (tps - measured).max(0.0);
+                    // The paper's Megaphone anomaly: low deviation can mean
+                    // the migration never finished in the window — report
+                    // the completed fraction alongside.
+                    let planned = r.sim.world.scale.plan.as_ref().map(|p| p.moves.len()).unwrap_or(0);
+                    let settled = r
+                        .sim
+                        .world
+                        .scale
+                        .plan
+                        .as_ref()
+                        .map(|plan| {
+                            plan.moves
+                                .iter()
+                                .filter(|m| r.sim.world.insts[m.to.0 as usize].state.holds_group(m.kg))
+                                .count()
+                        })
+                        .unwrap_or(0);
+                    let pct = (settled * 100).checked_div(planned).unwrap_or(100);
+                    print!(" {deviation:>7.0}/{pct:>3}%");
+                }
+                println!();
+            }
+        }
+        println!();
+    }
+    println!("paper shape: purple (low deviation) everywhere for DRRS; degradation grows");
+    println!("with rate/state/skew; baselines show anomalies at high skew.");
+}

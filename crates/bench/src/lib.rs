@@ -1,0 +1,169 @@
+//! `bench` — the experiment harness regenerating every figure of the paper.
+//!
+//! Each `src/bin/figXX.rs` binary reproduces one figure's rows/series:
+//!
+//! | Binary | Paper figure |
+//! |---|---|
+//! | `fig02`    | Fig. 2 — Unbound vs OTFS vs No-Scale overhead decomposition |
+//! | `fig10_11` | Fig. 10 (latency) + Fig. 11 (throughput) on Q7/Q8/Twitch |
+//! | `fig12_13` | Fig. 12 (propagation/dependency overheads) + Fig. 13 (suspension) |
+//! | `fig14`    | Fig. 14 — mechanism ablation on Twitch |
+//! | `fig15`    | Fig. 15 — sensitivity grid (rate × state × skew) |
+//!
+//! Set `QUICK=1` in the environment for compressed timelines (CI-friendly);
+//! the default timelines follow the paper (scale at 300 s, etc.).
+
+use simcore::time::{as_ms, secs, SimTime};
+use streamflow::world::Sim;
+use streamflow::{OpId, ScalePlugin, World};
+
+/// Everything a single run produces, for report rendering.
+pub struct RunResult {
+    /// Mechanism name.
+    pub name: String,
+    /// The finished simulation (metrics inside).
+    pub sim: Sim,
+    /// The scaling operator.
+    pub op: OpId,
+    /// When the scale was requested.
+    pub scale_at: SimTime,
+}
+
+impl RunResult {
+    /// Peak/mean latency (ms) over `[lo, hi)`.
+    pub fn latency_ms(&self, lo: SimTime, hi: SimTime) -> (f64, f64) {
+        self.sim.world.metrics.latency_stats_ms(lo, hi)
+    }
+
+    /// The paper's scaling-period end (within 110% of pre-scale mean for
+    /// 100 s), if the system re-stabilized.
+    pub fn scaling_period_end(&self) -> Option<SimTime> {
+        let hold = if quick() { secs(20) } else { secs(100) };
+        self.sim
+            .world
+            .metrics
+            .scaling_period_end(self.scale_at, secs(50), 1.10, hold)
+    }
+
+    /// Cumulative propagation delay (ms).
+    pub fn lp_ms(&self) -> f64 {
+        as_ms(self.sim.world.scale.metrics.cumulative_propagation_delay())
+    }
+
+    /// Average dependency overhead (ms).
+    pub fn ld_ms(&self) -> f64 {
+        self.sim.world.scale.metrics.avg_dependency_overhead() / 1_000.0
+    }
+
+    /// Total suspension across scaled-operator instances (ms).
+    pub fn suspension_ms(&self) -> f64 {
+        let w = &self.sim.world;
+        let total: u64 = w.ops[self.op.0 as usize]
+            .instances
+            .iter()
+            .map(|&i| w.insts[i.0 as usize].suspension_as_of(w.now()))
+            .sum();
+        as_ms(total)
+    }
+
+    /// Execution-order violations observed.
+    pub fn violations(&self) -> u64 {
+        self.sim.world.semantics.violations()
+    }
+
+    /// Migration completion time, if reached.
+    pub fn migration_done(&self) -> Option<SimTime> {
+        self.sim.world.scale.metrics.migration_done
+    }
+}
+
+/// The latency series converted to (second, ms) for printing.
+pub fn latency_series_ms(r: &RunResult) -> Vec<(u64, f64)> {
+    r.sim
+        .world
+        .metrics
+        .latency
+        .per_second_mean()
+        .into_iter()
+        .map(|(s, v)| (s, v / 1_000.0))
+        .collect()
+}
+
+/// Is quick mode (compressed timelines) enabled?
+pub fn quick() -> bool {
+    std::env::var("QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Run one mechanism on a prepared world.
+pub fn run(
+    name: &str,
+    mut world: World,
+    op: OpId,
+    plugin: Box<dyn ScalePlugin>,
+    scale_at: SimTime,
+    new_parallelism: usize,
+    horizon: SimTime,
+) -> RunResult {
+    if new_parallelism > 0 {
+        world.schedule_scale(scale_at, op, new_parallelism);
+    }
+    let mut sim = Sim::new(world, plugin);
+    sim.run_until(horizon);
+    RunResult {
+        name: name.to_string(),
+        sim,
+        op,
+        scale_at,
+    }
+}
+
+/// Render a per-second series as a sparse text table (every `step` seconds).
+pub fn print_series(label: &str, series: &[(u64, f64)], step: u64, unit: &str) {
+    println!("  {label} (every {step}s, {unit}):");
+    print!("   ");
+    for (s, v) in series.iter().filter(|(s, _)| s % step == 0) {
+        print!(" {s}:{v:.0}");
+    }
+    println!();
+}
+
+/// Simple mean ± population-σ formatter over per-seed samples.
+pub fn pm(samples: &[f64]) -> String {
+    let s = simcore::stats::Summary::of(samples);
+    if samples.len() > 1 {
+        format!("{:>9.0}(±{:>6.0})", s.mean, s.std)
+    } else {
+        format!("{:>9.0}", s.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pm_formats_single_and_multi() {
+        assert!(pm(&[10.0]).contains("10"));
+        let m = pm(&[10.0, 20.0]);
+        assert!(m.contains("15") && m.contains("±"));
+    }
+
+    #[test]
+    fn harness_runs_end_to_end() {
+        use streamflow::world::tests_support::tiny_job;
+        let (w, agg) = tiny_job(streamflow::EngineConfig::test(), 2_000.0, 128, 2);
+        let r = run(
+            "DRRS",
+            w,
+            agg,
+            Box::new(drrs_core::FlexScaler::drrs()),
+            secs(1),
+            3,
+            secs(6),
+        );
+        assert!(r.migration_done().is_some());
+        assert_eq!(r.violations(), 0);
+        let (peak, mean) = r.latency_ms(0, secs(6));
+        assert!(peak >= mean);
+    }
+}

@@ -1,0 +1,166 @@
+//! Mechanism configuration: the axes along which DRRS, its ablation
+//! variants, and the barrier-based baselines differ.
+
+use simcore::time::{ms, SimTime};
+
+/// Where scaling signals enter the dataflow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Injection {
+    /// Conventional source injection: the signal propagates through the
+    /// whole topology with alignment at every operator (generalized OTFS).
+    Source,
+    /// Direct predecessor injection (DRRS; also the paper's faithful
+    /// Megaphone port).
+    Predecessor,
+}
+
+/// Full mechanism configuration for [`FlexScaler`](crate::plugin::FlexScaler).
+#[derive(Clone, Debug)]
+pub struct MechanismConfig {
+    /// Mechanism name for reports.
+    pub name: &'static str,
+    /// Signal injection point.
+    pub injection: Injection,
+    /// Decoupled trigger/confirm barriers with re-routing (DRRS §III-A);
+    /// `false` = coupled barrier with alignment and input blocking.
+    pub decouple: bool,
+    /// Record Scheduling (inter- + intra-channel, §III-B).
+    pub scheduling: bool,
+    /// Number of subscales to divide the migration into (§III-C); 1 = none.
+    pub subscale_count: usize,
+    /// Max concurrent subscales per instance (paper default: 2).
+    pub concurrency_limit: usize,
+    /// Launch subscales strictly one-after-another (Megaphone's
+    /// timestamp-driven naive division).
+    pub sequential: bool,
+    /// Fluid migration (per key-group resume); `false` = all-at-once.
+    pub fluid: bool,
+    /// Record-scheduling buffer depth (paper: 200 records).
+    pub sched_buffer: usize,
+    /// Re-route Manager: flush when this many records are buffered.
+    pub reroute_batch: usize,
+    /// Re-route Manager: flush at least this often.
+    pub reroute_timeout: SimTime,
+}
+
+impl MechanismConfig {
+    /// Full DRRS: all three mechanisms enabled.
+    pub fn drrs() -> Self {
+        Self {
+            name: "DRRS",
+            injection: Injection::Predecessor,
+            decouple: true,
+            scheduling: true,
+            subscale_count: 8,
+            concurrency_limit: 2,
+            sequential: false,
+            fluid: true,
+            sched_buffer: 200,
+            reroute_batch: 32,
+            reroute_timeout: ms(5),
+        }
+    }
+
+    /// Ablation: Decoupling & Re-routing only (no scheduling, no division).
+    pub fn dr_only() -> Self {
+        Self {
+            name: "DR",
+            scheduling: false,
+            subscale_count: 1,
+            ..Self::drrs()
+        }
+    }
+
+    /// Ablation: Record Scheduling only, on top of conventional coupled
+    /// source-injected signals.
+    pub fn schedule_only() -> Self {
+        Self {
+            name: "Schedule",
+            injection: Injection::Source,
+            decouple: false,
+            subscale_count: 1,
+            ..Self::drrs()
+        }
+    }
+
+    /// Ablation: Subscale Division only — naive division over coupled
+    /// barriers, which exhibits the inter-subscale synchronization
+    /// interference of the paper's Fig. 7a.
+    pub fn subscale_only() -> Self {
+        Self {
+            name: "Subscale",
+            decouple: false,
+            scheduling: false,
+            ..Self::drrs()
+        }
+    }
+
+    /// Generalized on-the-fly scaling with fluid migration (the paper's
+    /// OTFS baseline in Fig. 2).
+    pub fn otfs_fluid() -> Self {
+        Self {
+            name: "OTFS",
+            injection: Injection::Source,
+            decouple: false,
+            scheduling: false,
+            subscale_count: 1,
+            concurrency_limit: 1,
+            sequential: false,
+            fluid: true,
+            sched_buffer: 0,
+            reroute_batch: 32,
+            reroute_timeout: ms(5),
+        }
+    }
+
+    /// Generalized OTFS with all-at-once migration (traditional).
+    pub fn otfs_all_at_once() -> Self {
+        Self {
+            name: "OTFS-AAO",
+            fluid: false,
+            ..Self::otfs_fluid()
+        }
+    }
+
+    /// Megaphone (as ported in the paper §V-A): predecessor injection,
+    /// coupled barriers with alignment, timestamp-driven naive division
+    /// (sequential per-key-group batches), fluid migration, and the same
+    /// 200-record scheduling buffer the paper grants it.
+    pub fn megaphone(batch_kgs: usize) -> Self {
+        Self {
+            name: "Megaphone",
+            injection: Injection::Predecessor,
+            decouple: false,
+            scheduling: true,
+            subscale_count: usize::MAX / batch_kgs.max(1), // one batch per `batch_kgs` groups
+            concurrency_limit: 1,
+            sequential: true,
+            fluid: true,
+            sched_buffer: 200,
+            reroute_batch: 32,
+            reroute_timeout: ms(5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_axes() {
+        let d = MechanismConfig::drrs();
+        assert!(d.decouple && d.scheduling && d.subscale_count > 1);
+        let dr = MechanismConfig::dr_only();
+        assert!(dr.decouple && !dr.scheduling && dr.subscale_count == 1);
+        let s = MechanismConfig::schedule_only();
+        assert!(!s.decouple && s.scheduling && s.injection == Injection::Source);
+        let ss = MechanismConfig::subscale_only();
+        assert!(!ss.decouple && !ss.scheduling && ss.subscale_count > 1);
+        let o = MechanismConfig::otfs_fluid();
+        assert!(o.fluid && o.injection == Injection::Source);
+        assert!(!MechanismConfig::otfs_all_at_once().fluid);
+        let m = MechanismConfig::megaphone(1);
+        assert!(m.sequential && !m.decouple && m.scheduling);
+    }
+}

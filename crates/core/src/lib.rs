@@ -1,0 +1,338 @@
+//! `drrs-core` — the paper's contribution: **DRRS**, an on-the-fly scaling
+//! mechanism for stateful stream processing with three innovations
+//! (ICDE 2025, "Towards Fine-Grained Scalability for Stateful Stream
+//! Processing Systems"):
+//!
+//! 1. **Decoupling & Re-routing** (§III-A): the conventional dual-purpose
+//!    scaling barrier is split into a priority *trigger* barrier (starts
+//!    migration immediately, bypassing all in-flight data) and an in-order
+//!    *confirm* barrier (routing confirmation), with re-routing of
+//!    already-migrated state's records replacing explicit input-blocking
+//!    alignment.
+//! 2. **Record Scheduling** (§III-B): engine-level inter-channel switching
+//!    and intra-channel bypass keep instances processing during migration
+//!    instead of suspending, while preserving execution semantics.
+//! 3. **Subscale Division** (§III-C): the migration is partitioned into
+//!    independent subscales that migrate concurrently without interference,
+//!    scheduled greedily under a per-instance concurrency threshold.
+//!
+//! The paper's system architecture (§IV, Fig. 8) maps onto this crate as
+//! follows:
+//!
+//! | Paper component | Here |
+//! |---|---|
+//! | Scale Coordinator (A) / Topology Updater (A0) | the engine's control plane ([`streamflow::World::schedule_scale`], deploy events) |
+//! | Subscale Handler (A1) | [`plugin::FlexScaler`] launch path |
+//! | Scale Executor (B) / Scale Input Handler (B1) | [`plugin::FlexScaler`]'s `select` (replaces the native input handler during scaling) |
+//! | Barrier Handler (B2) | `on_signal` / `on_priority_signal` |
+//! | Suspend Manager (B3) | classification + engine suspension accounting |
+//! | Re-route Manager (B4) | the re-route buffers with capacity/timeout flushing |
+//! | Scale Planner (C0/C1) | [`planner`] (uniform repartition lives in the engine; division + greedy scheduling here) |
+//!
+//! The same [`plugin::FlexScaler`] also expresses the paper's ablation
+//! variants (DR / Schedule / Subscale, Fig. 14) and the barrier-based
+//! baselines (generalized OTFS, Megaphone) purely through
+//! [`config::MechanismConfig`] — mirroring the paper's single-fork
+//! methodology for fair comparison.
+
+pub mod config;
+pub mod planner;
+pub mod plugin;
+
+pub use config::{Injection, MechanismConfig};
+pub use planner::{divide_subscales, greedy_pick, SubscaleSpec};
+pub use plugin::FlexScaler;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::secs;
+    use streamflow::world::tests_support::tiny_job;
+    use streamflow::world::Sim;
+    use streamflow::EngineConfig;
+
+    fn run_scale(cfg: MechanismConfig, rate: f64) -> Sim {
+        let (mut w, agg) = tiny_job(EngineConfig::test(), rate, 512, 2);
+        w.schedule_scale(secs(2), agg, 4);
+        let mut sim = Sim::new(w, Box::new(FlexScaler::new(cfg)));
+        sim.run_until(secs(10));
+        sim
+    }
+
+    fn assert_scale_completed(sim: &Sim, name: &str) {
+        assert!(
+            !sim.world.scale.in_progress,
+            "{name}: migration did not complete"
+        );
+        assert!(
+            sim.world.scale.metrics.migration_done.is_some(),
+            "{name}: no completion time"
+        );
+        assert_eq!(
+            sim.world.semantics.violations(),
+            0,
+            "{name}: execution order violated: {:?}",
+            sim.world.semantics.samples()
+        );
+        // Every moved group landed at its destination.
+        let plan = sim.world.scale.plan.as_ref().expect("plan");
+        for m in &plan.moves {
+            assert!(
+                sim.world.insts[m.to.0 as usize].state.holds_group(m.kg),
+                "{name}: {} not at {}",
+                m.kg,
+                m.to
+            );
+            assert!(
+                !sim.world.insts[m.from.0 as usize].state.holds_group(m.kg),
+                "{name}: {} still at {}",
+                m.kg,
+                m.from
+            );
+        }
+    }
+
+    #[test]
+    fn drrs_full_scale_completes_and_preserves_order() {
+        let sim = run_scale(MechanismConfig::drrs(), 4_000.0);
+        assert_scale_completed(&sim, "DRRS");
+        assert!(sim.world.metrics.sink_records > 10_000);
+    }
+
+    #[test]
+    fn dr_only_completes() {
+        let sim = run_scale(MechanismConfig::dr_only(), 4_000.0);
+        assert_scale_completed(&sim, "DR");
+    }
+
+    #[test]
+    fn schedule_only_completes() {
+        let sim = run_scale(MechanismConfig::schedule_only(), 4_000.0);
+        assert_scale_completed(&sim, "Schedule");
+    }
+
+    #[test]
+    fn subscale_only_completes() {
+        let sim = run_scale(MechanismConfig::subscale_only(), 4_000.0);
+        assert_scale_completed(&sim, "Subscale");
+    }
+
+    #[test]
+    fn otfs_fluid_completes() {
+        let sim = run_scale(MechanismConfig::otfs_fluid(), 4_000.0);
+        assert_scale_completed(&sim, "OTFS");
+    }
+
+    #[test]
+    fn otfs_all_at_once_completes() {
+        let sim = run_scale(MechanismConfig::otfs_all_at_once(), 4_000.0);
+        assert_scale_completed(&sim, "OTFS-AAO");
+    }
+
+    #[test]
+    fn megaphone_completes() {
+        let sim = run_scale(MechanismConfig::megaphone(1), 4_000.0);
+        assert_scale_completed(&sim, "Megaphone");
+    }
+
+    #[test]
+    fn state_counts_are_conserved_across_scaling() {
+        // Compare the final per-key counts of a scaled run with a
+        // no-scale run at the same rate and horizon: count/sum aggregates
+        // must be near-identical (timing perturbs only the tail backlog).
+        let horizon = secs(8);
+        let (w1, agg1) = tiny_job(EngineConfig::test(), 2_000.0, 256, 2);
+        let mut base = Sim::new(w1, Box::new(streamflow::NoScale));
+        base.run_until(horizon);
+
+        let (mut w2, agg2) = tiny_job(EngineConfig::test(), 2_000.0, 256, 2);
+        w2.schedule_scale(secs(2), agg2, 4);
+        let mut scaled = Sim::new(w2, Box::new(FlexScaler::drrs()));
+        scaled.run_until(horizon);
+        assert!(!scaled.world.scale.in_progress);
+
+        let collect = |sim: &Sim, op: streamflow::OpId| {
+            let mut all = std::collections::HashMap::new();
+            for &i in &sim.world.ops[op.0 as usize].instances {
+                for (k, c) in sim.world.insts[i.0 as usize].state.snapshot_counts() {
+                    *all.entry(k).or_insert(0u64) += c;
+                }
+            }
+            all
+        };
+        let a = collect(&base, agg1);
+        let b = collect(&scaled, agg2);
+        assert_eq!(a.len(), b.len(), "key universe differs");
+        let total_a: u64 = a.values().sum();
+        let total_b: u64 = b.values().sum();
+        let diff = total_a.abs_diff(total_b) as f64 / total_a as f64;
+        assert!(diff < 0.1, "count divergence {diff} (a={total_a}, b={total_b})");
+    }
+
+    #[test]
+    fn drrs_suspends_less_than_otfs() {
+        let suspension = |cfg: MechanismConfig| {
+            // Overdrive the operator so migration happens under load.
+            let (mut w, agg) = tiny_job(EngineConfig::test(), 8_000.0, 512, 2);
+            w.schedule_scale(secs(2), agg, 4);
+            let mut sim = Sim::new(w, Box::new(FlexScaler::new(cfg)));
+            sim.run_until(secs(12));
+            let total: u64 = sim.world.ops[agg.0 as usize]
+                .instances
+                .iter()
+                .map(|&i| sim.world.insts[i.0 as usize].suspension_as_of(sim.world.now()))
+                .sum();
+            (total, sim.world.scale.in_progress)
+        };
+        let (drrs, drrs_active) = suspension(MechanismConfig::drrs());
+        let (otfs, _) = suspension(MechanismConfig::otfs_fluid());
+        assert!(!drrs_active, "DRRS scale must finish");
+        assert!(
+            drrs < otfs,
+            "DRRS suspension ({drrs} µs) should undercut OTFS ({otfs} µs)"
+        );
+    }
+
+    #[test]
+    fn drrs_propagation_delay_beats_otfs() {
+        let lp = |cfg: MechanismConfig| {
+            let (mut w, agg) = tiny_job(EngineConfig::test(), 4_000.0, 512, 2);
+            w.schedule_scale(secs(2), agg, 4);
+            let mut sim = Sim::new(w, Box::new(FlexScaler::new(cfg)));
+            sim.run_until(secs(10));
+            assert!(!sim.world.scale.in_progress, "{} unfinished", sim.plugin.name());
+            sim.world.scale.metrics.cumulative_propagation_delay() as f64
+                / sim.world.scale.metrics.injected.len().max(1) as f64
+        };
+        let drrs = lp(MechanismConfig::drrs());
+        let otfs = lp(MechanismConfig::otfs_fluid());
+        assert!(
+            drrs < otfs,
+            "per-signal propagation: DRRS {drrs} µs vs OTFS {otfs} µs"
+        );
+    }
+
+    #[test]
+    fn record_scheduling_reduces_suspension_within_drrs() {
+        // Isolate Record Scheduling: same decoupled signals and subscales,
+        // scheduling on vs off. Fig. 6's claim — fewer suspensions.
+        let run_with = |scheduling: bool| {
+            // Slow the migration path down so state is genuinely in
+            // transit while records arrive (the test profile's instant
+            // transfers would leave nothing to suspend on).
+            let mut ecfg = EngineConfig::test();
+            ecfg.ser_bytes_per_us = 2.0;
+            let (mut w, agg) = tiny_job(ecfg, 10_000.0, 512, 2);
+            w.schedule_scale(secs(2), agg, 4);
+            let cfg = MechanismConfig {
+                scheduling,
+                ..MechanismConfig::drrs()
+            };
+            let mut sim = Sim::new(w, Box::new(FlexScaler::new(cfg)));
+            sim.run_until(secs(12));
+            assert!(!sim.world.scale.in_progress);
+            assert_eq!(sim.world.semantics.violations(), 0);
+            sim.world.ops[agg.0 as usize]
+                .instances
+                .iter()
+                .map(|&i| sim.world.insts[i.0 as usize].suspension_as_of(sim.world.now()))
+                .sum::<u64>()
+        };
+        let with = run_with(true);
+        let without = run_with(false);
+        assert!(
+            with < without,
+            "scheduling on: {with} µs, off: {without} µs"
+        );
+    }
+
+    #[test]
+    fn ef_records_wait_for_implicit_alignment() {
+        // Strict mode (no fluid confirmation): even with state present, Ef
+        // records must wait for every re-routed confirm. We can't observe
+        // intermediate states directly from here, but a correct
+        // implementation yields zero violations under heavy in-flight
+        // traffic — an incorrect one (processing Ef before Ep drained)
+        // reliably reorders at this load.
+        let (mut w, agg) = tiny_job(EngineConfig::test(), 45_000.0, 256, 2);
+        w.schedule_scale(secs(2), agg, 4);
+        let cfg = MechanismConfig {
+            scheduling: false,
+            ..MechanismConfig::drrs()
+        };
+        let mut sim = Sim::new(w, Box::new(FlexScaler::new(cfg)));
+        sim.run_until(secs(15));
+        assert!(!sim.world.scale.in_progress);
+        assert_eq!(
+            sim.world.semantics.violations(),
+            0,
+            "implicit alignment violated: {:?}",
+            sim.world.semantics.samples()
+        );
+    }
+
+    #[test]
+    fn drrs_correct_under_overload_during_scale() {
+        // The hardest case: deep queues at the flip (Ep records at old
+        // instances, redirect of a non-empty backlog, re-route + confirm
+        // interleaving) — all per-key order must survive.
+        let (mut w, agg) = tiny_job(EngineConfig::test(), 60_000.0, 512, 2);
+        w.schedule_scale(secs(2), agg, 4);
+        let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+        sim.run_until(secs(20));
+        assert!(!sim.world.scale.in_progress, "scale never finished under overload");
+        assert_eq!(
+            sim.world.semantics.violations(),
+            0,
+            "overload reordering: {:?}",
+            sim.world.semantics.samples()
+        );
+    }
+
+    #[test]
+    fn subscales_respect_concurrency_threshold() {
+        // With concurrency 1 and many subscales, launches serialize: the
+        // spread between first and last injection must be substantial
+        // relative to a fully parallel launch.
+        let spread = |limit: usize| {
+            let (mut w, agg) = tiny_job(EngineConfig::test(), 4_000.0, 512, 2);
+            w.schedule_scale(secs(2), agg, 4);
+            let cfg = MechanismConfig {
+                subscale_count: 8,
+                concurrency_limit: limit,
+                ..MechanismConfig::drrs()
+            };
+            let mut sim = Sim::new(w, Box::new(FlexScaler::new(cfg)));
+            sim.run_until(secs(15));
+            assert!(!sim.world.scale.in_progress);
+            let inj: Vec<u64> = sim.world.scale.metrics.injected.values().copied().collect();
+            let lo = inj.iter().min().copied().unwrap_or(0);
+            let hi = inj.iter().max().copied().unwrap_or(0);
+            hi - lo
+        };
+        let serialized = spread(1);
+        let parallel = spread(64);
+        assert!(
+            serialized > parallel,
+            "serialized spread {serialized} µs vs parallel {parallel} µs"
+        );
+    }
+
+    #[test]
+    fn megaphone_dependency_overhead_exceeds_drrs() {
+        let ld = |cfg: MechanismConfig| {
+            let (mut w, agg) = tiny_job(EngineConfig::test(), 4_000.0, 512, 2);
+            w.schedule_scale(secs(2), agg, 4);
+            let mut sim = Sim::new(w, Box::new(FlexScaler::new(cfg)));
+            sim.run_until(secs(20));
+            assert!(!sim.world.scale.in_progress, "{} unfinished", sim.plugin.name());
+            sim.world.scale.metrics.avg_dependency_overhead()
+        };
+        let drrs = ld(MechanismConfig::drrs());
+        let mega = ld(MechanismConfig::megaphone(1));
+        assert!(
+            mega > drrs,
+            "dependency overhead: Megaphone {mega} µs vs DRRS {drrs} µs"
+        );
+    }
+}

@@ -1,0 +1,886 @@
+//! The mechanism engine: a single [`FlexScaler`] implements DRRS, its three
+//! ablation variants, generalized OTFS and Megaphone, differing only in
+//! [`MechanismConfig`] axes — mirroring how the paper implements all
+//! mechanisms inside one Flink fork for fair comparison.
+//!
+//! The DRRS-specific machinery (paper §III):
+//!
+//! * **Decoupling & Re-routing** — trigger barriers travel as priority
+//!   messages straight to the old instance and start migration immediately;
+//!   confirm barriers jump the sender's output backlog (records of moving
+//!   key-groups bypassed there are redirected, order-preserved, onto the new
+//!   instance's channel = epoch `Ef`), then travel in-order; the old
+//!   instance re-routes post-extraction records (`Ep`) and finally the
+//!   confirm itself to the new instance, giving implicit alignment with no
+//!   input blocking.
+//! * **Record Scheduling** — inter-channel switching plus intra-channel
+//!   bypass within a bounded buffer, never crossing watermarks, checkpoint
+//!   barriers or scale signals.
+//! * **Subscale Division** — independent subscales scheduled greedily with a
+//!   per-instance concurrency threshold.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use simcore::SimTime;
+use streamflow::ids::{ChannelId, InstId, KeyGroup, OpId, SubscaleId};
+use streamflow::events::PriorityMsg;
+use streamflow::record::{Record, RecordKind, ScaleSignal, SignalKind, StreamElement};
+use streamflow::scaling::{ScalePlan, ScalePlugin, Selection};
+use streamflow::state::StateUnit;
+use streamflow::world::World;
+
+use crate::config::{Injection, MechanismConfig};
+use crate::planner::{divide_subscales, greedy_pick, SubscaleSpec};
+
+const TAG_FLUSH: u64 = 1;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Pending,
+    Launched,
+    Done,
+}
+
+struct Sub {
+    spec: SubscaleSpec,
+    phase: Phase,
+    /// Decoupled: first trigger barrier already acted on.
+    triggered: bool,
+    /// Key-groups awaiting extraction (fluid migration pumps them serially).
+    mig_queue: VecDeque<KeyGroup>,
+    /// Key-groups installed at the destination.
+    installed: HashSet<u16>,
+    /// Decoupled: per predecessor, confirms still to be re-routed.
+    confirms_pending: HashMap<InstId, u32>,
+    /// Predecessors whose confirms have fully arrived at the destination
+    /// (per-channel epoch switching = "fluid confirmation").
+    confirmed: HashSet<InstId>,
+    /// Coupled: channels whose barrier arrived at the old instance.
+    align_arrived: HashSet<ChannelId>,
+    aligned: bool,
+}
+
+/// How a data record at a scaling-operator instance is classified.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Class {
+    /// Locally processable right now.
+    Process,
+    /// State migrated out: forward to the new owner (DRRS re-routing).
+    Reroute(InstId),
+    /// Not yet processable at the new owner (state or confirm missing).
+    Hold,
+}
+
+/// The configurable scaling mechanism. See module docs.
+pub struct FlexScaler {
+    /// Active configuration.
+    pub cfg: MechanismConfig,
+    op: Option<OpId>,
+    started: bool,
+    done: bool,
+    subs: Vec<Sub>,
+    kg2sub: HashMap<u16, usize>,
+    pending: Vec<usize>,
+    active_cnt: HashMap<InstId, usize>,
+    preds: HashSet<InstId>,
+    /// Per predecessor: number of keyed edges it feeds the scaling operator
+    /// on (= confirms it emits per subscale).
+    pred_edge_count: HashMap<InstId, u32>,
+    /// Re-route Manager buffers: (old, new) → pending records.
+    rbuf: HashMap<(InstId, InstId), Vec<Record>>,
+    /// New-instance inboxes of re-routed `Ep` records.
+    inbox: HashMap<InstId, VecDeque<Record>>,
+    /// Outstanding inbox records per (instance, key-group) — gates `Ef`.
+    inbox_kg: HashMap<(InstId, u16), usize>,
+    /// Source-injection forwarding alignment at intermediate operators.
+    fwd_align: HashMap<(InstId, u32), HashSet<ChannelId>>,
+    timer_armed: bool,
+}
+
+impl FlexScaler {
+    /// Create a mechanism with the given configuration.
+    pub fn new(cfg: MechanismConfig) -> Self {
+        Self {
+            cfg,
+            op: None,
+            started: false,
+            done: false,
+            subs: Vec::new(),
+            kg2sub: HashMap::new(),
+            pending: Vec::new(),
+            active_cnt: HashMap::new(),
+            preds: HashSet::new(),
+            pred_edge_count: HashMap::new(),
+            rbuf: HashMap::new(),
+            inbox: HashMap::new(),
+            inbox_kg: HashMap::new(),
+            fwd_align: HashMap::new(),
+            timer_armed: false,
+        }
+    }
+
+    /// Full DRRS with defaults.
+    pub fn drrs() -> Self {
+        Self::new(MechanismConfig::drrs())
+    }
+
+    /// Has the scale finished end to end (all subscales done, re-route
+    /// buffers and inboxes drained)?
+    pub fn finished(&self) -> bool {
+        self.done
+    }
+
+    fn sub_of_kg(&self, kg: KeyGroup) -> Option<usize> {
+        self.kg2sub.get(&kg.0).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Launching
+    // ------------------------------------------------------------------
+
+    fn launch_ready(&mut self, w: &mut World) {
+        loop {
+            if self.pending.is_empty() {
+                break;
+            }
+            if self.cfg.sequential {
+                // One subscale at a time, in plan order.
+                let any_running = self.subs.iter().any(|s| s.phase == Phase::Launched);
+                if any_running {
+                    break;
+                }
+                let si = self.pending.remove(0);
+                self.launch(w, si);
+                continue;
+            }
+            let specs: Vec<SubscaleSpec> = self.subs.iter().map(|s| s.spec.clone()).collect();
+            let held = |i: InstId| w.insts[i.0 as usize].state.total_keys();
+            let Some(si) = greedy_pick(&self.pending, &specs, &held, &self.active_cnt, self.cfg.concurrency_limit)
+            else {
+                break;
+            };
+            self.pending.retain(|&x| x != si);
+            self.launch(w, si);
+        }
+    }
+
+    fn launch(&mut self, w: &mut World, si: usize) {
+        let now = w.now();
+        let op = self.op.expect("launch after start");
+        {
+            let s = &mut self.subs[si];
+            s.phase = Phase::Launched;
+            *self.active_cnt.entry(s.spec.from).or_insert(0) += 1;
+            *self.active_cnt.entry(s.spec.to).or_insert(0) += 1;
+        }
+        w.scale.metrics.injected.insert(SubscaleId(si as u32), now);
+        if !self.cfg.sequential {
+            let fanout = w.cfg.sub_group_fanout.max(1);
+            for kg in self.subs[si].spec.kgs.clone() {
+                for sb in 0..fanout {
+                    w.scale.metrics.unit_injected.insert((kg.0, sb), now);
+                }
+            }
+        }
+        match self.cfg.injection {
+            Injection::Predecessor => self.inject_at_preds(w, op, si),
+            Injection::Source => self.inject_at_sources(w, op, si),
+        }
+    }
+
+    fn signal(&self, si: usize, kind: SignalKind, pred: InstId, now: SimTime) -> ScaleSignal {
+        ScaleSignal {
+            scale_epoch: 0,
+            subscale: SubscaleId(si as u32),
+            kind,
+            from_pred: pred,
+            injected_at: now,
+        }
+    }
+
+    fn inject_at_preds(&mut self, w: &mut World, op: OpId, si: usize) {
+        let now = w.now();
+        let spec = self.subs[si].spec.clone();
+        let kg_set: HashSet<u16> = spec.kgs.iter().map(|k| k.0).collect();
+        let edges = w.keyed_in_edges(op);
+        let mut confirms: HashMap<InstId, u32> = HashMap::new();
+        for e in edges {
+            let from_op = w.edges[e.0 as usize].from;
+            let pred_insts = w.ops[from_op.0 as usize].instances.clone();
+            for pred in pred_insts {
+                // Routing confirmation point: future emissions go to `to`.
+                w.reroute_groups(op, pred, &spec.kgs, spec.to);
+                let Some(ch_old) = w.channel_between(e, pred, spec.from) else { continue };
+                let ch_new = w
+                    .channel_between(e, pred, spec.to)
+                    .expect("channel to new instance wired at deploy");
+                if self.cfg.decouple {
+                    // Confirm barrier is priority *in the output cache*: the
+                    // moving-key-group records it bypasses are redirected to
+                    // the new instance's channel, order preserved (epoch Ef).
+                    // Redirection concludes at any in-flight checkpoint
+                    // barrier (paper Fig. 9a) to keep snapshot consistency.
+                    let mut moved = Vec::new();
+                    w.chans[ch_old.0 as usize].drain_backlog_matching_until(
+                        |el| {
+                            el.as_record()
+                                .map(|r| {
+                                    r.kind == RecordKind::Data
+                                        && kg_set.contains(&w_kg(r.key, &w.cfg))
+                                })
+                                .unwrap_or(false)
+                        },
+                        |el| matches!(el, StreamElement::CheckpointBarrier(_)),
+                        &mut moved,
+                    );
+                    for el in moved {
+                        w.chans[ch_new.0 as usize].backlog.push_back(el);
+                    }
+                    w.pump(ch_new);
+                    w.pump(ch_old);
+                    // Trigger barrier: priority end-to-end.
+                    let trig = self.signal(si, SignalKind::Trigger, pred, now);
+                    w.send_priority(spec.from, PriorityMsg::Signal(trig));
+                    // Confirm barrier: skips the backlog, in-order on the
+                    // wire and at the receiver.
+                    let conf = self.signal(si, SignalKind::Confirm, pred, now);
+                    w.send_uncredited(ch_old, StreamElement::Scale(conf));
+                    *confirms.entry(pred).or_insert(0) += 1;
+                } else {
+                    // Coupled barrier: strictly in-band (through the backlog).
+                    let sig = self.signal(si, SignalKind::Coupled, pred, now);
+                    w.send(ch_old, StreamElement::Scale(sig));
+                }
+            }
+        }
+        self.subs[si].confirms_pending = confirms;
+    }
+
+    fn inject_at_sources(&mut self, w: &mut World, op: OpId, si: usize) {
+        // Conventional source injection: barriers ride the dataflow from the
+        // sources, aligned and forwarded at every intermediate operator.
+        let now = w.now();
+        let spec = self.subs[si].spec.clone();
+        let source_insts: Vec<InstId> = w
+            .insts
+            .iter()
+            .filter(|i| i.source.is_some())
+            .map(|i| i.id)
+            .collect();
+        for srci in source_insts {
+            // A source that directly feeds the scaling operator acts as the
+            // predecessor: flip routing when the barrier is emitted.
+            if self.preds.contains(&srci) {
+                w.reroute_groups(op, srci, &spec.kgs, spec.to);
+            }
+            let sig = self.signal(si, SignalKind::Coupled, srci, now);
+            for ch in w.insts[srci.0 as usize].out_channels.clone() {
+                w.send(ch, StreamElement::Scale(sig));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Migration pump (fluid: one key-group in flight per subscale)
+    // ------------------------------------------------------------------
+
+    fn pump_migration(&mut self, w: &mut World, si: usize) {
+        let (from, to, next) = {
+            let s = &mut self.subs[si];
+            let Some(kg) = s.mig_queue.pop_front() else { return };
+            (s.spec.from, s.spec.to, kg)
+        };
+        if self.cfg.sequential {
+            // Megaphone's timestamp-driven plan announces every unit at the
+            // start; record the governing injection lazily at first touch.
+            let t = w.scale.metrics.deployed_at.unwrap_or_else(|| w.now());
+            let fanout = w.cfg.sub_group_fanout.max(1);
+            for sb in 0..fanout {
+                w.scale.metrics.unit_injected.entry((next.0, sb)).or_insert(t);
+            }
+        }
+        w.migrate_group(from, to, next, SubscaleId(si as u32));
+    }
+
+    fn start_migration(&mut self, w: &mut World, si: usize) {
+        let kgs = self.subs[si].spec.kgs.clone();
+        self.subs[si].mig_queue = kgs.into();
+        if self.cfg.fluid {
+            self.pump_migration(w, si);
+        } else {
+            // All-at-once: extract and enqueue the lot in one batch.
+            while !self.subs[si].mig_queue.is_empty() {
+                self.pump_migration(w, si);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Re-route Manager (paper component B4)
+    // ------------------------------------------------------------------
+
+    fn buffer_reroute(&mut self, w: &mut World, old: InstId, to: InstId, rec: Record) {
+        let buf = self.rbuf.entry((old, to)).or_default();
+        buf.push(rec);
+        if buf.len() >= self.cfg.reroute_batch {
+            self.flush_rbuf(w, old, to);
+        }
+    }
+
+    fn flush_rbuf(&mut self, w: &mut World, old: InstId, to: InstId) {
+        if let Some(buf) = self.rbuf.get_mut(&(old, to)) {
+            if buf.is_empty() {
+                return;
+            }
+            let records = std::mem::take(buf);
+            w.send_priority(to, PriorityMsg::ReroutedRecords { from: old, records });
+        }
+    }
+
+    fn flush_all(&mut self, w: &mut World) {
+        let keys: Vec<(InstId, InstId)> = self.rbuf.keys().copied().collect();
+        for (o, t) in keys {
+            self.flush_rbuf(w, o, t);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Classification
+    // ------------------------------------------------------------------
+
+    fn classify(&self, w: &World, inst: InstId, ch_from: InstId, rec: &Record) -> Class {
+        if rec.kind == RecordKind::Marker {
+            return Class::Process;
+        }
+        let kg = w.kg_of(rec.key);
+        let Some(si) = self.sub_of_kg(kg) else {
+            return Class::Process; // not a moving key-group
+        };
+        let s = &self.subs[si];
+        if s.phase == Phase::Pending {
+            return Class::Process; // not yet launched: state is where it was
+        }
+        let held = w.insts[inst.0 as usize].state.holds_group(kg);
+        if inst == s.spec.to {
+            if !held {
+                return Class::Hold;
+            }
+            if !self.cfg.fluid && w.scale.in_progress {
+                // All-at-once: resume only once the entire migration landed.
+                return Class::Hold;
+            }
+            // Inbox ordering: re-routed Ep records of this key-group must
+            // drain before Ef records are admitted.
+            if self.inbox_kg.get(&(inst, kg.0)).copied().unwrap_or(0) > 0 {
+                return Class::Hold;
+            }
+            if self.cfg.decouple {
+                // Implicit alignment: per-channel epoch switch when Record
+                // Scheduling is on ("fluid confirmation"), strict otherwise.
+                let ok = if self.cfg.scheduling {
+                    s.confirmed.contains(&ch_from) || !self.preds.contains(&ch_from)
+                } else {
+                    s.confirms_pending.values().all(|&c| c == 0)
+                };
+                if !ok {
+                    return Class::Hold;
+                }
+            }
+            Class::Process
+        } else if inst == s.spec.from {
+            if held {
+                Class::Process // still awaiting its migration turn (Fig. 4b)
+            } else {
+                Class::Reroute(s.spec.to)
+            }
+        } else {
+            Class::Process
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Selection (Record Scheduling)
+    // ------------------------------------------------------------------
+
+    fn take_inbox_run(&mut self, w: &mut World, inst: InstId) -> Option<Selection> {
+        let q = self.inbox.get_mut(&inst)?;
+        if q.is_empty() {
+            return None;
+        }
+        let mut records = Vec::new();
+        let mut service: SimTime = 0;
+        while let Some(front) = q.front() {
+            let kg = w.kg_of(front.key);
+            if !w.insts[inst.0 as usize].state.holds_group(kg) {
+                break; // state still in transit: inbox is strictly FIFO
+            }
+            if records.len() >= w.cfg.quantum_records || service >= w.cfg.quantum_time {
+                break;
+            }
+            let rec = q.pop_front().expect("non-empty");
+            if let Some(c) = self.inbox_kg.get_mut(&(inst, kg.0)) {
+                *c = c.saturating_sub(1);
+            }
+            service += w.service_of(inst, &rec);
+            records.push(rec);
+        }
+        if records.is_empty() {
+            None
+        } else {
+            Some(Selection::Run { records, service })
+        }
+    }
+
+    fn flex_select(&mut self, w: &mut World, inst: InstId) -> Selection {
+        // Re-routed records are special events, exempt from suspension.
+        if let Some(run) = self.take_inbox_run(w, inst) {
+            return run;
+        }
+        let (n, start) = {
+            let i = &w.insts[inst.0 as usize];
+            (i.in_channels.len(), i.active_ch)
+        };
+        if n == 0 {
+            return Selection::Idle;
+        }
+        let mut saw_unprocessable = false;
+        for k in 0..n {
+            let idx = (start + k) % n;
+            let ch = w.insts[inst.0 as usize].in_channels[idx];
+            if w.insts[inst.0 as usize].blocked_channels.contains(&ch) {
+                continue;
+            }
+            // Drain any front-of-queue re-routable records, then examine.
+            loop {
+                let Some(front) = w.chans[ch.0 as usize].queue.front() else { break };
+                match front {
+                    StreamElement::Record(r) => {
+                        let from = w.chans[ch.0 as usize].from;
+                        match self.classify(w, inst, from, r) {
+                            Class::Process => {
+                                w.insts[inst.0 as usize].active_ch = idx;
+                                let mut me = TakeAdmit(self);
+                                return w.build_run(&mut me, inst, ch);
+                            }
+                            Class::Reroute(to) => {
+                                let Some(StreamElement::Record(rec)) = w.chan_pop(ch) else {
+                                    unreachable!("front was a record")
+                                };
+                                self.buffer_reroute(w, inst, to, rec);
+                                continue; // re-examine the new front
+                            }
+                            Class::Hold => {
+                                saw_unprocessable = true;
+                                if self.cfg.scheduling {
+                                    // Intra-channel: bypass unprocessable
+                                    // records within the bounded buffer,
+                                    // never crossing control elements.
+                                    if let Some(sel) = self.intra_scan(w, inst, ch) {
+                                        return sel;
+                                    }
+                                    break; // inter-channel: try next channel
+                                } else {
+                                    // Active-channel discipline: suspend.
+                                    return Selection::Suspend;
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        w.insts[inst.0 as usize].active_ch = idx;
+                        let elem = w.chan_pop(ch).expect("non-empty");
+                        return Selection::Control(ch, elem);
+                    }
+                }
+            }
+        }
+        if saw_unprocessable {
+            Selection::Suspend
+        } else {
+            Selection::Idle
+        }
+    }
+
+    /// Scan past the unprocessable head of `ch` for the first processable
+    /// record within the scheduling buffer; stop at any control element.
+    fn intra_scan(&mut self, w: &mut World, inst: InstId, ch: ChannelId) -> Option<Selection> {
+        let depth = self.cfg.sched_buffer.min(w.chans[ch.0 as usize].queue.len());
+        for pos in 1..depth {
+            let class = {
+                let el = &w.chans[ch.0 as usize].queue[pos];
+                match el {
+                    StreamElement::Record(r) => {
+                        let from = w.chans[ch.0 as usize].from;
+                        Some(self.classify(w, inst, from, r))
+                    }
+                    // Watermarks, checkpoint barriers and scale signals are
+                    // scheduling fences (paper §III-B).
+                    _ => None,
+                }
+            };
+            match class {
+                None => return None,
+                Some(Class::Process) => {
+                    let Some(StreamElement::Record(rec)) = w.chan_remove_at(ch, pos) else {
+                        unreachable!("checked record")
+                    };
+                    let service = w.service_of(inst, &rec);
+                    return Some(Selection::Run {
+                        records: vec![rec],
+                        service,
+                    });
+                }
+                Some(Class::Reroute(to)) => {
+                    let Some(StreamElement::Record(rec)) = w.chan_remove_at(ch, pos) else {
+                        unreachable!("checked record")
+                    };
+                    self.buffer_reroute(w, inst, to, rec);
+                    return self.intra_scan(w, inst, ch); // positions shifted
+                }
+                Some(Class::Hold) => continue,
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Completion
+    // ------------------------------------------------------------------
+
+    fn maybe_finish_subscale(&mut self, w: &mut World, si: usize) {
+        let finished = {
+            let s = &self.subs[si];
+            s.phase == Phase::Launched && s.installed.len() >= s.spec.kgs.len()
+        };
+        if !finished {
+            return;
+        }
+        {
+            let s = &mut self.subs[si];
+            s.phase = Phase::Done;
+            if let Some(c) = self.active_cnt.get_mut(&s.spec.from) {
+                *c = c.saturating_sub(1);
+            }
+            if let Some(c) = self.active_cnt.get_mut(&s.spec.to) {
+                *c = c.saturating_sub(1);
+            }
+        }
+        self.launch_ready(w);
+        self.check_done(w);
+    }
+
+    fn check_done(&mut self, w: &mut World) {
+        if self.done || !self.started {
+            return;
+        }
+        let subs_done = self.subs.iter().all(|s| s.phase == Phase::Done);
+        let confirms_done = self
+            .subs
+            .iter()
+            .all(|s| s.confirms_pending.values().all(|&c| c == 0));
+        let buffers_empty = self.rbuf.values().all(|b| b.is_empty())
+            && self.inbox.values().all(|q| q.is_empty());
+        if subs_done && confirms_done && buffers_empty && !w.scale.in_progress {
+            self.done = true;
+            // Wake everything once so suspended instances re-evaluate under
+            // the engine's default selection.
+            let ids: Vec<InstId> = self
+                .op
+                .map(|op| w.ops[op.0 as usize].instances.clone())
+                .unwrap_or_default();
+            for i in ids {
+                w.wake(i);
+            }
+        }
+    }
+}
+
+/// Shim so `flex_select` can hand `build_run` an admission view of the
+/// classifier without double-borrowing `self`.
+struct TakeAdmit<'a>(&'a mut FlexScaler);
+
+impl ScalePlugin for TakeAdmit<'_> {
+    fn name(&self) -> &'static str {
+        self.0.cfg.name
+    }
+    fn on_scale_start(&mut self, _w: &mut World, _p: &ScalePlan) {}
+    fn on_signal(&mut self, _w: &mut World, _i: InstId, _c: ChannelId, _s: ScaleSignal) {}
+    fn on_chunk(&mut self, _w: &mut World, _i: InstId, _u: StateUnit, _s: SubscaleId, _f: InstId) {}
+    fn admit(&mut self, w: &mut World, inst: InstId, ch: ChannelId, rec: &Record) -> bool {
+        let from = w.chans[ch.0 as usize].from;
+        self.0.classify(w, inst, from, rec) == Class::Process
+    }
+}
+
+impl ScalePlugin for FlexScaler {
+    fn name(&self) -> &'static str {
+        self.cfg.name
+    }
+
+    fn active(&self) -> bool {
+        self.started && !self.done
+    }
+
+    fn on_scale_start(&mut self, w: &mut World, plan: &ScalePlan) {
+        debug_assert!(
+            !(self.cfg.decouple && self.cfg.injection == Injection::Source),
+            "decoupled signals require predecessor injection"
+        );
+        self.op = Some(plan.op);
+        self.started = true;
+        self.done = false;
+        self.preds = w.predecessors(plan.op).into_iter().collect();
+        self.pred_edge_count.clear();
+        for e in w.keyed_in_edges(plan.op) {
+            let from_op = w.edges[e.0 as usize].from;
+            for &p in &w.ops[from_op.0 as usize].instances {
+                *self.pred_edge_count.entry(p).or_insert(0) += 1;
+            }
+        }
+        let specs = divide_subscales(&plan.moves, self.cfg.subscale_count);
+        self.subs = specs
+            .into_iter()
+            .map(|spec| Sub {
+                spec,
+                phase: Phase::Pending,
+                triggered: false,
+                mig_queue: VecDeque::new(),
+                installed: HashSet::new(),
+                confirms_pending: HashMap::new(),
+                confirmed: HashSet::new(),
+                align_arrived: HashSet::new(),
+                aligned: false,
+            })
+            .collect();
+        self.kg2sub.clear();
+        for (i, s) in self.subs.iter().enumerate() {
+            for kg in &s.spec.kgs {
+                self.kg2sub.insert(kg.0, i);
+            }
+        }
+        self.pending = (0..self.subs.len()).collect();
+        self.active_cnt.clear();
+        if self.subs.is_empty() {
+            self.done = true;
+            return;
+        }
+        if !self.timer_armed {
+            self.timer_armed = true;
+            let t = self.cfg.reroute_timeout;
+            w.schedule_plugin(t, TAG_FLUSH);
+        }
+        self.launch_ready(w);
+    }
+
+    fn on_control(&mut self, w: &mut World, tag: u64) {
+        if tag == TAG_FLUSH {
+            if self.done {
+                self.timer_armed = false;
+                return;
+            }
+            self.flush_all(w);
+            let t = self.cfg.reroute_timeout;
+            w.schedule_plugin(t, TAG_FLUSH);
+        }
+    }
+
+    fn on_priority_signal(&mut self, w: &mut World, inst: InstId, sig: ScaleSignal) {
+        if sig.kind == SignalKind::Trigger {
+            let si = sig.subscale.0 as usize;
+            if si < self.subs.len() && !self.subs[si].triggered && inst == self.subs[si].spec.from {
+                self.subs[si].triggered = true;
+                self.start_migration(w, si);
+            }
+        }
+    }
+
+    fn on_signal(&mut self, w: &mut World, inst: InstId, ch: ChannelId, sig: ScaleSignal) {
+        let si = sig.subscale.0 as usize;
+        match sig.kind {
+            SignalKind::Confirm => {
+                // Arrived in-order at the *old* instance: all Ep records
+                // from this predecessor are already consumed. Flush the
+                // re-route buffer, then re-route the confirm itself.
+                if si < self.subs.len() && inst == self.subs[si].spec.from {
+                    let to = self.subs[si].spec.to;
+                    self.flush_rbuf(w, inst, to);
+                    w.send_priority(
+                        to,
+                        PriorityMsg::ReroutedConfirm {
+                            from: inst,
+                            signal: sig,
+                        },
+                    );
+                }
+            }
+            SignalKind::Coupled => self.on_coupled(w, inst, ch, sig),
+            SignalKind::Trigger | SignalKind::ConfirmRerouted => {
+                // Triggers normally travel out-of-band; tolerate in-band.
+                self.on_priority_signal(w, inst, sig);
+            }
+        }
+    }
+
+    fn on_rerouted_records(&mut self, w: &mut World, inst: InstId, _from: InstId, records: Vec<Record>) {
+        for rec in records {
+            let kg = w.kg_of(rec.key);
+            *self.inbox_kg.entry((inst, kg.0)).or_insert(0) += 1;
+            self.inbox.entry(inst).or_default().push_back(rec);
+        }
+        w.wake(inst);
+    }
+
+    fn on_rerouted_confirm(&mut self, w: &mut World, inst: InstId, _from: InstId, sig: ScaleSignal) {
+        let si = sig.subscale.0 as usize;
+        if si >= self.subs.len() {
+            return;
+        }
+        let pred = sig.from_pred;
+        {
+            let s = &mut self.subs[si];
+            let c = s.confirms_pending.entry(pred).or_insert(0);
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                s.confirmed.insert(pred);
+            }
+        }
+        w.wake(inst);
+        self.check_done(w);
+    }
+
+    fn on_chunk(&mut self, w: &mut World, inst: InstId, unit: StateUnit, subscale: SubscaleId, _from: InstId) {
+        let si = subscale.0 as usize;
+        let kg = unit.kg;
+        w.install_unit(inst, unit, true);
+        if si < self.subs.len() {
+            let fully = w.insts[inst.0 as usize].state.holds_group(kg);
+            if fully {
+                self.subs[si].installed.insert(kg.0);
+                if self.cfg.fluid {
+                    self.pump_migration(w, si);
+                }
+                self.maybe_finish_subscale(w, si);
+            }
+        }
+        self.check_done(w);
+    }
+
+    fn on_orphan_record(&mut self, w: &mut World, inst: InstId, rec: &Record) -> bool {
+        // A quantum admitted this record before its key-group was extracted
+        // (triggers bypass in-flight work). Re-route it like any other Ep
+        // record.
+        let kg = w.kg_of(rec.key);
+        if let Some(si) = self.sub_of_kg(kg) {
+            if inst == self.subs[si].spec.from {
+                let to = self.subs[si].spec.to;
+                self.buffer_reroute(w, inst, to, rec.clone());
+                return true;
+            }
+        }
+        false
+    }
+
+    fn selects(&self, w: &World, inst: InstId) -> bool {
+        self.started
+            && !self.done
+            && self.op == Some(w.insts[inst.0 as usize].op)
+    }
+
+    fn select(&mut self, w: &mut World, inst: InstId) -> Selection {
+        self.flex_select(w, inst)
+    }
+
+    fn admit(&mut self, w: &mut World, inst: InstId, ch: ChannelId, rec: &Record) -> bool {
+        if !self.active() {
+            return true;
+        }
+        let from = w.chans[ch.0 as usize].from;
+        self.classify(w, inst, from, rec) == Class::Process
+    }
+}
+
+impl FlexScaler {
+    fn on_coupled(&mut self, w: &mut World, inst: InstId, ch: ChannelId, sig: ScaleSignal) {
+        let si = sig.subscale.0 as usize;
+        if si >= self.subs.len() {
+            return;
+        }
+        let op = self.op.expect("signal during scale");
+        let my_op = w.insts[inst.0 as usize].op;
+        if my_op == op {
+            // At the scaling operator.
+            if inst != self.subs[si].spec.from {
+                return; // new instances / uninvolved siblings just consume it
+            }
+            // Alignment with input blocking (paper Fig. 1a / Fig. 7a).
+            w.block_channel(ch);
+            let expected = {
+                let i = &w.insts[inst.0 as usize];
+                i.in_channels
+                    .iter()
+                    .filter(|&&c| self.preds.contains(&w.chans[c.0 as usize].from))
+                    .count()
+            };
+            let arrived = {
+                let s = &mut self.subs[si];
+                s.align_arrived.insert(ch);
+                s.align_arrived.len()
+            };
+            if arrived >= expected && !self.subs[si].aligned {
+                self.subs[si].aligned = true;
+                // Unblock only channels no other still-aligning subscale at
+                // this instance is holding (overlapping subscales — the
+                // naive-division interference of Fig. 7a — share channels).
+                let to_unblock: Vec<ChannelId> = self.subs[si]
+                    .align_arrived
+                    .iter()
+                    .copied()
+                    .filter(|c| {
+                        !self.subs.iter().any(|o| {
+                            o.phase == Phase::Launched
+                                && !o.aligned
+                                && o.spec.from == inst
+                                && o.align_arrived.contains(c)
+                        })
+                    })
+                    .collect();
+                for c in to_unblock {
+                    w.unblock_channel(c);
+                }
+                self.start_migration(w, si);
+            }
+        } else {
+            // Intermediate operator: align, update routing if predecessor,
+            // then forward.
+            let key = (inst, sig.subscale.0);
+            let set = self.fwd_align.entry(key).or_default();
+            set.insert(ch);
+            w.block_channel(ch);
+            let expected = w.insts[inst.0 as usize].in_channels.len();
+            let arrived = self.fwd_align.get(&key).map(|s| s.len()).unwrap_or(0);
+            if arrived >= expected {
+                let chans: Vec<ChannelId> = self
+                    .fwd_align
+                    .remove(&key)
+                    .map(|s| s.into_iter().collect())
+                    .unwrap_or_default();
+                if self.preds.contains(&inst) {
+                    // The barrier itself is the routing confirmation in
+                    // coupled mode; no separate confirm bookkeeping.
+                    let spec = self.subs[si].spec.clone();
+                    w.reroute_groups(op, inst, &spec.kgs, spec.to);
+                }
+                for out in w.insts[inst.0 as usize].out_channels.clone() {
+                    w.send(out, StreamElement::Scale(sig));
+                }
+                for c in chans {
+                    w.unblock_channel(c);
+                }
+            }
+        }
+    }
+}
+
+fn w_kg(key: u64, cfg: &streamflow::EngineConfig) -> u16 {
+    streamflow::ids::key_group_of(key, cfg.max_key_groups).0
+}

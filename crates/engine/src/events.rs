@@ -1,0 +1,113 @@
+//! The simulation event vocabulary.
+
+use simcore::SimTime;
+
+use crate::ids::{ChannelId, InstId, KeyGroup, SubscaleId};
+use crate::record::{Record, ScaleSignal, StreamElement};
+use crate::scaling::ScalePlan;
+use crate::state::StateUnit;
+
+/// A priority message: delivered directly to the destination instance's
+/// handler, bypassing channel queues (Flink priority events). Trigger
+/// barriers, state chunks, fetch requests and re-routed items travel this
+/// way.
+#[derive(Debug)]
+pub enum PriorityMsg {
+    /// A scaling signal delivered out-of-band (DRRS trigger barriers).
+    Signal(ScaleSignal),
+    /// A migrated state unit arriving at its destination.
+    Chunk {
+        /// The state itself.
+        unit: Box<StateUnit>,
+        /// Which subscale (or batch) it belongs to.
+        subscale: SubscaleId,
+        /// The instance it came from.
+        from: InstId,
+    },
+    /// Re-routed records (epoch `Ep`) forwarded by the old instance.
+    ReroutedRecords {
+        /// Origin (old) instance.
+        from: InstId,
+        /// The records, in their original per-channel order.
+        records: Vec<Record>,
+    },
+    /// A re-routed confirm barrier (implicit alignment).
+    ReroutedConfirm {
+        /// Origin (old) instance.
+        from: InstId,
+        /// The original confirm signal.
+        signal: ScaleSignal,
+    },
+    /// Meces fetch-on-demand request: "send me this state unit".
+    Fetch {
+        /// Key-group requested.
+        kg: KeyGroup,
+        /// Sub-group requested.
+        sub: u8,
+        /// Who wants it.
+        requester: InstId,
+    },
+}
+
+/// Out-of-band control commands (coordinator RPCs, plugin timers).
+#[derive(Debug)]
+pub enum ControlMsg {
+    /// The harness requested a scaling operation (paper: user-request-based
+    /// trigger in the Scale Planner).
+    StartScale(ScalePlan),
+    /// New containers finished initializing (after `deploy_delay`).
+    DeployDone {
+        /// Scale epoch this deployment belongs to.
+        epoch: u32,
+    },
+    /// A mechanism-defined timer or command; the payload is plugin-private.
+    Plugin(u64),
+    /// Periodic checkpoint coordinator tick: injects barriers at sources.
+    CheckpointTick,
+}
+
+/// Every event the simulator can dispatch.
+#[derive(Debug)]
+pub enum Ev {
+    /// Rate-controlled generation tick for a source instance.
+    SourceTick {
+        /// The source instance.
+        inst: InstId,
+    },
+    /// An element coming off the wire into the receiver queue.
+    Deliver {
+        /// Target channel.
+        ch: ChannelId,
+        /// The element.
+        elem: StreamElement,
+    },
+    /// An out-of-band message arriving at an instance.
+    Priority {
+        /// Destination instance.
+        to: InstId,
+        /// The message.
+        msg: PriorityMsg,
+    },
+    /// An instance finished its current processing quantum.
+    ProcDone {
+        /// The instance.
+        inst: InstId,
+        /// Generation guard (stale completions are ignored).
+        gen: u64,
+    },
+    /// A migration link finished serializing+sending its current chunk.
+    LinkSendDone {
+        /// Sending instance.
+        from: InstId,
+    },
+    /// Control-plane command.
+    Control(ControlMsg),
+    /// Periodic metric sampling.
+    Sample,
+    /// Re-examine an instance (generic wake-up; used after unblocking).
+    Wake {
+        /// The instance to re-examine.
+        inst: InstId,
+    },
+}
+

@@ -1,0 +1,165 @@
+//! Job graph construction: logical operators, edges, and the builder that
+//! lowers them into an executable [`World`](crate::world::World).
+
+use std::collections::HashMap;
+
+use simcore::SimTime;
+
+use crate::config::EngineConfig;
+use crate::ids::{ChannelId, EdgeId, InstId, OpId};
+use crate::instance::SourceGen;
+use crate::keygroup::RoutingTable;
+use crate::operator::{OpRole, OperatorLogic};
+
+/// How records are partitioned across an edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeKind {
+    /// Hash-partitioned by key via key-groups and routing tables.
+    Keyed,
+    /// Round-robin.
+    Rebalance,
+    /// Every record to every instance (not used by the stock workloads but
+    /// supported for completeness).
+    Broadcast,
+}
+
+/// Factory producing per-subtask operator logic.
+pub type LogicFactory = Box<dyn Fn() -> Box<dyn OperatorLogic>>;
+/// Factory producing per-subtask source generators (arg = subtask index).
+pub type SourceFactory = Box<dyn Fn(usize) -> Box<dyn SourceGen>>;
+
+/// Runtime descriptor of a logical operator.
+pub struct OperatorRt {
+    /// Operator id.
+    pub id: OpId,
+    /// Human-readable name.
+    pub name: String,
+    /// Role.
+    pub role: OpRole,
+    /// Current instances, in subtask order.
+    pub instances: Vec<InstId>,
+    /// Incoming edges.
+    pub in_edges: Vec<EdgeId>,
+    /// Outgoing edges.
+    pub out_edges: Vec<EdgeId>,
+    /// Logic factory (Transform only).
+    pub logic_factory: Option<LogicFactory>,
+    /// Source factory (Source only).
+    pub source_factory: Option<SourceFactory>,
+    /// Per-record service time at sinks.
+    pub sink_service: SimTime,
+    /// Does this operator have a keyed input (and therefore keyed state)?
+    /// Set during lowering.
+    pub stateful: bool,
+}
+
+/// Runtime descriptor of an edge.
+pub struct EdgeRt {
+    /// Edge id.
+    pub id: EdgeId,
+    /// Upstream operator.
+    pub from: OpId,
+    /// Downstream operator.
+    pub to: OpId,
+    /// Partitioning.
+    pub kind: EdgeKind,
+    /// Keyed edges: each upstream instance's private routing table.
+    pub tables: HashMap<InstId, RoutingTable>,
+    /// Channel lookup by `(from instance, to instance)`.
+    pub channels: HashMap<(InstId, InstId), ChannelId>,
+}
+
+/// Builder for a streaming job.
+pub struct JobBuilder {
+    cfg: EngineConfig,
+    ops: Vec<OperatorRt>,
+    edges: Vec<(OpId, OpId, EdgeKind)>,
+}
+
+impl JobBuilder {
+    /// Start building with the given engine configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self {
+            cfg,
+            ops: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn push_op(
+        &mut self,
+        name: &str,
+        role: OpRole,
+        parallelism: usize,
+        logic_factory: Option<LogicFactory>,
+        source_factory: Option<SourceFactory>,
+    ) -> OpId {
+        assert!(parallelism > 0, "operator {name} needs parallelism >= 1");
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OperatorRt {
+            id,
+            name: name.to_string(),
+            role,
+            instances: Vec::with_capacity(parallelism),
+            in_edges: Vec::new(),
+            out_edges: Vec::new(),
+            logic_factory,
+            source_factory,
+            sink_service: 1,
+            stateful: false,
+        });
+        // Record requested parallelism by pre-sizing: world build fills ids.
+        self.ops.last_mut().expect("just pushed").instances = vec![InstId(u32::MAX); parallelism];
+        id
+    }
+
+    /// Add a source operator.
+    pub fn source(&mut self, name: &str, parallelism: usize, factory: SourceFactory) -> OpId {
+        self.push_op(name, OpRole::Source, parallelism, None, Some(factory))
+    }
+
+    /// Add a transform operator.
+    pub fn operator(&mut self, name: &str, parallelism: usize, factory: LogicFactory) -> OpId {
+        self.push_op(name, OpRole::Transform, parallelism, Some(factory), None)
+    }
+
+    /// Add a sink operator.
+    pub fn sink(&mut self, name: &str, parallelism: usize) -> OpId {
+        self.push_op(name, OpRole::Sink, parallelism, None, None)
+    }
+
+    /// Connect two operators.
+    pub fn connect(&mut self, from: OpId, to: OpId, kind: EdgeKind) {
+        assert_ne!(from, to, "self-loops unsupported");
+        self.edges.push((from, to, kind));
+    }
+
+    /// Lower into an executable world.
+    pub fn build(self) -> crate::world::World {
+        crate::world::World::from_builder(self.cfg, self.ops, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::Relay;
+
+    #[test]
+    fn builder_assigns_sequential_op_ids() {
+        let mut b = JobBuilder::new(EngineConfig::test());
+        let s = b.source("src", 1, Box::new(|_| Box::new(crate::world::tests_support::FixedGen::new(10.0, 4))));
+        let t = b.operator("map", 2, Box::new(|| Box::new(Relay { service: 10 })));
+        let k = b.sink("sink", 1);
+        assert_eq!(s, OpId(0));
+        assert_eq!(t, OpId(1));
+        assert_eq!(k, OpId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_rejected() {
+        let mut b = JobBuilder::new(EngineConfig::test());
+        b.sink("sink", 0);
+    }
+}

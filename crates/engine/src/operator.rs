@@ -1,0 +1,483 @@
+//! Operator logic: the user-defined functions that run inside instances.
+//!
+//! The engine gives logic a narrow, state-backend-mediated view of the world
+//! (as Flink does), which is what makes state migratable behind its back.
+
+use simcore::SimTime;
+
+use crate::ids::{key_group_of, Key, KeyGroup};
+use crate::record::{Record, RecordKind};
+use crate::state::{StateBackend, StateValue};
+use crate::window::{Agg, PaneSet};
+
+/// What role an operator plays; sources and sinks are engine-managed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpRole {
+    /// Rate-controlled generator (engine-managed pending queue = "Kafka").
+    Source,
+    /// User logic.
+    Transform,
+    /// Terminal consumer; records latency markers.
+    Sink,
+}
+
+/// Context handed to operator logic while processing one record.
+pub struct OpCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Current operator watermark.
+    pub watermark: SimTime,
+    /// Key-group of the record being processed.
+    pub kg: KeyGroup,
+    /// Keyed state backend of this instance.
+    pub state: &'a mut StateBackend,
+    /// Output collector; emitted records are routed by the engine.
+    pub out: &'a mut Vec<Record>,
+    /// Key-group count (for re-keying helpers).
+    pub max_key_groups: u16,
+}
+
+impl OpCtx<'_> {
+    /// Emit a data record downstream.
+    pub fn emit(&mut self, key: Key, value: i64, event_time: SimTime) {
+        self.out.push(Record::data(key, value, event_time));
+    }
+
+    /// Key-group of an arbitrary key (for emitted records).
+    pub fn kg_of(&self, key: Key) -> KeyGroup {
+        key_group_of(key, self.max_key_groups)
+    }
+}
+
+/// Context for watermark processing (window firing).
+pub struct WmCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The new operator watermark.
+    pub watermark: SimTime,
+    /// Keyed state backend of this instance.
+    pub state: &'a mut StateBackend,
+    /// Output collector.
+    pub out: &'a mut Vec<Record>,
+}
+
+/// User logic for a Transform operator. One boxed instance per parallel
+/// subtask; keyed state must live in the [`StateBackend`] (so it can
+/// migrate), per-subtask scalars may live in `self`.
+pub trait OperatorLogic: Send {
+    /// Process one data record (multiplicity `rec.count`).
+    fn on_record(&mut self, ctx: &mut OpCtx<'_>, rec: &Record);
+
+    /// The operator watermark advanced; fire windows etc.
+    fn on_watermark(&mut self, _ctx: &mut WmCtx<'_>) {}
+
+    /// Service time for one record of this shape (multiplied by `count`).
+    fn service_time(&self, rec: &Record) -> SimTime;
+
+    /// Busy time charged per watermark advance (window firing cost).
+    fn watermark_cost(&self) -> SimTime {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stock operators
+// ---------------------------------------------------------------------------
+
+/// Stateless pass-through with a fixed per-record cost (parse/filter stages).
+pub struct Relay {
+    /// Per-record service time.
+    pub service: SimTime,
+}
+
+impl OperatorLogic for Relay {
+    fn on_record(&mut self, ctx: &mut OpCtx<'_>, rec: &Record) {
+        let mut r = rec.clone();
+        r.origin = (crate::ids::InstId(u32::MAX), 0); // re-stamped at emission
+        ctx.out.push(r);
+    }
+    fn service_time(&self, _rec: &Record) -> SimTime {
+        self.service
+    }
+}
+
+/// Stateless re-key: the emitted key becomes the record's `value` field
+/// (workloads use this, e.g. user→channel in the Twitch pipeline).
+pub struct ReKeyByValue {
+    /// Per-record service time.
+    pub service: SimTime,
+}
+
+impl OperatorLogic for ReKeyByValue {
+    fn on_record(&mut self, ctx: &mut OpCtx<'_>, rec: &Record) {
+        let mut r = rec.clone();
+        r.key = rec.value.unsigned_abs();
+        r.origin = (crate::ids::InstId(u32::MAX), 0);
+        ctx.out.push(r);
+    }
+    fn service_time(&self, _rec: &Record) -> SimTime {
+        self.service
+    }
+}
+
+/// Keyed running aggregate (count + sum); emits the running sum per record.
+///
+/// This is the scaling operator of the paper's custom 3-operator workload:
+/// its state size is controlled via `bytes_per_key` and the key universe.
+pub struct KeyedAgg {
+    /// Per-record service time.
+    pub service: SimTime,
+    /// Nominal state bytes added when a key is first seen.
+    pub bytes_per_key: u64,
+    /// Nominal state bytes added per record (0 = plateau at keys*bytes_per_key).
+    pub bytes_per_record: u64,
+    /// Emit one output per this many input records (1 = every record).
+    pub emit_every: u32,
+}
+
+/// Keyed stateful stage that passes records through unchanged while
+/// accumulating per-key state (session/engagement stages of the Twitch
+/// pipeline, where downstream operators still need the original value).
+pub struct KeyedTouch {
+    /// Per-record service time.
+    pub service: SimTime,
+    /// Nominal state bytes added when a key is first seen.
+    pub bytes_per_key: u64,
+    /// Nominal state bytes added per record.
+    pub bytes_per_record: u64,
+}
+
+impl OperatorLogic for KeyedTouch {
+    fn on_record(&mut self, ctx: &mut OpCtx<'_>, rec: &Record) {
+        let fresh = {
+            let v = ctx.state.entry_or(ctx.kg, rec.key, || StateValue::Count(0));
+            let fresh = matches!(v, StateValue::Count(0));
+            if let StateValue::Count(c) = v {
+                *c += rec.count as u64;
+            }
+            fresh
+        };
+        if fresh && self.bytes_per_key > 0 {
+            ctx.state.add_bytes(ctx.kg, rec.key, self.bytes_per_key as i64);
+        }
+        if self.bytes_per_record > 0 {
+            ctx.state
+                .add_bytes(ctx.kg, rec.key, (self.bytes_per_record * rec.count as u64) as i64);
+        }
+        let mut r = rec.clone();
+        r.origin = (crate::ids::InstId(u32::MAX), 0);
+        ctx.out.push(r);
+    }
+    fn service_time(&self, _rec: &Record) -> SimTime {
+        self.service
+    }
+}
+
+impl OperatorLogic for KeyedAgg {
+    fn on_record(&mut self, ctx: &mut OpCtx<'_>, rec: &Record) {
+        let fresh = {
+            let v = ctx.state.entry_or(ctx.kg, rec.key, || StateValue::Sum { count: 0, sum: 0 });
+            let fresh = matches!(v, StateValue::Sum { count: 0, .. });
+            if let StateValue::Sum { count, sum } = v {
+                *count += rec.count as u64;
+                *sum += rec.value * rec.count as i64;
+            }
+            fresh
+        };
+        if fresh {
+            ctx.state.add_bytes(ctx.kg, rec.key, self.bytes_per_key as i64);
+        }
+        if self.bytes_per_record > 0 {
+            ctx.state
+                .add_bytes(ctx.kg, rec.key, (self.bytes_per_record * rec.count as u64) as i64);
+        }
+        if self.emit_every <= 1 || rec.origin.1.is_multiple_of(self.emit_every as u64) {
+            let sum = match ctx.state.entry_or(ctx.kg, rec.key, || StateValue::Sum { count: 0, sum: 0 }) {
+                StateValue::Sum { sum, .. } => *sum,
+                _ => 0,
+            };
+            ctx.emit(rec.key, sum, rec.event_time);
+        }
+    }
+    fn service_time(&self, _rec: &Record) -> SimTime {
+        self.service
+    }
+}
+
+/// Keyed sliding-window aggregate (the scaling operator of NEXMark Q7 and
+/// the Twitch loyalty stage).
+pub struct WindowAgg {
+    /// Window size (event time).
+    pub size: SimTime,
+    /// Slide interval.
+    pub slide: SimTime,
+    /// Aggregation function.
+    pub agg: Agg,
+    /// Per-record service time.
+    pub service: SimTime,
+    /// Nominal state bytes per buffered record.
+    pub bytes_per_record: u64,
+    /// Per-watermark firing cost.
+    pub fire_cost: SimTime,
+    /// Last fired window end (per subtask).
+    pub last_fired: SimTime,
+}
+
+impl WindowAgg {
+    /// Standard construction with `last_fired` starting at zero.
+    pub fn new(size: SimTime, slide: SimTime, agg: Agg, service: SimTime, bytes_per_record: u64) -> Self {
+        Self {
+            size,
+            slide,
+            agg,
+            service,
+            bytes_per_record,
+            fire_cost: service * 4,
+            last_fired: 0,
+        }
+    }
+}
+
+impl OperatorLogic for WindowAgg {
+    fn on_record(&mut self, ctx: &mut OpCtx<'_>, rec: &Record) {
+        let (slide, agg) = (self.slide, self.agg);
+        let v = ctx.state.entry_or(ctx.kg, rec.key, || StateValue::Panes(PaneSet::default()));
+        if let StateValue::Panes(p) = v {
+            p.add(rec.event_time, rec.value, rec.count as u64, slide, agg);
+        }
+        ctx.state
+            .add_bytes(ctx.kg, rec.key, (self.bytes_per_record * rec.count as u64) as i64);
+    }
+
+    fn on_watermark(&mut self, ctx: &mut WmCtx<'_>) {
+        // Fire every window whose end has passed the watermark.
+        let mut ends = Vec::new();
+        let mut end = ((self.last_fired / self.slide) + 1) * self.slide;
+        while end <= ctx.watermark {
+            ends.push(end);
+            self.last_fired = end;
+            end += self.slide;
+        }
+        let Some(&last_end) = ends.last() else { return };
+        let (size, agg, bpr) = (self.size, self.agg, self.bytes_per_record);
+        let horizon = last_end.saturating_sub(size);
+        let mut emits: Vec<(Key, i64, SimTime)> = Vec::new();
+        let mut freed: Vec<(Key, u64)> = Vec::new();
+        ctx.state.for_each_entry_mut(|key, v| {
+            if let StateValue::Panes(p) = v {
+                for &e in &ends {
+                    if let Some((val, _n)) = p.window_agg(e, size, agg) {
+                        emits.push((key, val, e));
+                    }
+                }
+                let evicted = p.evict_before(horizon);
+                if evicted > 0 {
+                    freed.push((key, evicted));
+                }
+            }
+        });
+        for (key, evicted) in freed {
+            ctx.state.add_bytes_for(key, -((evicted * bpr) as i64));
+        }
+        for (key, val, e) in emits {
+            ctx.out.push(Record::data(key, val, e));
+        }
+    }
+
+    fn service_time(&self, _rec: &Record) -> SimTime {
+        self.service
+    }
+    fn watermark_cost(&self) -> SimTime {
+        self.fire_cost
+    }
+}
+
+/// Keyed windowed join for NEXMark Q8: side A records carry `value >= 0`
+/// (persons), side B `value < 0` (auctions by that person). Emits a record
+/// when an auction finds its person within the window.
+pub struct WindowJoin {
+    /// Window size (event time).
+    pub size: SimTime,
+    /// Per-record service time.
+    pub service: SimTime,
+    /// Nominal state bytes per buffered element.
+    pub bytes_per_record: u64,
+}
+
+impl OperatorLogic for WindowJoin {
+    fn on_record(&mut self, ctx: &mut OpCtx<'_>, rec: &Record) {
+        let lo = rec.event_time.saturating_sub(self.size);
+        let mut emit = None;
+        {
+            let v = ctx
+                .state
+                .entry_or(ctx.kg, rec.key, || StateValue::Lists(Vec::new(), Vec::new()));
+            if let StateValue::Lists(persons, auctions) = v {
+                if rec.value >= 0 {
+                    persons.push(rec.event_time as i64);
+                } else {
+                    auctions.push(rec.event_time as i64);
+                    // New-person join: person created within the window.
+                    if persons.iter().any(|&t| t as SimTime >= lo) {
+                        emit = Some((rec.key, rec.event_time));
+                    }
+                }
+            }
+        }
+        ctx.state
+            .add_bytes(ctx.kg, rec.key, (self.bytes_per_record * rec.count as u64) as i64);
+        if let Some((k, et)) = emit {
+            ctx.emit(k, 1, et);
+        }
+    }
+
+    fn on_watermark(&mut self, ctx: &mut WmCtx<'_>) {
+        // Trim both sides to the window horizon.
+        let horizon = ctx.watermark.saturating_sub(self.size) as i64;
+        let bpr = self.bytes_per_record;
+        let mut freed: Vec<(Key, u64)> = Vec::new();
+        ctx.state.for_each_entry_mut(|key, v| {
+            if let StateValue::Lists(a, b) = v {
+                let before = (a.len() + b.len()) as u64;
+                a.retain(|&t| t >= horizon);
+                b.retain(|&t| t >= horizon);
+                let after = (a.len() + b.len()) as u64;
+                if before > after {
+                    freed.push((key, before - after));
+                }
+            }
+        });
+        for (key, n) in freed {
+            ctx.state.add_bytes_for(key, -((n * bpr) as i64));
+        }
+    }
+
+    fn service_time(&self, _rec: &Record) -> SimTime {
+        self.service
+    }
+    fn watermark_cost(&self) -> SimTime {
+        self.service * 2
+    }
+}
+
+/// Is this record a latency marker (engine fast-path check)?
+pub fn is_marker(rec: &Record) -> bool {
+    rec.kind == RecordKind::Marker
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::InstId;
+
+    fn ctx_parts(kgs: u16) -> (StateBackend, Vec<Record>) {
+        let mut b = StateBackend::new(kgs, 1);
+        for g in 0..kgs {
+            b.ensure_group(KeyGroup(g));
+        }
+        (b, Vec::new())
+    }
+
+    fn run_record(logic: &mut dyn OperatorLogic, state: &mut StateBackend, out: &mut Vec<Record>, rec: Record) {
+        let kg = key_group_of(rec.key, 16);
+        let mut ctx = OpCtx {
+            now: rec.event_time,
+            watermark: 0,
+            kg,
+            state,
+            out,
+            max_key_groups: 16,
+        };
+        logic.on_record(&mut ctx, &rec);
+    }
+
+    #[test]
+    fn relay_passes_through() {
+        let (mut st, mut out) = ctx_parts(16);
+        let mut op = Relay { service: 10 };
+        run_record(&mut op, &mut st, &mut out, Record::data(5, 99, 1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, 5);
+        assert_eq!(out[0].value, 99);
+    }
+
+    #[test]
+    fn rekey_by_value() {
+        let (mut st, mut out) = ctx_parts(16);
+        let mut op = ReKeyByValue { service: 10 };
+        run_record(&mut op, &mut st, &mut out, Record::data(5, 42, 1));
+        assert_eq!(out[0].key, 42);
+    }
+
+    #[test]
+    fn keyed_agg_accumulates_and_tracks_bytes() {
+        let (mut st, mut out) = ctx_parts(16);
+        let mut op = KeyedAgg {
+            service: 10,
+            bytes_per_key: 1000,
+            bytes_per_record: 10,
+            emit_every: 1,
+        };
+        let mut r = Record::data(8, 3, 1);
+        r.origin = (InstId(0), 0);
+        run_record(&mut op, &mut st, &mut out, r.clone());
+        r.origin.1 = 1;
+        run_record(&mut op, &mut st, &mut out, r);
+        assert_eq!(st.snapshot_counts()[&8], 2);
+        // 1000 on first sight + 10 per record.
+        assert_eq!(st.total_bytes(), 1020);
+        assert_eq!(out.last().map(|r| r.value), Some(6));
+    }
+
+    #[test]
+    fn window_agg_fires_on_watermark() {
+        let (mut st, mut out) = ctx_parts(16);
+        let mut op = WindowAgg::new(100, 50, Agg::Max, 5, 100);
+        run_record(&mut op, &mut st, &mut out, Record::data(1, 7, 10));
+        run_record(&mut op, &mut st, &mut out, Record::data(1, 12, 60));
+        assert!(out.is_empty());
+        let mut wm = WmCtx {
+            now: 200,
+            watermark: 100,
+            state: &mut st,
+            out: &mut out,
+        };
+        op.on_watermark(&mut wm);
+        // Windows ending at 50 and 100 fire; the 100-end window sees both.
+        assert!(out.iter().any(|r| r.value == 12), "{out:?}");
+        assert!(out.iter().any(|r| r.value == 7));
+    }
+
+    #[test]
+    fn window_agg_evicts_and_frees_bytes() {
+        let (mut st, mut out) = ctx_parts(16);
+        let mut op = WindowAgg::new(100, 50, Agg::Sum, 5, 64);
+        run_record(&mut op, &mut st, &mut out, Record::data(2, 1, 10));
+        assert_eq!(st.total_bytes(), 64);
+        let mut wm = WmCtx {
+            now: 500,
+            watermark: 400,
+            state: &mut st,
+            out: &mut out,
+        };
+        op.on_watermark(&mut wm);
+        assert_eq!(st.total_bytes(), 0, "evicted pane should free bytes");
+    }
+
+    #[test]
+    fn join_emits_on_matching_auction() {
+        let (mut st, mut out) = ctx_parts(16);
+        let mut op = WindowJoin {
+            size: 100,
+            service: 5,
+            bytes_per_record: 32,
+        };
+        run_record(&mut op, &mut st, &mut out, Record::data(3, 1, 10)); // person
+        run_record(&mut op, &mut st, &mut out, Record::data(3, -1, 50)); // auction
+        assert_eq!(out.len(), 1);
+        // Auction outside window does not match.
+        out.clear();
+        run_record(&mut op, &mut st, &mut out, Record::data(3, -1, 500));
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! The keyed state backend.
+//!
+//! State is partitioned into key-groups; each key-group is further split
+//! into `fanout` sub-groups to support Meces' hierarchical state
+//! organization (fanout 1 for everyone else). State values are *real*
+//! (counts/sums/window panes) so that output equivalence can be verified,
+//! while `nominal_bytes` carries the migration-cost model so that totals can
+//! match the paper's 0.5–30 GB without materializing gigabytes.
+
+use std::collections::HashMap;
+
+use crate::ids::{sub_group_of, Key, KeyGroup};
+use crate::window::PaneSet;
+
+/// A single key's state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StateValue {
+    /// Running count.
+    Count(u64),
+    /// Running count + sum.
+    Sum { count: u64, sum: i64 },
+    /// Sliding-window panes.
+    Panes(PaneSet),
+    /// Two lists (e.g. persons/auctions sides of a windowed join).
+    Lists(Vec<i64>, Vec<i64>),
+}
+
+impl StateValue {
+    /// Running count, where meaningful (testing/verification helper).
+    pub fn count(&self) -> u64 {
+        match self {
+            StateValue::Count(c) => *c,
+            StateValue::Sum { count, .. } => *count,
+            StateValue::Panes(p) => p.total_count(),
+            StateValue::Lists(a, b) => (a.len() + b.len()) as u64,
+        }
+    }
+}
+
+/// State of one sub-group (the migration atom under hierarchical
+/// organization; the whole key-group when `fanout == 1`).
+#[derive(Clone, Debug, Default)]
+pub struct SubState {
+    /// Per-key values.
+    pub entries: HashMap<Key, StateValue>,
+    /// Modeled serialized size of this sub-group's state.
+    pub nominal_bytes: u64,
+}
+
+/// A migratable unit of state extracted from a backend.
+#[derive(Clone, Debug)]
+pub struct StateUnit {
+    /// Owning key-group.
+    pub kg: KeyGroup,
+    /// Sub-group index within the key-group.
+    pub sub: u8,
+    /// The state itself.
+    pub state: SubState,
+}
+
+impl StateUnit {
+    /// Serialized size used by the migration cost model.
+    pub fn bytes(&self) -> u64 {
+        self.state.nominal_bytes
+    }
+}
+
+/// Per-instance keyed state store.
+#[derive(Debug)]
+pub struct StateBackend {
+    max_key_groups: u16,
+    fanout: u8,
+    /// kg → sub → Some(state) if that sub-group is locally present.
+    groups: HashMap<u16, Vec<Option<SubState>>>,
+    /// kg → is the group active (DRRS: arrived-but-inactive until implicit
+    /// alignment). Absent = active (the common, non-scaling case).
+    inactive: HashMap<u16, bool>,
+}
+
+impl StateBackend {
+    /// Create an empty backend.
+    pub fn new(max_key_groups: u16, fanout: u8) -> Self {
+        Self {
+            max_key_groups,
+            fanout: fanout.max(1),
+            groups: HashMap::new(),
+            inactive: HashMap::new(),
+        }
+    }
+
+    /// Sub-group index of a key.
+    #[inline]
+    pub fn sub_of(&self, key: Key) -> u8 {
+        sub_group_of(key, self.max_key_groups, self.fanout)
+    }
+
+    /// Is the sub-group holding `key` locally present?
+    #[inline]
+    pub fn holds(&self, kg: KeyGroup, sub: u8) -> bool {
+        self.groups
+            .get(&kg.0)
+            .map(|v| v[sub as usize].is_some())
+            .unwrap_or(false)
+    }
+
+    /// Are *all* sub-groups of `kg` locally present?
+    pub fn holds_group(&self, kg: KeyGroup) -> bool {
+        match self.groups.get(&kg.0) {
+            Some(v) => v.iter().all(|s| s.is_some()),
+            None => false,
+        }
+    }
+
+    /// Mark a key-group inactive (arrived but awaiting alignment).
+    pub fn set_inactive(&mut self, kg: KeyGroup, inactive: bool) {
+        if inactive {
+            self.inactive.insert(kg.0, true);
+        } else {
+            self.inactive.remove(&kg.0);
+        }
+    }
+
+    /// Is the key-group active (present groups default to active)?
+    pub fn is_active(&self, kg: KeyGroup) -> bool {
+        !self.inactive.get(&kg.0).copied().unwrap_or(false)
+    }
+
+    /// Ensure a key-group exists locally with all sub-groups (used when an
+    /// instance is the initial owner).
+    pub fn ensure_group(&mut self, kg: KeyGroup) {
+        let fanout = self.fanout as usize;
+        self.groups
+            .entry(kg.0)
+            .or_insert_with(|| (0..fanout).map(|_| Some(SubState::default())).collect());
+    }
+
+    /// Access the value for `key`, creating it with `default` if absent.
+    /// Panics if the sub-group is not locally present — admission control
+    /// must have checked [`Self::holds`] first.
+    pub fn entry_or(&mut self, kg: KeyGroup, key: Key, default: impl FnOnce() -> StateValue) -> &mut StateValue {
+        let sub = self.sub_of(key) as usize;
+        let g = self
+            .groups
+            .get_mut(&kg.0)
+            .unwrap_or_else(|| panic!("state access to absent key-group {kg}"));
+        let s = g[sub]
+            .as_mut()
+            .unwrap_or_else(|| panic!("state access to migrated-out sub-group {kg}/{sub}"));
+        s.entries.entry(key).or_insert_with(default)
+    }
+
+    /// Add to a sub-group's modeled serialized size (operators call this as
+    /// their state grows).
+    pub fn add_bytes(&mut self, kg: KeyGroup, key: Key, bytes: i64) {
+        let sub = self.sub_of(key) as usize;
+        if let Some(g) = self.groups.get_mut(&kg.0) {
+            if let Some(s) = g[sub].as_mut() {
+                s.nominal_bytes = (s.nominal_bytes as i64 + bytes).max(0) as u64;
+            }
+        }
+    }
+
+    /// Extract (remove) one sub-group for migration.
+    pub fn extract(&mut self, kg: KeyGroup, sub: u8) -> Option<StateUnit> {
+        let g = self.groups.get_mut(&kg.0)?;
+        let state = g[sub as usize].take()?;
+        if g.iter().all(|s| s.is_none()) {
+            self.groups.remove(&kg.0);
+            self.inactive.remove(&kg.0);
+        }
+        Some(StateUnit { kg, sub, state })
+    }
+
+    /// Extract all sub-groups of a key-group (key-group-granular migration).
+    pub fn extract_group(&mut self, kg: KeyGroup) -> Vec<StateUnit> {
+        (0..self.fanout).filter_map(|s| self.extract(kg, s)).collect()
+    }
+
+    /// Install a migrated unit.
+    pub fn install(&mut self, unit: StateUnit, active: bool) {
+        let fanout = self.fanout as usize;
+        let g = self
+            .groups
+            .entry(unit.kg.0)
+            .or_insert_with(|| (0..fanout).map(|_| None).collect());
+        debug_assert!(g[unit.sub as usize].is_none(), "double-install of {}/{}", unit.kg, unit.sub);
+        g[unit.sub as usize] = Some(unit.state);
+        self.set_inactive(unit.kg, !active);
+    }
+
+    /// Total modeled bytes held locally.
+    pub fn total_bytes(&self) -> u64 {
+        self.groups
+            .values()
+            .flat_map(|g| g.iter().flatten())
+            .map(|s| s.nominal_bytes)
+            .sum()
+    }
+
+    /// Total number of keys held locally.
+    pub fn total_keys(&self) -> usize {
+        self.groups
+            .values()
+            .flat_map(|g| g.iter().flatten())
+            .map(|s| s.entries.len())
+            .sum()
+    }
+
+    /// Bytes held for one key-group.
+    pub fn group_bytes(&self, kg: KeyGroup) -> u64 {
+        self.groups
+            .get(&kg.0)
+            .map(|g| g.iter().flatten().map(|s| s.nominal_bytes).sum())
+            .unwrap_or(0)
+    }
+
+    /// Iterate over locally present key-groups.
+    pub fn held_groups(&self) -> impl Iterator<Item = KeyGroup> + '_ {
+        self.groups.keys().map(|&k| KeyGroup(k))
+    }
+
+    /// Fold all per-key values into `(key, count)` pairs — used by output
+    /// equivalence tests.
+    pub fn snapshot_counts(&self) -> HashMap<Key, u64> {
+        let mut out = HashMap::new();
+        for g in self.groups.values() {
+            for s in g.iter().flatten() {
+                for (&k, v) in &s.entries {
+                    *out.entry(k).or_insert(0) += v.count();
+                }
+            }
+        }
+        out
+    }
+
+    /// Sub-group fanout.
+    pub fn fanout(&self) -> u8 {
+        self.fanout
+    }
+
+    /// Convenience for operators: adjust nominal bytes for the sub-group
+    /// holding `key`, computing the key-group internally.
+    pub fn add_bytes_for(&mut self, key: Key, bytes: i64) {
+        let kg = crate::ids::key_group_of(key, self.max_key_groups);
+        self.add_bytes(kg, key, bytes);
+    }
+
+    /// Visit every locally present `(key, value)` pair mutably (window
+    /// firing). Iteration order is deterministic (sorted by key-group then
+    /// key) so runs stay reproducible.
+    pub fn for_each_entry_mut(&mut self, mut f: impl FnMut(Key, &mut StateValue)) {
+        let mut kgs: Vec<u16> = self.groups.keys().copied().collect();
+        kgs.sort_unstable();
+        for kgi in kgs {
+            let g = self.groups.get_mut(&kgi).expect("key listed");
+            for s in g.iter_mut().flatten() {
+                let mut keys: Vec<Key> = s.entries.keys().copied().collect();
+                keys.sort_unstable();
+                for k in keys {
+                    let v = s.entries.get_mut(&k).expect("key listed");
+                    f(k, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> StateBackend {
+        let mut b = StateBackend::new(16, 1);
+        b.ensure_group(KeyGroup(3));
+        b
+    }
+
+    #[test]
+    fn entry_updates_and_counts() {
+        let mut b = backend();
+        match b.entry_or(KeyGroup(3), 77, || StateValue::Count(0)) {
+            StateValue::Count(c) => *c += 5,
+            _ => unreachable!(),
+        }
+        assert_eq!(b.snapshot_counts()[&77], 5);
+        assert_eq!(b.total_keys(), 1);
+    }
+
+    #[test]
+    fn extract_install_round_trip() {
+        let mut b = backend();
+        *b.entry_or(KeyGroup(3), 1, || StateValue::Count(0)) = StateValue::Count(9);
+        b.add_bytes(KeyGroup(3), 1, 1024);
+        let units = b.extract_group(KeyGroup(3));
+        assert_eq!(units.len(), 1);
+        assert!(!b.holds_group(KeyGroup(3)));
+        assert_eq!(b.total_bytes(), 0);
+
+        let mut b2 = StateBackend::new(16, 1);
+        for u in units {
+            assert_eq!(u.bytes(), 1024);
+            b2.install(u, true);
+        }
+        assert!(b2.holds_group(KeyGroup(3)));
+        assert_eq!(b2.snapshot_counts()[&1], 9);
+    }
+
+    #[test]
+    fn inactive_flag() {
+        let mut b = backend();
+        assert!(b.is_active(KeyGroup(3)));
+        b.set_inactive(KeyGroup(3), true);
+        assert!(!b.is_active(KeyGroup(3)));
+        b.set_inactive(KeyGroup(3), false);
+        assert!(b.is_active(KeyGroup(3)));
+    }
+
+    #[test]
+    fn hierarchical_extract_is_partial() {
+        let mut b = StateBackend::new(16, 4);
+        b.ensure_group(KeyGroup(2));
+        // Find keys for two different sub-groups of kg 2.
+        let mut keys_by_sub: HashMap<u8, Key> = HashMap::new();
+        for k in 0..100_000u64 {
+            if crate::ids::key_group_of(k, 16) == KeyGroup(2) {
+                keys_by_sub.entry(b.sub_of(k)).or_insert(k);
+                if keys_by_sub.len() >= 2 {
+                    break;
+                }
+            }
+        }
+        let subs: Vec<(u8, Key)> = keys_by_sub.into_iter().collect();
+        assert!(subs.len() >= 2);
+        for &(_, k) in &subs {
+            *b.entry_or(KeyGroup(2), k, || StateValue::Count(0)) = StateValue::Count(1);
+        }
+        let (s0, k0) = subs[0];
+        let unit = b.extract(KeyGroup(2), s0).expect("present");
+        assert!(unit.state.entries.contains_key(&k0));
+        assert!(!b.holds(KeyGroup(2), s0));
+        assert!(!b.holds_group(KeyGroup(2)));
+        // The other sub-group is still present.
+        assert!(b.holds(KeyGroup(2), subs[1].0));
+    }
+
+    #[test]
+    fn bytes_never_negative() {
+        let mut b = backend();
+        b.add_bytes(KeyGroup(3), 1, 100);
+        b.add_bytes(KeyGroup(3), 1, -500);
+        assert_eq!(b.total_bytes(), 0);
+    }
+}

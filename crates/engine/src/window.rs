@@ -1,0 +1,191 @@
+//! Sliding-window panes.
+//!
+//! Sliding windows are implemented with the standard pane decomposition: a
+//! pane covers one slide interval; a window aggregates `size / slide`
+//! consecutive panes. The paper's Q7 uses 10 s windows with 0.5 s slides
+//! (20 panes), Q8 40 s with 5 s slides (8 panes).
+
+use simcore::SimTime;
+
+/// Aggregation applied inside a pane / across panes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Agg {
+    /// Maximum of values.
+    Max,
+    /// Sum of values.
+    Sum,
+    /// Count of records.
+    Count,
+}
+
+/// One pane: partial aggregate of the records whose event time falls in
+/// `[start, start + slide)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pane {
+    /// Pane start (event time).
+    pub start: SimTime,
+    /// Partial aggregate value.
+    pub agg: i64,
+    /// Records folded in.
+    pub count: u64,
+}
+
+/// The pane ring for one key.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PaneSet {
+    panes: Vec<Pane>,
+}
+
+impl PaneSet {
+    /// Fold a record into the pane owning `event_time`.
+    pub fn add(&mut self, event_time: SimTime, value: i64, count: u64, slide: SimTime, agg: Agg) {
+        let start = (event_time / slide) * slide;
+        let pane = match self.panes.iter_mut().find(|p| p.start == start) {
+            Some(p) => p,
+            None => {
+                self.panes.push(Pane {
+                    start,
+                    agg: initial(agg),
+                    count: 0,
+                });
+                self.panes.sort_by_key(|p| p.start);
+                self.panes
+                    .iter_mut()
+                    .find(|p| p.start == start)
+                    .expect("just inserted")
+            }
+        };
+        pane.agg = combine(agg, pane.agg, value, count);
+        pane.count += count;
+    }
+
+    /// Aggregate the window ending at `window_end` (exclusive) of length
+    /// `size`. Returns `None` if no pane overlaps.
+    pub fn window_agg(&self, window_end: SimTime, size: SimTime, agg: Agg) -> Option<(i64, u64)> {
+        let lo = window_end.saturating_sub(size);
+        let mut acc: Option<i64> = None;
+        let mut n = 0u64;
+        for p in &self.panes {
+            if p.start >= lo && p.start < window_end {
+                acc = Some(match acc {
+                    None => p.agg,
+                    Some(a) => merge(agg, a, p.agg),
+                });
+                n += p.count;
+            }
+        }
+        acc.map(|a| (a, n))
+    }
+
+    /// Drop panes entirely before `horizon` (no window can need them).
+    /// Returns the number of records evicted (for state-size accounting).
+    pub fn evict_before(&mut self, horizon: SimTime) -> u64 {
+        let mut evicted = 0;
+        self.panes.retain(|p| {
+            if p.start < horizon {
+                evicted += p.count;
+                false
+            } else {
+                true
+            }
+        });
+        evicted
+    }
+
+    /// Records currently buffered across panes.
+    pub fn total_count(&self) -> u64 {
+        self.panes.iter().map(|p| p.count).sum()
+    }
+
+    /// Number of live panes.
+    pub fn len(&self) -> usize {
+        self.panes.len()
+    }
+
+    /// No live panes?
+    pub fn is_empty(&self) -> bool {
+        self.panes.is_empty()
+    }
+}
+
+fn initial(agg: Agg) -> i64 {
+    match agg {
+        Agg::Max => i64::MIN,
+        Agg::Sum | Agg::Count => 0,
+    }
+}
+
+fn combine(agg: Agg, acc: i64, value: i64, count: u64) -> i64 {
+    match agg {
+        Agg::Max => acc.max(value),
+        Agg::Sum => acc + value * count as i64,
+        Agg::Count => acc + count as i64,
+    }
+}
+
+fn merge(agg: Agg, a: i64, b: i64) -> i64 {
+    match agg {
+        Agg::Max => a.max(b),
+        Agg::Sum | Agg::Count => a + b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panes_partition_by_slide() {
+        let mut p = PaneSet::default();
+        p.add(0, 5, 1, 100, Agg::Max);
+        p.add(50, 9, 1, 100, Agg::Max);
+        p.add(100, 3, 1, 100, Agg::Max);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.window_agg(200, 200, Agg::Max), Some((9, 3)));
+        assert_eq!(p.window_agg(200, 100, Agg::Max), Some((3, 1)));
+    }
+
+    #[test]
+    fn sum_and_count_aggs() {
+        let mut p = PaneSet::default();
+        p.add(0, 2, 3, 10, Agg::Sum); // 3 records of value 2
+        p.add(10, 4, 1, 10, Agg::Sum);
+        assert_eq!(p.window_agg(20, 20, Agg::Sum), Some((10, 4)));
+
+        let mut c = PaneSet::default();
+        c.add(0, 0, 7, 10, Agg::Count);
+        assert_eq!(c.window_agg(10, 10, Agg::Count), Some((7, 7)));
+    }
+
+    #[test]
+    fn eviction_frees_old_panes() {
+        let mut p = PaneSet::default();
+        for t in 0..10 {
+            p.add(t * 100, 1, 1, 100, Agg::Count);
+        }
+        assert_eq!(p.len(), 10);
+        let evicted = p.evict_before(500);
+        assert_eq!(evicted, 5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.total_count(), 5);
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        // size 40, slide 10: the window [0,40) and [10,50) share panes.
+        let mut p = PaneSet::default();
+        p.add(5, 10, 1, 10, Agg::Max);
+        p.add(45, 20, 1, 10, Agg::Max);
+        assert_eq!(p.window_agg(40, 40, Agg::Max), Some((10, 1)));
+        // Window [10, 50): only the t=45 record's pane is inside.
+        assert_eq!(p.window_agg(50, 40, Agg::Max), Some((20, 1)));
+        // Window [0, 50) via size 50 sees both panes.
+        assert_eq!(p.window_agg(50, 50, Agg::Max), Some((20, 2)));
+    }
+
+    #[test]
+    fn empty_window_is_none() {
+        let p = PaneSet::default();
+        assert_eq!(p.window_agg(100, 50, Agg::Sum), None);
+    }
+}

@@ -1,0 +1,1647 @@
+//! The executable world: instances, channels, the event loop, emission and
+//! routing, backpressure, alignment, migration links, and the scaling
+//! control plane.
+
+use std::collections::HashSet;
+
+use simcore::time::{transfer_time, SimTime};
+
+const MICROS_PER_SEC_DEFER: SimTime = 1_000_000;
+use simcore::{DetRng, EventQueue};
+
+use crate::config::EngineConfig;
+use crate::channel::Channel;
+use crate::events::{ControlMsg, Ev, PriorityMsg};
+use crate::graph::{EdgeKind, EdgeRt, OperatorRt};
+use crate::ids::{key_group_of, ChannelId, EdgeId, InstId, KeyGroup, OpId, SubscaleId};
+use crate::instance::{CkptAlign, Instance, SourceState};
+use crate::keygroup::{uniform_repartition, RoutingTable};
+use crate::metrics::Metrics;
+use crate::operator::{OpCtx, OpRole, WmCtx};
+use crate::record::{Record, RecordKind, StreamElement};
+use crate::scaling::{ScaleContext, ScalePlan, ScalePlugin, Selection};
+use crate::semantics::SemanticsChecker;
+use crate::state::{StateBackend, StateUnit};
+
+/// The simulation world. Holds every entity; scaling mechanisms manipulate
+/// it through the methods in the `impl` blocks below.
+pub struct World {
+    /// Engine configuration.
+    pub cfg: EngineConfig,
+    /// Future event list.
+    pub q: EventQueue<Ev>,
+    /// Logical operators.
+    pub ops: Vec<OperatorRt>,
+    /// Physical instances.
+    pub insts: Vec<Instance>,
+    /// Channels.
+    pub chans: Vec<Channel>,
+    /// Edges.
+    pub edges: Vec<EdgeRt>,
+    /// Scaling context.
+    pub scale: ScaleContext,
+    /// Run metrics.
+    pub metrics: Metrics,
+    /// Per-key order checker (enabled via config).
+    pub semantics: SemanticsChecker,
+    /// Deterministic randomness.
+    pub rng: DetRng,
+    /// Scratch: records of the quantum each busy instance is executing.
+    pending_runs: Vec<Vec<Record>>,
+    /// Next checkpoint id.
+    next_ckpt: u64,
+    /// Suspension series tracks instances of this op (set at scale time;
+    /// defaults to all Transform ops).
+    suspension_op: Option<OpId>,
+}
+
+impl World {
+    /// Lower builder output into a wired world. Called by
+    /// [`JobBuilder::build`](crate::graph::JobBuilder::build).
+    pub fn from_builder(
+        cfg: EngineConfig,
+        mut ops: Vec<OperatorRt>,
+        edge_defs: Vec<(OpId, OpId, EdgeKind)>,
+    ) -> Self {
+        let mut rng = DetRng::seed(cfg.seed);
+        let mut insts: Vec<Instance> = Vec::new();
+
+        // Create instances.
+        for op in ops.iter_mut() {
+            let par = op.instances.len();
+            for li in 0..par {
+                let id = InstId(insts.len() as u32);
+                let mut inst = Instance::new(id, op.id, li, StateBackend::new(cfg.max_key_groups, cfg.sub_group_fanout));
+                match op.role {
+                    OpRole::Source => {
+                        let gen = (op.source_factory.as_ref().expect("source factory"))(li);
+                        let offset = (li as SimTime) * cfg.marker_interval / par.max(1) as SimTime;
+                        let mut src = SourceState::new(gen, offset);
+                        src.next_checkpoint = cfg.checkpoint_interval;
+                        inst.source = Some(src);
+                    }
+                    OpRole::Transform => {
+                        inst.logic = Some((op.logic_factory.as_ref().expect("logic factory"))());
+                    }
+                    OpRole::Sink => {}
+                }
+                op.instances[li] = id;
+                insts.push(inst);
+            }
+        }
+
+        // Create edges + channels.
+        let mut edges: Vec<EdgeRt> = Vec::new();
+        let mut chans: Vec<Channel> = Vec::new();
+        for (from, to, kind) in edge_defs {
+            let eid = EdgeId(edges.len() as u32);
+            let mut edge = EdgeRt {
+                id: eid,
+                from,
+                to,
+                kind,
+                tables: Default::default(),
+                channels: Default::default(),
+            };
+            let from_insts = ops[from.0 as usize].instances.clone();
+            let to_insts = ops[to.0 as usize].instances.clone();
+            for &fi in &from_insts {
+                if kind == EdgeKind::Keyed {
+                    edge.tables
+                        .insert(fi, RoutingTable::uniform(cfg.max_key_groups, &to_insts));
+                }
+                for &ti in &to_insts {
+                    let cid = ChannelId(chans.len() as u32);
+                    chans.push(Channel::new(cid, fi, ti, cfg.channel_capacity, cfg.net_latency));
+                    edge.channels.insert((fi, ti), cid);
+                    insts[fi.0 as usize].out_channels.push(cid);
+                    insts[ti.0 as usize].in_channels.push(cid);
+                }
+            }
+            ops[from.0 as usize].out_edges.push(eid);
+            ops[to.0 as usize].in_edges.push(eid);
+            if kind == EdgeKind::Keyed {
+                ops[to.0 as usize].stateful = true;
+            }
+            // Seed initial key-group ownership at the downstream instances.
+            if kind == EdgeKind::Keyed {
+                let table = RoutingTable::uniform(cfg.max_key_groups, &to_insts);
+                for g in 0..cfg.max_key_groups {
+                    let owner = table.route(KeyGroup(g));
+                    insts[owner.0 as usize].state.ensure_group(KeyGroup(g));
+                }
+            }
+            edges.push(edge);
+        }
+
+        let mut q = EventQueue::new();
+        // Arm source ticks (jittered so they do not all fire in lockstep).
+        for inst in insts.iter() {
+            if inst.source.is_some() {
+                q.schedule(rng.below(1_000), Ev::SourceTick { inst: inst.id });
+            }
+        }
+        q.schedule(cfg.sample_interval, Ev::Sample);
+        if let Some(iv) = cfg.checkpoint_interval {
+            q.schedule(iv, Ev::Control(ControlMsg::CheckpointTick));
+        }
+
+        let n = insts.len();
+        World {
+            cfg,
+            q,
+            ops,
+            insts,
+            chans,
+            edges,
+            scale: ScaleContext::default(),
+            metrics: Metrics::default(),
+            semantics: SemanticsChecker::new(),
+            rng,
+            pending_runs: (0..n).map(|_| Vec::new()).collect(),
+            next_ckpt: 0,
+            suspension_op: None,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// The operator an instance belongs to.
+    pub fn op_of(&self, inst: InstId) -> &OperatorRt {
+        &self.ops[self.insts[inst.0 as usize].op.0 as usize]
+    }
+
+    /// Key-group of a key under this world's configuration.
+    #[inline]
+    pub fn kg_of(&self, key: u64) -> KeyGroup {
+        key_group_of(key, self.cfg.max_key_groups)
+    }
+
+    /// Keyed input edges of an operator.
+    pub fn keyed_in_edges(&self, op: OpId) -> Vec<EdgeId> {
+        self.ops[op.0 as usize]
+            .in_edges
+            .iter()
+            .copied()
+            .filter(|&e| self.edges[e.0 as usize].kind == EdgeKind::Keyed)
+            .collect()
+    }
+
+    /// Schedule a plugin timer.
+    pub fn schedule_plugin(&mut self, delay: SimTime, tag: u64) {
+        self.q.schedule(delay, Ev::Control(ControlMsg::Plugin(tag)));
+    }
+
+    /// Schedule a generic instance wake-up.
+    pub fn wake(&mut self, inst: InstId) {
+        self.q.schedule(0, Ev::Wake { inst });
+    }
+
+    /// Request a rescale of `op` to `new_parallelism` at time `at`, with the
+    /// paper's default uniform re-partitioning.
+    pub fn schedule_scale(&mut self, at: SimTime, op: OpId, new_parallelism: usize) {
+        self.schedule_scale_with(at, op, new_parallelism, crate::keygroup::Repartition::Uniform);
+    }
+
+    /// Request a rescale with an explicit re-partitioning strategy.
+    pub fn schedule_scale_with(
+        &mut self,
+        at: SimTime,
+        op: OpId,
+        new_parallelism: usize,
+        strategy: crate::keygroup::Repartition,
+    ) {
+        let old = self.ops[op.0 as usize].instances.len();
+        self.q.schedule_at(
+            at,
+            Ev::Control(ControlMsg::StartScale(ScalePlan {
+                op,
+                old_parallelism: old,
+                new_parallelism,
+                strategy,
+                moves: Vec::new(),
+            })),
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Channel primitives
+    // -----------------------------------------------------------------
+
+    /// Send an element over a channel, respecting credits and backlog.
+    pub fn send(&mut self, ch: ChannelId, elem: StreamElement) {
+        let c = &mut self.chans[ch.0 as usize];
+        if c.backlog.is_empty() && c.has_credit() {
+            c.in_flight += 1;
+            let lat = c.latency;
+            self.q.schedule(lat, Ev::Deliver { ch, elem });
+        } else {
+            c.backlog.push_back(elem);
+            if c.backlog.len() >= self.cfg.backlog_block {
+                let from = c.from;
+                self.insts[from.0 as usize].blocked_out = true;
+            }
+        }
+    }
+
+    /// Send a control element bypassing the backlog and credits (used for
+    /// barriers that are "priority in the output cache").
+    pub fn send_uncredited(&mut self, ch: ChannelId, elem: StreamElement) {
+        let lat = self.chans[ch.0 as usize].latency;
+        self.q.schedule(lat, Ev::Deliver { ch, elem });
+    }
+
+    /// Send a priority message out-of-band to an instance.
+    pub fn send_priority(&mut self, to: InstId, msg: PriorityMsg) {
+        let lat = self.cfg.ctrl_latency;
+        self.q.schedule(lat, Ev::Priority { to, msg });
+    }
+
+    /// Move backlog elements onto the wire while credit allows, and unblock
+    /// the sender if all its backlogs drained below the resume watermark.
+    pub fn pump(&mut self, ch: ChannelId) {
+        loop {
+            let c = &mut self.chans[ch.0 as usize];
+            if c.backlog.is_empty() || !c.has_credit() {
+                break;
+            }
+            let elem = c.backlog.pop_front().expect("non-empty");
+            c.in_flight += 1;
+            let lat = c.latency;
+            self.q.schedule(lat, Ev::Deliver { ch, elem });
+        }
+        // Hysteresis: unblock the sender when every outgoing backlog is low.
+        let from = self.chans[ch.0 as usize].from;
+        if self.insts[from.0 as usize].blocked_out {
+            let resume = self.cfg.backlog_resume;
+            let clear = self.insts[from.0 as usize]
+                .out_channels
+                .iter()
+                .all(|&oc| self.chans[oc.0 as usize].backlogged() < resume);
+            if clear {
+                self.insts[from.0 as usize].blocked_out = false;
+                self.wake(from);
+            }
+        }
+    }
+
+    /// Pop the front element of a channel, refilling from the backlog.
+    pub fn chan_pop(&mut self, ch: ChannelId) -> Option<StreamElement> {
+        let e = self.chans[ch.0 as usize].queue.pop_front();
+        if e.is_some() {
+            self.pump(ch);
+        }
+        e
+    }
+
+    /// Remove the element at queue position `idx` (intra-channel
+    /// scheduling). Position 0 is the front.
+    pub fn chan_remove_at(&mut self, ch: ChannelId, idx: usize) -> Option<StreamElement> {
+        let e = self.chans[ch.0 as usize].queue.remove(idx);
+        if e.is_some() {
+            self.pump(ch);
+        }
+        e
+    }
+
+    /// Channel between two instances on an edge.
+    pub fn channel_between(&self, edge: EdgeId, from: InstId, to: InstId) -> Option<ChannelId> {
+        self.edges[edge.0 as usize].channels.get(&(from, to)).copied()
+    }
+
+    // -----------------------------------------------------------------
+    // Emission & routing
+    // -----------------------------------------------------------------
+
+    /// Emit records produced by `inst` onto all its out edges.
+    pub fn emit_records(&mut self, inst: InstId, records: Vec<Record>) {
+        let out_edges = self.op_of(inst).out_edges.clone();
+        for mut rec in records {
+            let seq = self.insts[inst.0 as usize].next_seq();
+            rec.origin = (inst, seq);
+            for &e in &out_edges {
+                self.route_record(inst, e, rec.clone());
+            }
+        }
+    }
+
+    fn route_record(&mut self, from: InstId, eid: EdgeId, rec: Record) {
+        let edge = &self.edges[eid.0 as usize];
+        let kind = edge.kind;
+        match kind {
+            EdgeKind::Keyed if rec.kind == RecordKind::Data => {
+                let kg = key_group_of(rec.key, self.cfg.max_key_groups);
+                let dest = edge
+                    .tables
+                    .get(&from)
+                    .unwrap_or_else(|| panic!("no routing table for {from} on edge {}", eid.0))
+                    .route(kg);
+                let ch = edge.channels[&(from, dest)];
+                self.send(ch, StreamElement::Record(rec));
+            }
+            _ => {
+                // Rebalance, broadcast, and all markers: markers round-robin
+                // over operational destinations so they sample every path.
+                if kind == EdgeKind::Broadcast && rec.kind == RecordKind::Data {
+                    let to_insts = self.ops[edge.to.0 as usize].instances.clone();
+                    for ti in to_insts {
+                        let ch = self.edges[eid.0 as usize].channels[&(from, ti)];
+                        self.send(ch, StreamElement::Record(rec.clone()));
+                    }
+                    return;
+                }
+                // Round-robin only over operational, non-retiring
+                // destinations: freshly deployed instances must not swallow
+                // traffic (or markers) while their container is still
+                // initializing, and retiring instances receive nothing new.
+                let now = self.now();
+                let to_insts: Vec<InstId> = self.ops[edge.to.0 as usize]
+                    .instances
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        self.insts[i.0 as usize].operational_at <= now
+                            && !self.scale.retiring.contains(&i)
+                    })
+                    .collect();
+                if to_insts.is_empty() {
+                    return;
+                }
+                let cursor = {
+                    let c = self.insts[from.0 as usize].rr_cursor.entry(eid.0).or_insert(0);
+                    *c += 1;
+                    *c
+                };
+                let dest = to_insts[cursor % to_insts.len()];
+                let ch = self.edges[eid.0 as usize].channels[&(from, dest)];
+                self.send(ch, StreamElement::Record(rec));
+            }
+        }
+    }
+
+    /// Broadcast a watermark from `inst` on every out edge.
+    pub fn broadcast_watermark(&mut self, inst: InstId, wm: SimTime) {
+        let out = self.insts[inst.0 as usize].out_channels.clone();
+        for ch in out {
+            self.send(ch, StreamElement::Watermark(wm));
+        }
+    }
+
+    fn broadcast_ckpt(&mut self, inst: InstId, id: u64) {
+        let out = self.insts[inst.0 as usize].out_channels.clone();
+        for ch in out {
+            self.send(ch, StreamElement::CheckpointBarrier(id));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Routing-table updates (used by scaling mechanisms)
+    // -----------------------------------------------------------------
+
+    /// Update one predecessor's routing for a set of key-groups on every
+    /// keyed input edge of the scaling operator. Returns the edges touched.
+    pub fn reroute_groups(&mut self, op: OpId, pred: InstId, kgs: &[KeyGroup], to: InstId) -> Vec<EdgeId> {
+        let edges = self.keyed_in_edges(op);
+        for &e in &edges {
+            if let Some(t) = self.edges[e.0 as usize].tables.get_mut(&pred) {
+                for &kg in kgs {
+                    t.set(kg, to);
+                }
+            }
+        }
+        edges
+    }
+
+    /// All upstream instances feeding the keyed inputs of `op`.
+    pub fn predecessors(&self, op: OpId) -> Vec<InstId> {
+        let mut out = Vec::new();
+        for e in self.keyed_in_edges(op) {
+            let from_op = self.edges[e.0 as usize].from;
+            for &i in &self.ops[from_op.0 as usize].instances {
+                if !out.contains(&i) {
+                    out.push(i);
+                }
+            }
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Migration links
+    // -----------------------------------------------------------------
+
+    /// Extract a whole key-group at `from` and enqueue its units for
+    /// migration to `to` under `subscale`.
+    pub fn migrate_group(&mut self, from: InstId, to: InstId, kg: KeyGroup, subscale: SubscaleId) {
+        let units = self.insts[from.0 as usize].state.extract_group(kg);
+        for u in units {
+            self.enqueue_unit(from, to, u, subscale);
+        }
+    }
+
+    /// Extract a single sub-group and enqueue it.
+    pub fn migrate_unit(&mut self, from: InstId, to: InstId, kg: KeyGroup, sub: u8, subscale: SubscaleId) -> bool {
+        match self.insts[from.0 as usize].state.extract(kg, sub) {
+            Some(u) => {
+                self.enqueue_unit(from, to, u, subscale);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn enqueue_unit(&mut self, from: InstId, to: InstId, unit: StateUnit, subscale: SubscaleId) {
+        self.scale
+            .unit_loc
+            .insert((unit.kg.0, unit.sub), (from, Some(to)));
+        let link = self.scale.links.entry(from).or_default();
+        link.queue.push_back((to, unit, subscale));
+        if !link.busy {
+            self.link_start(from);
+        }
+    }
+
+    fn link_start(&mut self, from: InstId) {
+        let now = self.now();
+        let Some(link) = self.scale.links.get_mut(&from) else { return };
+        let Some((_to, unit, ss)) = link.queue.front() else {
+            link.busy = false;
+            return;
+        };
+        link.busy = true;
+        let bytes = unit.bytes();
+        let ss = *ss;
+        let dur = (bytes as f64 / self.cfg.ser_bytes_per_us).ceil() as SimTime
+            + transfer_time(bytes, self.cfg.migration_gbps)
+            + 1;
+        self.scale.metrics.first_migration.entry(ss).or_insert(now);
+        self.scale.metrics.bytes_transferred += bytes;
+        self.q.schedule(dur, Ev::LinkSendDone { from });
+    }
+
+    /// Install a migrated unit at `inst`. `active = false` keeps the
+    /// key-group present-but-inactive (DRRS implicit alignment).
+    pub fn install_unit(&mut self, inst: InstId, unit: StateUnit, active: bool) {
+        let key = (unit.kg.0, unit.sub);
+        let now = self.now();
+        self.scale.metrics.unit_installed.insert(key, now);
+        *self.scale.metrics.unit_migrations.entry(key).or_insert(0) += 1;
+        self.scale.unit_loc.insert(key, (inst, None));
+        self.insts[inst.0 as usize].state.install(unit, active);
+        self.check_scale_complete();
+        self.wake(inst);
+    }
+
+    fn check_scale_complete(&mut self) {
+        if !self.scale.in_progress {
+            return;
+        }
+        let done = self
+            .scale
+            .plan
+            .as_ref()
+            .map(|p| {
+                p.moves
+                    .iter()
+                    .all(|m| self.insts[m.to.0 as usize].state.holds_group(m.kg))
+            })
+            .unwrap_or(false);
+        if done {
+            self.scale.in_progress = false;
+            self.scale.metrics.migration_done = Some(self.now());
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Alignment-style channel blocking (checkpoints + coupled barriers)
+    // -----------------------------------------------------------------
+
+    /// Block consumption from a channel at its receiver.
+    pub fn block_channel(&mut self, ch: ChannelId) {
+        let to = self.chans[ch.0 as usize].to;
+        self.insts[to.0 as usize].blocked_channels.insert(ch);
+    }
+
+    /// Unblock a channel and wake the receiver.
+    pub fn unblock_channel(&mut self, ch: ChannelId) {
+        let to = self.chans[ch.0 as usize].to;
+        self.insts[to.0 as usize].blocked_channels.remove(&ch);
+        self.wake(to);
+    }
+
+    // -----------------------------------------------------------------
+    // Stop-restart support
+    // -----------------------------------------------------------------
+
+    /// Halt every instance (global stop). Sources keep *generating* (the
+    /// Kafka backlog grows) but nothing is drained or processed.
+    pub fn halt_all(&mut self) {
+        for i in &mut self.insts {
+            i.halted = true;
+        }
+    }
+
+    /// Resume every instance after a halt.
+    pub fn resume_all(&mut self) {
+        let ids: Vec<InstId> = self.insts.iter().map(|i| i.id).collect();
+        for i in &mut self.insts {
+            i.halted = false;
+        }
+        for id in ids {
+            self.wake(id);
+        }
+    }
+
+    /// Total nominal state bytes across instances of an operator.
+    pub fn op_state_bytes(&self, op: OpId) -> u64 {
+        self.ops[op.0 as usize]
+            .instances
+            .iter()
+            .map(|&i| self.insts[i.0 as usize].state.total_bytes())
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event dispatch
+// ---------------------------------------------------------------------
+
+impl World {
+    /// Handle one event. The driver ([`Sim`]) owns the plugin.
+    pub fn dispatch(&mut self, plugin: &mut dyn ScalePlugin, ev: Ev) {
+        match ev {
+            Ev::SourceTick { inst } => self.on_source_tick(plugin, inst),
+            Ev::Deliver { ch, elem } => {
+                let c = &mut self.chans[ch.0 as usize];
+                if c.in_flight > 0 {
+                    c.in_flight -= 1;
+                }
+                c.queue.push_back(elem);
+                let to = c.to;
+                self.try_start(plugin, to);
+            }
+            Ev::Priority { to, msg } => self.on_priority(plugin, to, msg),
+            Ev::ProcDone { inst, gen } => self.on_proc_done(plugin, inst, gen),
+            Ev::LinkSendDone { from } => self.on_link_done(plugin, from),
+            Ev::Control(cmd) => self.on_control(plugin, cmd),
+            Ev::Sample => self.on_sample(),
+            Ev::Wake { inst } => self.try_start(plugin, inst),
+        }
+    }
+
+    fn on_priority(&mut self, plugin: &mut dyn ScalePlugin, to: InstId, msg: PriorityMsg) {
+        match msg {
+            PriorityMsg::Signal(sig) => plugin.on_priority_signal(self, to, sig),
+            PriorityMsg::Chunk { unit, subscale, from } => {
+                plugin.on_chunk(self, to, *unit, subscale, from)
+            }
+            PriorityMsg::ReroutedRecords { from, records } => {
+                plugin.on_rerouted_records(self, to, from, records)
+            }
+            PriorityMsg::ReroutedConfirm { from, signal } => {
+                plugin.on_rerouted_confirm(self, to, from, signal)
+            }
+            PriorityMsg::Fetch { kg, sub, requester } => plugin.on_fetch(self, to, kg, sub, requester),
+        }
+        self.try_start(plugin, to);
+    }
+
+    fn on_link_done(&mut self, plugin: &mut dyn ScalePlugin, from: InstId) {
+        let Some(link) = self.scale.links.get_mut(&from) else { return };
+        let Some((to, unit, ss)) = link.queue.pop_front() else { return };
+        link.busy = false;
+        let lat = self.cfg.net_latency;
+        self.q.schedule(
+            lat,
+            Ev::Priority {
+                to,
+                msg: PriorityMsg::Chunk {
+                    unit: Box::new(unit),
+                    subscale: ss,
+                    from,
+                },
+            },
+        );
+        self.link_start(from);
+        let _ = plugin;
+    }
+
+    fn on_control(&mut self, plugin: &mut dyn ScalePlugin, cmd: ControlMsg) {
+        match cmd {
+            ControlMsg::StartScale(plan) => self.start_scale(plan),
+            ControlMsg::DeployDone { epoch } => {
+                if epoch == self.scale.epoch {
+                    self.scale.metrics.deployed_at = Some(self.now());
+                    let plan = self.scale.plan.clone().expect("deploying plan");
+                    plugin.on_scale_start(self, &plan);
+                }
+            }
+            ControlMsg::Plugin(tag) => plugin.on_control(self, tag),
+            ControlMsg::CheckpointTick => {
+                // The paper (§IV-C) prevents concurrent fault tolerance and
+                // scaling: defer the checkpoint until migration completes.
+                if self.scale.in_progress {
+                    self.q
+                        .schedule(MICROS_PER_SEC_DEFER, Ev::Control(ControlMsg::CheckpointTick));
+                    return;
+                }
+                self.next_ckpt += 1;
+                let id = self.next_ckpt;
+                for i in 0..self.insts.len() {
+                    if let Some(src) = self.insts[i].source.as_mut() {
+                        src.pending.push_back(Record {
+                            key: id,
+                            value: 0,
+                            event_time: self.q.now(),
+                            created: self.q.now(),
+                            kind: RecordKind::Data,
+                            origin: (InstId(i as u32), 0),
+                            count: 0, // sentinel: count==0 marks a barrier carrier
+                        });
+                    }
+                }
+                if let Some(iv) = self.cfg.checkpoint_interval {
+                    self.q.schedule(iv, Ev::Control(ControlMsg::CheckpointTick));
+                }
+            }
+        }
+    }
+
+    fn start_scale(&mut self, mut plan: ScalePlan) {
+        // Concurrent scaling requests (paper §IV-B scenario 1): the newer
+        // request supersedes the older one. We realize this as deferral —
+        // re-present the request once in-flight migrations have landed, so
+        // no state unit is ever in two plans at once.
+        if self.scale.in_progress {
+            self.q.schedule(
+                MICROS_PER_SEC_DEFER / 2,
+                Ev::Control(ControlMsg::StartScale(plan)),
+            );
+            return;
+        }
+        let now = self.now();
+        self.scale.epoch += 1;
+        let epoch = self.scale.epoch;
+        let op = plan.op;
+        self.suspension_op = Some(op);
+
+        // Create the new instances (scale-out), or mark the tail instances
+        // retiring (scale-in: they keep draining but receive no new traffic
+        // and are halted once empty).
+        let old_insts = self.ops[op.0 as usize].instances.clone();
+        let mut all_insts = old_insts.clone();
+        self.scale.new_instances.clear();
+        self.scale.retiring.clear();
+        if plan.new_parallelism < old_insts.len() {
+            self.scale.retiring = old_insts[plan.new_parallelism..].to_vec();
+            all_insts.truncate(plan.new_parallelism);
+        }
+        for li in old_insts.len()..plan.new_parallelism {
+            let id = InstId(self.insts.len() as u32);
+            let mut inst = Instance::new(
+                id,
+                op,
+                li,
+                StateBackend::new(self.cfg.max_key_groups, self.cfg.sub_group_fanout),
+            );
+            inst.operational_at = now + self.cfg.deploy_delay;
+            inst.logic = Some((self.ops[op.0 as usize]
+                .logic_factory
+                .as_ref()
+                .expect("scaling a transform operator"))());
+            self.insts.push(inst);
+            self.pending_runs.push(Vec::new());
+            self.ops[op.0 as usize].instances.push(id);
+            self.scale.new_instances.push(id);
+            all_insts.push(id);
+
+            // Wire channels: predecessors → new instance.
+            for eid in self.ops[op.0 as usize].in_edges.clone() {
+                let from_op = self.edges[eid.0 as usize].from;
+                for fi in self.ops[from_op.0 as usize].instances.clone() {
+                    let cid = ChannelId(self.chans.len() as u32);
+                    self.chans
+                        .push(Channel::new(cid, fi, id, self.cfg.channel_capacity, self.cfg.net_latency));
+                    self.edges[eid.0 as usize].channels.insert((fi, id), cid);
+                    self.insts[fi.0 as usize].out_channels.push(cid);
+                    self.insts[id.0 as usize].in_channels.push(cid);
+                }
+            }
+            // New instance → successors.
+            for eid in self.ops[op.0 as usize].out_edges.clone() {
+                let to_op = self.edges[eid.0 as usize].to;
+                for ti in self.ops[to_op.0 as usize].instances.clone() {
+                    let cid = ChannelId(self.chans.len() as u32);
+                    self.chans
+                        .push(Channel::new(cid, id, ti, self.cfg.channel_capacity, self.cfg.net_latency));
+                    self.edges[eid.0 as usize].channels.insert((id, ti), cid);
+                    self.insts[id.0 as usize].out_channels.push(cid);
+                    // Initialize the successor's view of this channel's
+                    // watermark to its current one so downstream windows do
+                    // not stall on the fresh channel.
+                    let cur = self.insts[ti.0 as usize].watermark;
+                    self.insts[ti.0 as usize].ch_watermarks.insert(cid, cur);
+                    self.insts[ti.0 as usize].in_channels.push(cid);
+                }
+            }
+        }
+
+        // Compute the moves with the uniform re-partitioning strategy.
+        let keyed = self.keyed_in_edges(op);
+        let base = keyed
+            .first()
+            .map(|&e| {
+                let edge = &self.edges[e.0 as usize];
+                let any_pred = self.ops[edge.from.0 as usize].instances[0];
+                edge.tables[&any_pred].clone()
+            })
+            .expect("scaling operator must have a keyed input");
+        plan.moves = match plan.strategy {
+            crate::keygroup::Repartition::Uniform => uniform_repartition(&base, &all_insts),
+            crate::keygroup::Repartition::MinimalMoves => {
+                crate::keygroup::minimal_repartition(&base, &all_insts)
+            }
+        };
+
+        self.scale.plan = Some(plan);
+        self.scale.in_progress = true;
+        self.scale.metrics = Default::default();
+        self.scale.metrics.requested_at = Some(now);
+        // Seed the unit location registry.
+        let fanout = self.cfg.sub_group_fanout.max(1);
+        let moves = self.scale.plan.as_ref().expect("just set").moves.clone();
+        for m in &moves {
+            for s in 0..fanout {
+                self.scale.unit_loc.insert((m.kg.0, s), (m.from, None));
+            }
+        }
+        let delay = self.cfg.deploy_delay;
+        self.q.schedule(delay, Ev::Control(ControlMsg::DeployDone { epoch }));
+    }
+
+    fn on_sample(&mut self) {
+        let now = self.now();
+        self.maybe_retire();
+        if let Some(op) = self.suspension_op {
+            let total: SimTime = self.ops[op.0 as usize]
+                .instances
+                .iter()
+                .map(|&i| self.insts[i.0 as usize].suspension_as_of(now))
+                .sum();
+            self.metrics.suspension.push(now, total as f64);
+        }
+        let iv = self.cfg.sample_interval;
+        self.q.schedule(iv, Ev::Sample);
+    }
+
+    /// Halt retiring instances once their migration finished and their
+    /// queues drained, and remove them from the operator's instance list.
+    fn maybe_retire(&mut self) {
+        if self.scale.in_progress || self.scale.retiring.is_empty() {
+            return;
+        }
+        let ready: Vec<InstId> = self
+            .scale
+            .retiring
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let inst = &self.insts[i.0 as usize];
+                !inst.busy
+                    && inst
+                        .in_channels
+                        .iter()
+                        .all(|&c| self.chans[c.0 as usize].occupancy() == 0)
+            })
+            .collect();
+        for i in ready {
+            self.insts[i.0 as usize].halted = true;
+            self.scale.retiring.retain(|&x| x != i);
+            if let Some(plan) = self.scale.plan.as_ref() {
+                let op = plan.op;
+                self.ops[op.0 as usize].instances.retain(|&x| x != i);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Sources
+    // -----------------------------------------------------------------
+
+    fn on_source_tick(&mut self, plugin: &mut dyn ScalePlugin, inst: InstId) {
+        const TICK: SimTime = 10_000; // 10 ms generation granularity
+        let now = self.now();
+        {
+            let i = &mut self.insts[inst.0 as usize];
+            let src = i.source.as_mut().expect("source tick on non-source");
+            // Generate records for this tick.
+            let rate = src.gen.rate(now);
+            let mut due = rate * TICK as f64 / 1_000_000.0 + src.carry;
+            let limit_hit = src.gen.limit().map(|l| src.generated >= l).unwrap_or(false);
+            if limit_hit {
+                due = 0.0;
+            }
+            let n = due as u64;
+            src.carry = due - n as f64;
+            let batch = src.gen.batch().max(1) as u64;
+            let mut left = n;
+            while left > 0 {
+                let c = left.min(batch);
+                let (key, value) = src.gen.next(now);
+                let et = now + (n - left) * TICK / n.max(1);
+                let mut r = Record::data(key, value, et);
+                r.count = c as u32;
+                src.pending.push_back(r);
+                src.generated += c;
+                left -= c;
+            }
+            // Latency markers.
+            while src.next_marker <= now {
+                src.next_marker += self.cfg.marker_interval;
+                let mut m = Record::data(self.rng.below(u32::MAX as u64), 0, now);
+                m.kind = RecordKind::Marker;
+                m.created = now;
+                src.pending.push_back(m);
+            }
+            // Watermarks ride in pending too (in-order with the data).
+            while src.next_watermark <= now {
+                src.next_watermark += self.cfg.watermark_interval;
+                let mut wm = Record::data(0, 0, now);
+                wm.count = u32::MAX; // sentinel: watermark carrier
+                src.pending.push_back(wm);
+            }
+        }
+        self.drain_source(inst);
+        self.q.schedule(TICK, Ev::SourceTick { inst });
+        let _ = plugin;
+    }
+
+    fn drain_source(&mut self, inst: InstId) {
+        let now = self.now();
+        loop {
+            {
+                let i = &self.insts[inst.0 as usize];
+                if i.halted || i.blocked_out {
+                    break;
+                }
+                if i.source.as_ref().map(|s| s.pending.is_empty()).unwrap_or(true) {
+                    break;
+                }
+            }
+            let rec = {
+                let src = self.insts[inst.0 as usize].source.as_mut().expect("source");
+                src.pending.pop_front().expect("non-empty")
+            };
+            if rec.count == u32::MAX {
+                // Watermark carrier.
+                self.broadcast_watermark(inst, rec.event_time);
+            } else if rec.count == 0 {
+                // Checkpoint barrier carrier.
+                self.broadcast_ckpt(inst, rec.key);
+            } else {
+                let n = rec.count as u64;
+                self.emit_records(inst, vec![rec]);
+                self.metrics.count_source(now, n);
+                if let Some(src) = self.insts[inst.0 as usize].source.as_mut() {
+                    src.emitted += n;
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Instance processing
+    // -----------------------------------------------------------------
+
+    /// Attempt to start work at an instance. Safe to call at any time.
+    pub fn try_start(&mut self, plugin: &mut dyn ScalePlugin, inst: InstId) {
+        loop {
+            {
+                let i = &self.insts[inst.0 as usize];
+                if i.halted || i.busy || self.now() < i.operational_at {
+                    return;
+                }
+                if i.source.is_some() {
+                    break;
+                }
+                if i.blocked_out {
+                    return;
+                }
+            }
+            if self.insts[inst.0 as usize].source.is_some() {
+                break;
+            }
+            let sel = if plugin.selects(self, inst) {
+                plugin.select(self, inst)
+            } else {
+                self.default_select(plugin, inst)
+            };
+            match sel {
+                Selection::Control(ch, elem) => {
+                    self.handle_control_elem(plugin, inst, ch, elem);
+                    // Loop: look for more work at the same instant.
+                }
+                Selection::Run { records, service } => {
+                    let now = self.now();
+                    let i = &mut self.insts[inst.0 as usize];
+                    i.leave_suspend(now);
+                    i.busy = true;
+                    i.proc_gen += 1;
+                    let gen = i.proc_gen;
+                    self.pending_runs[inst.0 as usize] = records;
+                    self.q.schedule(service.max(1), Ev::ProcDone { inst, gen });
+                    return;
+                }
+                Selection::Suspend => {
+                    let now = self.now();
+                    self.insts[inst.0 as usize].enter_suspend(now);
+                    return;
+                }
+                Selection::Idle => {
+                    let now = self.now();
+                    self.insts[inst.0 as usize].leave_suspend(now);
+                    return;
+                }
+            }
+        }
+        // Sources fall through to draining.
+        self.drain_source(inst);
+    }
+
+    /// Engine-default input selection: active-channel discipline with the
+    /// plugin's admission filter (the generalized-OTFS behaviour from the
+    /// paper's Fig. 6 — suspend when the active channel's head is
+    /// unprocessable, even if other channels have processable records).
+    pub fn default_select(&mut self, plugin: &mut dyn ScalePlugin, inst: InstId) -> Selection {
+        let (n, start) = {
+            let i = &self.insts[inst.0 as usize];
+            (i.in_channels.len(), i.active_ch)
+        };
+        if n == 0 {
+            return Selection::Idle;
+        }
+        for k in 0..n {
+            let idx = (start + k) % n;
+            let ch = self.insts[inst.0 as usize].in_channels[idx];
+            if self.insts[inst.0 as usize].blocked_channels.contains(&ch) {
+                continue;
+            }
+            if self.chans[ch.0 as usize].queue.is_empty() {
+                continue;
+            }
+            // First non-empty unblocked channel becomes the active channel.
+            self.insts[inst.0 as usize].active_ch = idx;
+            let is_record = self.chans[ch.0 as usize]
+                .queue
+                .front()
+                .map(|e| e.is_record())
+                .unwrap_or(false);
+            if !is_record {
+                let elem = self.chan_pop(ch).expect("non-empty");
+                return Selection::Control(ch, elem);
+            }
+            // Peek admission for the head record.
+            let rec = self.chans[ch.0 as usize]
+                .queue
+                .front()
+                .and_then(|e| e.as_record())
+                .cloned()
+                .expect("checked record");
+            let admissible = rec.kind == RecordKind::Marker || plugin.admit(self, inst, ch, &rec);
+            if !admissible {
+                return Selection::Suspend;
+            }
+            return self.build_run(plugin, inst, ch);
+        }
+        Selection::Idle
+    }
+
+    /// Pop a run of admissible records from `ch` bounded by the quantum.
+    pub fn build_run(&mut self, plugin: &mut dyn ScalePlugin, inst: InstId, ch: ChannelId) -> Selection {
+        let mut records = Vec::new();
+        let mut service: SimTime = 0;
+        loop {
+            if records.len() >= self.cfg.quantum_records || service >= self.cfg.quantum_time {
+                break;
+            }
+            let Some(front) = self.chans[ch.0 as usize].queue.front() else { break };
+            let Some(rec) = front.as_record() else { break };
+            let rec = rec.clone();
+            if rec.kind != RecordKind::Marker && !plugin.admit(self, inst, ch, &rec) {
+                break;
+            }
+            service += self.service_of(inst, &rec);
+            let popped = self.chan_pop(ch).expect("non-empty");
+            match popped {
+                StreamElement::Record(r) => records.push(r),
+                _ => unreachable!("front was a record"),
+            }
+        }
+        if records.is_empty() {
+            Selection::Suspend
+        } else {
+            Selection::Run { records, service }
+        }
+    }
+
+    /// Service time of one element at an instance.
+    pub fn service_of(&self, inst: InstId, rec: &Record) -> SimTime {
+        if rec.kind == RecordKind::Marker {
+            return 0;
+        }
+        let i = &self.insts[inst.0 as usize];
+        match self.ops[i.op.0 as usize].role {
+            OpRole::Sink => self.ops[i.op.0 as usize].sink_service * rec.count as SimTime,
+            _ => i
+                .logic
+                .as_ref()
+                .map(|l| l.service_time(rec) * rec.count as SimTime)
+                .unwrap_or(1),
+        }
+    }
+
+    fn on_proc_done(&mut self, plugin: &mut dyn ScalePlugin, inst: InstId, gen: u64) {
+        if self.insts[inst.0 as usize].proc_gen != gen {
+            return;
+        }
+        self.insts[inst.0 as usize].busy = false;
+        let records = std::mem::take(&mut self.pending_runs[inst.0 as usize]);
+        for rec in records {
+            self.apply_record(plugin, inst, rec);
+        }
+        self.try_start(plugin, inst);
+    }
+
+    /// Apply one record at an instance (logic + emission + metrics). Public
+    /// because plugins processing re-routed records call it directly.
+    pub fn apply_record(&mut self, plugin: &mut dyn ScalePlugin, inst: InstId, rec: Record) {
+        let now = self.now();
+        let role = self.op_of(inst).role;
+        self.insts[inst.0 as usize].processed += rec.count as u64;
+        match role {
+            OpRole::Sink => {
+                if rec.kind == RecordKind::Marker {
+                    self.metrics.record_latency(now, now.saturating_sub(rec.created));
+                } else {
+                    self.metrics.sink_records += rec.count as u64;
+                }
+            }
+            _ => {
+                if rec.kind == RecordKind::Marker {
+                    // Markers bypass operator logic entirely.
+                    let out_edges = self.op_of(inst).out_edges.clone();
+                    for e in out_edges {
+                        self.route_record(inst, e, rec.clone());
+                    }
+                    return;
+                }
+                let kg = self.kg_of(rec.key);
+                // Guard (stateful operators): the sub-group may have been
+                // extracted between admission and quantum completion
+                // (trigger barriers bypass in-flight work). Hand such
+                // records to the mechanism.
+                if self.op_of(inst).stateful {
+                    let sub = self.insts[inst.0 as usize].state.sub_of(rec.key);
+                    if !self.insts[inst.0 as usize].state.holds(kg, sub) {
+                        if plugin.on_orphan_record(self, inst, &rec) {
+                            return;
+                        }
+                        panic!(
+                            "record for absent state {kg}/{sub} at {inst} not handled by {}",
+                            plugin.name()
+                        );
+                    }
+                }
+                self.apply_record_basic(inst, rec.clone());
+                plugin.after_record(self, inst, &rec);
+            }
+        }
+    }
+
+    /// Apply a data record's logic at a transform instance without the
+    /// orphan guard or plugin hooks. Plugins use this to replay records they
+    /// buffered themselves (Meces orphan replay, Unbound universal keys);
+    /// semantics checking still applies.
+    pub fn apply_record_basic(&mut self, inst: InstId, rec: Record) {
+        let now = self.now();
+        let kg = self.kg_of(rec.key);
+        // Per-key order is only a guarantee of keyed (hash-partitioned)
+        // edges; rebalance edges interleave keys across instances by design.
+        if self.cfg.check_semantics
+            && rec.origin.0 != InstId(u32::MAX)
+            && self.op_of(inst).stateful
+        {
+            let op = self.insts[inst.0 as usize].op;
+            self.semantics.observe(op, rec.key, rec.origin.0, rec.origin.1);
+        }
+        let mut logic = self.insts[inst.0 as usize].logic.take().expect("transform logic");
+        let mut out = Vec::new();
+        {
+            let i = &mut self.insts[inst.0 as usize];
+            let mut ctx = OpCtx {
+                now,
+                watermark: i.watermark,
+                kg,
+                state: &mut i.state,
+                out: &mut out,
+                max_key_groups: self.cfg.max_key_groups,
+            };
+            logic.on_record(&mut ctx, &rec);
+        }
+        self.insts[inst.0 as usize].logic = Some(logic);
+        if !out.is_empty() {
+            self.emit_records(inst, out);
+        }
+    }
+
+    /// Handle a popped control element (public: plugin selections reuse it).
+    pub fn handle_control_elem(
+        &mut self,
+        plugin: &mut dyn ScalePlugin,
+        inst: InstId,
+        ch: ChannelId,
+        elem: StreamElement,
+    ) {
+        match elem {
+            StreamElement::Watermark(wm) => self.on_watermark(inst, ch, wm),
+            StreamElement::CheckpointBarrier(id) => self.on_ckpt_barrier(inst, ch, id),
+            StreamElement::Scale(sig) => plugin.on_signal(self, inst, ch, sig),
+            StreamElement::Record(_) => unreachable!("records are not control elements"),
+        }
+    }
+
+    fn on_watermark(&mut self, inst: InstId, ch: ChannelId, wm: SimTime) {
+        let advanced = {
+            let i = &mut self.insts[inst.0 as usize];
+            let slot = i.ch_watermarks.entry(ch).or_insert(0);
+            *slot = (*slot).max(wm);
+            let min = i
+                .in_channels
+                .iter()
+                .map(|c| i.ch_watermarks.get(c).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(0);
+            if min > i.watermark {
+                i.watermark = min;
+                true
+            } else {
+                false
+            }
+        };
+        if !advanced {
+            return;
+        }
+        let role = self.op_of(inst).role;
+        if role == OpRole::Transform {
+            let now = self.now();
+            let new_wm = self.insts[inst.0 as usize].watermark;
+            let mut logic = self.insts[inst.0 as usize].logic.take().expect("transform logic");
+            let mut out = Vec::new();
+            {
+                let i = &mut self.insts[inst.0 as usize];
+                let mut ctx = WmCtx {
+                    now,
+                    watermark: new_wm,
+                    state: &mut i.state,
+                    out: &mut out,
+                };
+                logic.on_watermark(&mut ctx);
+            }
+            let cost = logic.watermark_cost();
+            self.insts[inst.0 as usize].logic = Some(logic);
+            if !out.is_empty() {
+                self.emit_records(inst, out);
+            }
+            // Charge firing cost as a busy period.
+            if cost > 0 {
+                let i = &mut self.insts[inst.0 as usize];
+                i.busy = true;
+                i.proc_gen += 1;
+                let gen = i.proc_gen;
+                self.q.schedule(cost, Ev::ProcDone { inst, gen });
+            }
+            let wm_out = self.insts[inst.0 as usize].watermark;
+            self.broadcast_watermark(inst, wm_out);
+        } else if role == OpRole::Sink {
+            // Terminal: nothing to forward.
+        }
+    }
+
+    fn on_ckpt_barrier(&mut self, inst: InstId, ch: ChannelId, id: u64) {
+        let role = self.op_of(inst).role;
+        let (aligned, snapshot_bytes) = {
+            let i = &mut self.insts[inst.0 as usize];
+            if i.ckpt.is_none() {
+                i.ckpt = Some(CkptAlign {
+                    id,
+                    arrived: HashSet::new(),
+                });
+            }
+            let all = i.in_channels.len();
+            let ck = i.ckpt.as_mut().expect("just set");
+            if ck.id == id {
+                ck.arrived.insert(ch);
+            }
+            i.blocked_channels.insert(ch);
+            if ck.arrived.len() >= all {
+                let bytes = i.state.total_bytes();
+                (true, bytes)
+            } else {
+                (false, 0)
+            }
+        };
+        if aligned {
+            let chans: Vec<ChannelId> = self.insts[inst.0 as usize].in_channels.clone();
+            {
+                let i = &mut self.insts[inst.0 as usize];
+                i.ckpt = None;
+                for c in &chans {
+                    i.blocked_channels.remove(c);
+                }
+            }
+            // Synchronous snapshot part.
+            let cost = (snapshot_bytes / 1_000_000) * self.cfg.snapshot_us_per_mb;
+            if cost > 0 && role == OpRole::Transform {
+                let i = &mut self.insts[inst.0 as usize];
+                i.busy = true;
+                i.proc_gen += 1;
+                let gen = i.proc_gen;
+                self.q.schedule(cost, Ev::ProcDone { inst, gen });
+            }
+            if role == OpRole::Sink {
+                let now = self.now();
+                self.metrics.checkpoints.push(now, id as f64);
+            } else {
+                self.broadcast_ckpt(inst, id);
+            }
+            self.wake(inst);
+        }
+    }
+}
+
+/// The simulation driver: a world plus the rescaling mechanism under test.
+pub struct Sim {
+    /// The world.
+    pub world: World,
+    /// The mechanism.
+    pub plugin: Box<dyn ScalePlugin>,
+}
+
+impl Sim {
+    /// Pair a world with a mechanism.
+    pub fn new(world: World, plugin: Box<dyn ScalePlugin>) -> Self {
+        Self { world, plugin }
+    }
+
+    /// Run until simulated time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.world.q.peek_time() {
+            if next > t {
+                break;
+            }
+            let (_, ev) = self.world.q.pop().expect("peeked");
+            self.world.dispatch(self.plugin.as_mut(), ev);
+        }
+    }
+}
+
+/// Helpers shared by unit tests across modules (and by downstream crates'
+/// tests). Not part of the stable API.
+pub mod tests_support {
+    use super::*;
+    use crate::instance::SourceGen;
+
+    /// Constant-rate generator emitting keys round-robin over a universe.
+    pub struct FixedGen {
+        rate: f64,
+        universe: u64,
+        next_key: u64,
+    }
+
+    impl FixedGen {
+        /// `rate` records/s over `universe` keys.
+        pub fn new(rate: f64, universe: u64) -> Self {
+            Self {
+                rate,
+                universe,
+                next_key: 0,
+            }
+        }
+    }
+
+    impl SourceGen for FixedGen {
+        fn rate(&self, _t: SimTime) -> f64 {
+            self.rate
+        }
+        fn next(&mut self, _t: SimTime) -> (u64, i64) {
+            let k = self.next_key;
+            self.next_key = (self.next_key + 1) % self.universe;
+            (k, 1)
+        }
+    }
+
+    /// Build a tiny source → keyed-agg → sink job for tests.
+    pub fn tiny_job(cfg: EngineConfig, rate: f64, universe: u64, par: usize) -> (World, OpId) {
+        use crate::graph::{EdgeKind, JobBuilder};
+        use crate::operator::KeyedAgg;
+        let mut b = JobBuilder::new(cfg);
+        let src = b.source("src", 1, Box::new(move |_| Box::new(FixedGen::new(rate, universe))));
+        let agg = b.operator(
+            "agg",
+            par,
+            Box::new(|| {
+                Box::new(KeyedAgg {
+                    service: 50,
+                    bytes_per_key: 1_000,
+                    bytes_per_record: 0,
+                    emit_every: 1,
+                })
+            }),
+        );
+        let sink = b.sink("sink", 1);
+        b.connect(src, agg, EdgeKind::Keyed);
+        b.connect(agg, sink, EdgeKind::Rebalance);
+        let w = b.build();
+        (w, agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::*;
+    use super::*;
+    use crate::scaling::NoScale;
+    use simcore::time::secs;
+
+    #[test]
+    fn records_flow_source_to_sink() {
+        let (w, _agg) = tiny_job(EngineConfig::test(), 1000.0, 64, 2);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(5));
+        assert!(sim.world.metrics.sink_records > 3_000, "{}", sim.world.metrics.sink_records);
+        // Latency markers made it through.
+        assert!(sim.world.metrics.latency.len() > 50);
+        // No order violations without scaling.
+        assert_eq!(sim.world.semantics.violations(), 0);
+    }
+
+    #[test]
+    fn latency_is_low_without_load() {
+        let (w, _) = tiny_job(EngineConfig::test(), 100.0, 16, 2);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(5));
+        let (peak, mean) = sim.world.metrics.latency_stats_ms(0, secs(5));
+        assert!(mean < 50.0, "mean latency {mean} ms");
+        assert!(peak < 200.0, "peak latency {peak} ms");
+    }
+
+    #[test]
+    fn state_accumulates_per_key() {
+        let (w, agg) = tiny_job(EngineConfig::test(), 1000.0, 8, 2);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(3));
+        let total: u64 = sim.world.ops[agg.0 as usize]
+            .instances
+            .iter()
+            .map(|&i| sim.world.insts[i.0 as usize].state.snapshot_counts().values().sum::<u64>())
+            .sum();
+        // All data records that reached the agg are counted.
+        assert!(total > 2_000, "{total}");
+        // 8 keys → 8 KB nominal state.
+        assert_eq!(sim.world.op_state_bytes(agg), 8_000);
+    }
+
+    #[test]
+    fn overload_creates_backpressure_and_latency() {
+        // Service 50 µs/record at parallelism 1 → capacity 20K/s; drive 30K/s.
+        let (w, _) = tiny_job(EngineConfig::test(), 30_000.0, 64, 1);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(5));
+        let (peak, _mean) = sim.world.metrics.latency_stats_ms(secs(3), secs(5));
+        assert!(peak > 500.0, "expected growing latency under overload, peak={peak} ms");
+    }
+
+    #[test]
+    fn watermarks_advance_at_operators() {
+        let (w, agg) = tiny_job(EngineConfig::test(), 500.0, 16, 2);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(3));
+        for &i in &sim.world.ops[agg.0 as usize].instances {
+            assert!(
+                sim.world.insts[i.0 as usize].watermark > secs(1),
+                "watermark stalled at {}",
+                sim.world.insts[i.0 as usize].watermark
+            );
+        }
+    }
+
+    #[test]
+    fn scale_deploys_new_instances() {
+        let (mut w, agg) = tiny_job(EngineConfig::test(), 500.0, 64, 2);
+        w.schedule_scale(secs(1), agg, 3);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(3));
+        assert_eq!(sim.world.ops[agg.0 as usize].instances.len(), 3);
+        let plan = sim.world.scale.plan.as_ref().expect("plan");
+        assert!(!plan.moves.is_empty());
+        // NoScale never migrates: scale stays in progress.
+        assert!(sim.world.scale.in_progress);
+        // New instance wired: has inputs and outputs.
+        let new = *sim.world.scale.new_instances.first().expect("new instance");
+        assert!(!sim.world.insts[new.0 as usize].in_channels.is_empty());
+        assert!(!sim.world.insts[new.0 as usize].out_channels.is_empty());
+    }
+
+    #[test]
+    fn backpressure_blocks_and_unblocks_sources() {
+        // Overload, then watch the source block; after the input rate is
+        // relieved the backlog must drain and unblock.
+        struct BurstGen {
+            n: u64,
+        }
+        impl crate::instance::SourceGen for BurstGen {
+            fn rate(&self, t: SimTime) -> f64 {
+                if t < secs(2) {
+                    60_000.0
+                } else {
+                    1_000.0
+                }
+            }
+            fn next(&mut self, _t: SimTime) -> (u64, i64) {
+                self.n += 1;
+                (self.n % 64, 1)
+            }
+        }
+        use crate::graph::JobBuilder;
+        use crate::operator::KeyedAgg;
+        let mut b = JobBuilder::new(EngineConfig::test());
+        let src = b.source("src", 1, Box::new(|_| Box::new(BurstGen { n: 0 })));
+        let agg = b.operator(
+            "agg",
+            1,
+            Box::new(|| {
+                Box::new(KeyedAgg {
+                    service: 50,
+                    bytes_per_key: 10,
+                    bytes_per_record: 0,
+                    emit_every: 1,
+                })
+            }),
+        );
+        let sink = b.sink("sink", 1);
+        b.connect(src, agg, crate::graph::EdgeKind::Keyed);
+        b.connect(agg, sink, crate::graph::EdgeKind::Rebalance);
+        let mut sim = Sim::new(b.build(), Box::new(NoScale));
+        sim.run_until(secs(1));
+        let src_inst = sim.world.ops[src.0 as usize].instances[0];
+        assert!(
+            sim.world.insts[src_inst.0 as usize].blocked_out,
+            "60K/s into a 20K/s operator must block the source"
+        );
+        sim.run_until(secs(10));
+        assert!(
+            !sim.world.insts[src_inst.0 as usize].blocked_out,
+            "source still blocked after relief"
+        );
+        let pending = sim.world.insts[src_inst.0 as usize]
+            .source
+            .as_ref()
+            .expect("source")
+            .pending
+            .len();
+        assert!(pending < 1_000, "Kafka backlog not drained: {pending}");
+    }
+
+    #[test]
+    fn watermark_is_min_across_channels() {
+        // An instance fed by two sources only advances to the slower one.
+        struct SlowWmGen;
+        impl crate::instance::SourceGen for SlowWmGen {
+            fn rate(&self, _t: SimTime) -> f64 {
+                100.0
+            }
+            fn next(&mut self, _t: SimTime) -> (u64, i64) {
+                (1, 1)
+            }
+        }
+        use crate::graph::JobBuilder;
+        use crate::operator::KeyedAgg;
+        let mut b = JobBuilder::new(EngineConfig::test());
+        let s1 = b.source("s1", 1, Box::new(|_| Box::new(SlowWmGen)));
+        let s2 = b.source("s2", 1, Box::new(|_| Box::new(SlowWmGen)));
+        let agg = b.operator(
+            "agg",
+            1,
+            Box::new(|| {
+                Box::new(KeyedAgg {
+                    service: 10,
+                    bytes_per_key: 0,
+                    bytes_per_record: 0,
+                    emit_every: 1,
+                })
+            }),
+        );
+        let sink = b.sink("sink", 1);
+        b.connect(s1, agg, crate::graph::EdgeKind::Keyed);
+        b.connect(s2, agg, crate::graph::EdgeKind::Keyed);
+        b.connect(agg, sink, crate::graph::EdgeKind::Rebalance);
+        let mut w = b.build();
+        // Halt source 2: its watermarks stop flowing.
+        let s2i = w.ops[s2.0 as usize].instances[0];
+        w.insts[s2i.0 as usize].halted = true;
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(3));
+        let aggi = sim.world.ops[agg.0 as usize].instances[0];
+        assert_eq!(
+            sim.world.insts[aggi.0 as usize].watermark, 0,
+            "watermark advanced past a silent channel"
+        );
+        // Un-halt: the watermark catches up.
+        sim.world.insts[s2i.0 as usize].halted = false;
+        sim.world.wake(s2i);
+        sim.run_until(secs(6));
+        assert!(sim.world.insts[aggi.0 as usize].watermark > secs(3));
+    }
+
+    #[test]
+    fn markers_measure_latency_through_the_pipeline() {
+        let (w, _) = tiny_job(EngineConfig::test(), 1_000.0, 64, 2);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(3));
+        let m = &sim.world.metrics;
+        assert!(m.latency.len() > 30);
+        // Quantiles are available and ordered.
+        let p50 = m.latency_quantile_ms(0.5).expect("samples");
+        let p99 = m.latency_quantile_ms(0.99).expect("samples");
+        assert!(p99 >= p50);
+    }
+
+    #[test]
+    fn suspension_series_is_sampled() {
+        let (mut w, agg) = tiny_job(EngineConfig::test(), 4_000.0, 128, 2);
+        w.schedule_scale(secs(1), agg, 3);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(3));
+        // NoScale never migrates: new instance suspends nothing, but the
+        // series itself must tick once a scale nominated the operator.
+        assert!(sim.world.metrics.suspension.len() > 5);
+    }
+
+    #[test]
+    fn checkpoints_complete_end_to_end() {
+        let mut cfg = EngineConfig::test();
+        cfg.checkpoint_interval = Some(simcore::time::ms(500));
+        let (w, _) = tiny_job(cfg, 500.0, 16, 2);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(4));
+        assert!(
+            sim.world.metrics.checkpoints.len() >= 3,
+            "checkpoints completed: {}",
+            sim.world.metrics.checkpoints.len()
+        );
+    }
+
+    #[test]
+    fn halt_and_resume_pause_the_pipeline() {
+        let (w, _) = tiny_job(EngineConfig::test(), 1000.0, 16, 2);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(1));
+        let before = sim.world.metrics.sink_records;
+        sim.world.halt_all();
+        sim.run_until(secs(2));
+        let during = sim.world.metrics.sink_records;
+        assert_eq!(before, during, "halted pipeline must not deliver");
+        sim.world.resume_all();
+        sim.run_until(secs(3));
+        assert!(sim.world.metrics.sink_records > during);
+    }
+
+    #[test]
+    fn migration_links_transfer_state() {
+        let (mut w, agg) = tiny_job(EngineConfig::test(), 2000.0, 512, 2);
+        w.schedule_scale(secs(1), agg, 3);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        // Run past deployment.
+        sim.run_until(secs(2));
+        let plan_moves = sim.world.scale.plan.as_ref().expect("plan").moves.clone();
+        // Halt processing first: NoScale never updates routing, so records
+        // for extracted groups would otherwise hit the old instances' (by
+        // design) missing-state panic.
+        sim.world.halt_all();
+        for m in &plan_moves {
+            sim.world.migrate_group(m.from, m.to, m.kg, SubscaleId(0));
+        }
+        // The chunk events call plugin.on_chunk (NoScale drops them), so
+        // verify the links dispatched, bytes were counted and the sources
+        // no longer hold the groups.
+        sim.run_until(secs(3));
+        assert!(sim.world.scale.metrics.bytes_transferred > 0);
+        for m in &plan_moves {
+            assert!(!sim.world.insts[m.from.0 as usize].state.holds_group(m.kg));
+        }
+    }
+}

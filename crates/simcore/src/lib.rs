@@ -1,0 +1,26 @@
+//! `simcore` — a deterministic discrete-event simulation kernel.
+//!
+//! This crate provides the building blocks the `streamflow` engine runs on:
+//!
+//! * [`SimTime`] / [`time`] — simulated time in microseconds with helpers,
+//! * [`EventQueue`] — a monotonic future-event list with stable FIFO ordering
+//!   among same-timestamp events,
+//! * [`rng`] — a seedable deterministic random source plus a Zipf sampler
+//!   (used by workload generators; `rand_distr` is not vendored offline, so
+//!   the Zipf sampler is implemented here),
+//! * [`stats`] — time series, histograms and summary statistics used by the
+//!   experiment harnesses.
+//!
+//! Everything is single-threaded and fully deterministic given a seed, which
+//! is what makes the paper's latency/suspension measurements reproducible
+//! down to the microsecond.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::{DetRng, Zipf};
+pub use stats::{Histogram, Summary, TimeSeries};
+pub use time::{SimTime, GIGA, MICROS_PER_MS, MICROS_PER_SEC};

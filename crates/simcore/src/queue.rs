@@ -1,0 +1,176 @@
+//! The future-event list.
+//!
+//! A binary-heap based event queue with a monotonic clock and a stable
+//! tie-break: events scheduled for the same instant pop in the order they
+//! were scheduled. That stability is essential for determinism — two runs
+//! with the same seed must interleave identically.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// `E` is the simulation's event type; the queue never inspects it.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (0 before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    #[inline]
+    pub fn schedule(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Schedule `event` at an absolute time. Times in the past are clamped to
+    /// "now" — the simulator never travels backwards.
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue time went backwards");
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn clock_is_monotonic_and_past_is_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "later");
+        assert_eq!(q.pop(), Some((100, "later")));
+        // Scheduling "in the past" clamps to now.
+        q.schedule_at(50, "past");
+        assert_eq!(q.pop(), Some((100, "past")));
+        assert_eq!(q.now(), 100);
+    }
+
+    #[test]
+    fn relative_schedule_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1);
+        q.pop();
+        q.schedule(5, 2);
+        assert_eq!(q.pop(), Some((15, 2)));
+    }
+
+    #[test]
+    fn counts_processed() {
+        let mut q = EventQueue::new();
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.pop();
+        q.pop();
+        assert_eq!(q.processed(), 2);
+        assert!(q.is_empty());
+    }
+}

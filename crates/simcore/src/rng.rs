@@ -1,0 +1,185 @@
+//! Deterministic randomness for workload generation.
+//!
+//! Wraps a seeded [`rand::rngs::StdRng`] and adds a Zipf(α) sampler over a
+//! finite item universe (the offline crate set has no `rand_distr`, so the
+//! sampler is implemented here with a precomputed CDF + binary search, which
+//! is both exact and fast for the universe sizes the workloads use).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random source. Cloneable so sub-generators can be forked;
+/// prefer [`DetRng::fork`] which decorrelates the child stream.
+#[derive(Clone)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Create from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Fork a decorrelated child generator (e.g. one per source instance).
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed(s)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Exponentially distributed value with the given mean (used for jittered
+    /// inter-arrival times).
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.unit();
+        -mean * (1.0 - u).ln()
+    }
+}
+
+/// Zipf(α) distribution over `{0, 1, .., n-1}` where item 0 is the hottest.
+///
+/// `alpha = 0` degenerates to the uniform distribution, matching the paper's
+/// skewness parameter sweep `[0.0, 0.5, 1.0, 1.5]`.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. `n` must be ≥ 1.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "zipf over empty universe");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point drift: the last entry must be 1.0 so
+        // sampling can never fall off the end.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of items in the universe.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the universe is empty (never true; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw an item index.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u)
+    }
+
+    /// Probability mass of item `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_rng_is_reproducible() {
+        let mut a = DetRng::seed(42);
+        let mut b = DetRng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn forks_decorrelate() {
+        let mut root = DetRng::seed(7);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let s1: Vec<u64> = (0..10).map(|_| c1.below(u64::MAX)).collect();
+        let s2: Vec<u64> = (0..10).map(|_| c2.below(u64::MAX)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_monotone() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+        // Hottest item of Zipf(1.0, 100) has mass 1/H_100 ≈ 0.1928.
+        assert!((z.pmf(0) - 0.1928).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zipf_samples_in_range_and_hit_head() {
+        let z = Zipf::new(50, 1.5);
+        let mut rng = DetRng::seed(1);
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!(s < 50);
+            if s == 0 {
+                head += 1;
+            }
+        }
+        // Zipf(1.5) head mass is ~0.38 of all draws; allow generous slack.
+        assert!(head > 2_000, "head drawn {head} times");
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = DetRng::seed(3);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - mean).abs() < 0.2, "empirical mean {emp}");
+    }
+}

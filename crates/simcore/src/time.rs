@@ -1,0 +1,83 @@
+//! Simulated time.
+//!
+//! All simulation timestamps and durations are expressed in **microseconds**
+//! as a plain `u64`. The paper reports milliseconds and seconds; helper
+//! conversion functions keep call sites readable.
+
+/// A point in simulated time (microseconds since simulation start), or a
+/// duration in microseconds — the two are used interchangeably, as is common
+/// in discrete-event simulators.
+pub type SimTime = u64;
+
+/// Microseconds per millisecond.
+pub const MICROS_PER_MS: SimTime = 1_000;
+/// Microseconds per second.
+pub const MICROS_PER_SEC: SimTime = 1_000_000;
+/// 10^9, used for Gbps↔bytes/µs conversions.
+pub const GIGA: u64 = 1_000_000_000;
+
+/// Convert whole milliseconds to [`SimTime`].
+#[inline]
+pub const fn ms(v: u64) -> SimTime {
+    v * MICROS_PER_MS
+}
+
+/// Convert whole seconds to [`SimTime`].
+#[inline]
+pub const fn secs(v: u64) -> SimTime {
+    v * MICROS_PER_SEC
+}
+
+/// Render a [`SimTime`] as fractional milliseconds (for reporting).
+#[inline]
+pub fn as_ms(t: SimTime) -> f64 {
+    t as f64 / MICROS_PER_MS as f64
+}
+
+/// Render a [`SimTime`] as fractional seconds (for reporting).
+#[inline]
+pub fn as_secs(t: SimTime) -> f64 {
+    t as f64 / MICROS_PER_SEC as f64
+}
+
+/// Transfer duration of `bytes` over a link of `gbps` gigabits per second.
+///
+/// Rounds up to at least one microsecond for non-empty payloads so that
+/// zero-duration transfers cannot reorder against their triggers.
+#[inline]
+pub fn transfer_time(bytes: u64, gbps: f64) -> SimTime {
+    if bytes == 0 {
+        return 0;
+    }
+    let bytes_per_us = gbps * GIGA as f64 / 8.0 / MICROS_PER_SEC as f64;
+    ((bytes as f64 / bytes_per_us).ceil() as SimTime).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(ms(3), 3_000);
+        assert_eq!(secs(2), 2_000_000);
+        assert!((as_ms(1_500) - 1.5).abs() < 1e-9);
+        assert!((as_secs(2_500_000) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        // 1 Gbps = 125 bytes/µs.
+        assert_eq!(transfer_time(125, 1.0), 1);
+        assert_eq!(transfer_time(1_250, 1.0), 10);
+        // Double the bandwidth halves the time.
+        assert_eq!(transfer_time(1_250, 2.0), 5);
+    }
+
+    #[test]
+    fn transfer_time_zero_and_min() {
+        assert_eq!(transfer_time(0, 1.0), 0);
+        // Tiny payloads still cost at least 1 µs.
+        assert_eq!(transfer_time(1, 100.0), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! The custom 3-operator sensitivity workload (paper §V-A, §V-D):
+//! `generator → keyed aggregator → sink`, with adjustable input rate,
+//! total state size and Zipf workload skewness — "given that the major
+//! overhead of on-the-fly scaling occurs only in the scaling operator and
+//! its predecessors".
+//!
+//! The sensitivity analysis (Fig. 15) runs this on the cluster
+//! configuration: 256 key-groups, 25→30 instances (migrating 229
+//! key-groups), rates 5K–20K tps, state 5–30 GB, skew 0.0–1.5.
+
+use simcore::time::SimTime;
+use simcore::{DetRng, Zipf};
+use streamflow::graph::{EdgeKind, JobBuilder};
+use streamflow::instance::SourceGen;
+use streamflow::operator::KeyedAgg;
+use streamflow::{EngineConfig, OpId, World};
+
+/// Zipf-keyed constant-rate generator.
+pub struct CustomGen {
+    tps: f64,
+    keys: Zipf,
+    rng: DetRng,
+    batch: u32,
+}
+
+impl CustomGen {
+    /// `tps` records/second over `universe` keys with Zipf `skew`.
+    pub fn new(tps: f64, universe: usize, skew: f64, seed: u64, batch: u32) -> Self {
+        Self {
+            tps,
+            keys: Zipf::new(universe, skew),
+            rng: DetRng::seed(seed),
+            batch,
+        }
+    }
+}
+
+impl SourceGen for CustomGen {
+    fn rate(&self, _t: SimTime) -> f64 {
+        self.tps
+    }
+    fn next(&mut self, _t: SimTime) -> (u64, i64) {
+        (self.keys.sample(&mut self.rng) as u64, 1)
+    }
+    fn batch(&self) -> u32 {
+        self.batch
+    }
+}
+
+/// Parameters for the custom workload.
+#[derive(Clone, Debug)]
+pub struct CustomParams {
+    /// Input rate, records/second (paper sweep: 5K–20K).
+    pub tps: f64,
+    /// Total nominal state size across the key universe, bytes
+    /// (paper sweep: 5–30 GB).
+    pub total_state_bytes: u64,
+    /// Zipf skewness (paper sweep: 0.0, 0.5, 1.0, 1.5).
+    pub skew: f64,
+    /// Key universe size.
+    pub universe: usize,
+    /// Aggregator parallelism before scaling (paper: 25).
+    pub parallelism: usize,
+    /// Per-record service time at the aggregator.
+    pub service: SimTime,
+    /// Batch multiplicity.
+    pub batch: u32,
+}
+
+impl Default for CustomParams {
+    fn default() -> Self {
+        Self {
+            tps: 10_000.0,
+            total_state_bytes: 10_000_000_000,
+            skew: 0.0,
+            universe: 200_000,
+            parallelism: 25,
+            service: 800,
+            batch: 8,
+        }
+    }
+}
+
+/// Engine configuration for the Swarm-cluster experiments: 256 key-groups.
+pub fn cluster_engine_config(seed: u64) -> EngineConfig {
+    EngineConfig {
+        max_key_groups: 256,
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
+/// Build the custom job. State grows to `total_state_bytes` once the key
+/// universe has been touched (bytes_per_key = total / universe).
+pub fn custom(cfg: EngineConfig, p: &CustomParams) -> (World, OpId) {
+    let mut b = JobBuilder::new(cfg);
+    let sources = 2;
+    let per_src = p.tps / sources as f64;
+    let (universe, skew, batch) = (p.universe, p.skew, p.batch);
+    let src = b.source(
+        "gen",
+        sources,
+        Box::new(move |i| Box::new(CustomGen::new(per_src, universe, skew, 0xC057 + i as u64, batch))),
+    );
+    let bytes_per_key = p.total_state_bytes / p.universe as u64;
+    let service = p.service;
+    let agg = b.operator(
+        "agg",
+        p.parallelism,
+        Box::new(move || {
+            Box::new(KeyedAgg {
+                service,
+                bytes_per_key,
+                bytes_per_record: 0,
+                emit_every: 1,
+            })
+        }),
+    );
+    let sink = b.sink("sink", 2);
+    b.connect(src, agg, EdgeKind::Keyed);
+    b.connect(agg, sink, EdgeKind::Rebalance);
+    let w = b.build();
+    (w, agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::secs;
+    use streamflow::world::Sim;
+    use streamflow::NoScale;
+
+    #[test]
+    fn skew_concentrates_load() {
+        let mut uniform = CustomGen::new(100.0, 1000, 0.0, 1, 1);
+        let mut skewed = CustomGen::new(100.0, 1000, 1.5, 1, 1);
+        let head = |g: &mut CustomGen| {
+            let mut n = 0;
+            for _ in 0..10_000 {
+                if g.next(0).0 < 10 {
+                    n += 1;
+                }
+            }
+            n
+        };
+        let hu = head(&mut uniform);
+        let hs = head(&mut skewed);
+        assert!(hs > hu * 5, "uniform head {hu}, skewed head {hs}");
+    }
+
+    #[test]
+    fn state_grows_toward_target() {
+        let p = CustomParams {
+            tps: 20_000.0,
+            total_state_bytes: 1_000_000_000,
+            universe: 10_000,
+            parallelism: 4,
+            skew: 0.0,
+            service: 100,
+            batch: 4,
+        };
+        let (w, agg) = custom(cluster_engine_config(1), &p);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(30));
+        let bytes = sim.world.op_state_bytes(agg);
+        // Most of the 10K-key universe is touched after 600K records.
+        assert!(bytes > 700_000_000, "state only {bytes} bytes");
+        assert!(bytes <= 1_000_000_000);
+    }
+
+    #[test]
+    fn paper_cluster_plan_moves_229_groups() {
+        let p = CustomParams {
+            parallelism: 25,
+            tps: 1_000.0,
+            batch: 1,
+            ..Default::default()
+        };
+        let (mut w, agg) = custom(cluster_engine_config(2), &p);
+        w.schedule_scale(secs(1), agg, 30);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(2));
+        let plan = sim.world.scale.plan.as_ref().expect("plan");
+        assert_eq!(plan.moves.len(), 229);
+    }
+}

@@ -1,0 +1,21 @@
+//! `workloads` — the three workload families from the paper's evaluation
+//! (§V-A):
+//!
+//! * [`nexmark`] — NEXMark Q7 (sliding-window max, 20K tps, ≈800 MB state)
+//!   and Q8 (windowed person⋈auction join, 1K tps, ≈3 GB state),
+//! * [`twitch`] — a seven-operator viewer-engagement pipeline over a
+//!   synthetic trace with the Rappaz-dataset macro-shape (~4 M events in
+//!   1000 s, ≈500 MB of state at the scale point),
+//! * [`custom`] — the configurable 3-operator sensitivity workload
+//!   (rate × state size × Zipf skewness) used for Fig. 15.
+//!
+//! Each builder returns `(World, OpId)` where the `OpId` is the operator
+//! the experiments rescale.
+
+pub mod custom;
+pub mod nexmark;
+pub mod twitch;
+
+pub use custom::{cluster_engine_config, custom, CustomParams};
+pub use nexmark::{nexmark_engine_config, q7, q8, Q7Params, Q8Params};
+pub use twitch::{twitch, twitch_engine_config, TwitchParams};

@@ -1,0 +1,27 @@
+use drrs_repro::baselines::MecesPlugin;
+use drrs_repro::engine::world::Sim;
+use drrs_repro::sim::time::secs;
+use drrs_repro::workloads::nexmark::{nexmark_engine_config, q7, Q7Params};
+fn main() {
+    let (mut world, op) = q7(nexmark_engine_config(1), &Q7Params::default());
+    world.schedule_scale(secs(300), op, 12);
+    let mut sim = Sim::new(world, Box::new(MecesPlugin::new()));
+    sim.run_until(secs(500));
+    let w = &sim.world;
+    let plan = w.scale.plan.as_ref().unwrap();
+    for m in &plan.moves {
+        let loc = w.scale.unit_loc.get(&(m.kg.0, 0)).copied();
+        let churn = w.scale.metrics.unit_migrations.get(&(m.kg.0, 0)).copied().unwrap_or(0);
+        if churn > 5 || loc.map(|(h,t)| t.is_some() || h != m.to).unwrap_or(true) {
+            println!("kg={} from={} to={} loc={:?} churn={}", m.kg.0, m.from.0, m.to.0, loc, churn);
+        }
+    }
+    // queue state of involved instances
+    for &i in &w.ops[op.0 as usize].instances {
+        let inst = &w.insts[i.0 as usize];
+        let q: usize = inst.in_channels.iter().map(|c| w.chans[c.0 as usize].queue.len()).sum();
+        if q > 0 || inst.suspended_since.is_some() {
+            println!("inst {} q={} suspended={:?} busy={}", i.0, q, inst.suspended_since.map(|s| s/1000000), inst.busy);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `drrs-repro` — umbrella crate for the DRRS reproduction.
+//!
+//! Re-exports the workspace crates so that examples and integration tests
+//! can `use drrs_repro::...` a single coherent API:
+//!
+//! * [`engine`] — the `streamflow` stream-processing substrate,
+//! * [`drrs`] — the paper's mechanism (Decoupling & Re-routing, Record
+//!   Scheduling, Subscale Division),
+//! * [`baselines`] — Megaphone, Meces, generalized OTFS, Unbound,
+//!   Stop-Checkpoint-Restart,
+//! * [`workloads`] — NEXMark Q7/Q8, the Twitch pipeline, and the custom
+//!   3-operator sensitivity workload,
+//! * [`sim`] — the deterministic simulation kernel.
+
+pub use baselines;
+pub use drrs_core as drrs;
+pub use simcore as sim;
+pub use streamflow as engine;
+pub use workloads;

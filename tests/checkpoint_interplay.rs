@@ -1,0 +1,54 @@
+//! Fault-tolerance compatibility (paper §IV-C, Fig. 9): checkpoints and
+//! scaling must not run concurrently, and both must complete.
+
+use drrs_repro::drrs::FlexScaler;
+use drrs_repro::engine::world::tests_support::tiny_job;
+use drrs_repro::engine::world::Sim;
+use drrs_repro::engine::EngineConfig;
+use drrs_repro::sim::time::{ms, secs};
+
+#[test]
+fn checkpoints_pause_during_scaling_and_resume() {
+    let mut cfg = EngineConfig::test();
+    cfg.checkpoint_interval = Some(ms(500));
+    let (mut w, agg) = tiny_job(cfg, 3_000.0, 256, 2);
+    w.schedule_scale(secs(2), agg, 4);
+    let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+    sim.run_until(secs(10));
+
+    let w = &sim.world;
+    assert!(!w.scale.in_progress, "scale incomplete");
+    assert_eq!(w.semantics.violations(), 0);
+
+    let ckpts: Vec<u64> = w.metrics.checkpoints.points().iter().map(|&(t, _)| t).collect();
+    assert!(ckpts.len() >= 4, "too few checkpoints completed: {}", ckpts.len());
+    // Checkpoints both before the scale and after migration completed.
+    let done = w.scale.metrics.migration_done.expect("migration done");
+    assert!(ckpts.iter().any(|&t| t < secs(2)), "no pre-scale checkpoint");
+    assert!(ckpts.iter().any(|&t| t > done), "no post-scale checkpoint");
+    // No checkpoint completed in the deferral window between the scale
+    // request and migration completion (barriers already in flight at the
+    // request may still drain — allow a small grace period).
+    let grace = secs(1);
+    let overlapping = ckpts
+        .iter()
+        .filter(|&&t| t > secs(2) + grace && t < done)
+        .count();
+    assert_eq!(overlapping, 0, "checkpoints completed mid-scale: {ckpts:?}");
+}
+
+#[test]
+fn scaling_with_inflight_barrier_preserves_order() {
+    // Fire the scale right as a checkpoint is propagating: redirection must
+    // fence at the barrier (Fig. 9a) and the run must stay order-clean.
+    let mut cfg = EngineConfig::test();
+    cfg.checkpoint_interval = Some(ms(1_000));
+    let (mut w, agg) = tiny_job(cfg, 6_000.0, 256, 2);
+    // Checkpoint ticks land at 1.0s, 2.0s, ...; scale exactly then.
+    w.schedule_scale(ms(2_000), agg, 3);
+    let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+    sim.run_until(secs(10));
+    assert!(!sim.world.scale.in_progress);
+    assert_eq!(sim.world.semantics.violations(), 0);
+    assert!(sim.world.metrics.checkpoints.len() >= 2);
+}

@@ -1,0 +1,191 @@
+//! Property-based tests over the core data structures and the scaling
+//! invariants, per the repo's testing strategy (DESIGN.md §7).
+
+use std::collections::HashSet;
+
+use drrs_repro::drrs::{divide_subscales, FlexScaler, MechanismConfig};
+use drrs_repro::engine::ids::{key_group_of, sub_group_of, InstId, KeyGroup};
+use drrs_repro::engine::keygroup::{uniform_repartition, KgMove, RoutingTable};
+use drrs_repro::engine::state::{StateBackend, StateValue};
+use drrs_repro::engine::window::{Agg, PaneSet};
+use drrs_repro::engine::world::tests_support::tiny_job;
+use drrs_repro::engine::world::Sim;
+use drrs_repro::engine::EngineConfig;
+use drrs_repro::sim::time::secs;
+use drrs_repro::sim::{DetRng, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn key_groups_always_in_range(key in any::<u64>(), kgs in 1u16..=1024) {
+        prop_assert!(key_group_of(key, kgs).0 < kgs);
+    }
+
+    #[test]
+    fn sub_groups_always_in_range(key in any::<u64>(), fanout in 1u8..=16) {
+        prop_assert!(sub_group_of(key, 128, fanout) < fanout.max(1));
+    }
+
+    #[test]
+    fn uniform_routing_partitions_all_groups(kgs in 1u16..=512, n in 1u32..=64) {
+        let targets: Vec<InstId> = (0..n).map(InstId).collect();
+        let t = RoutingTable::uniform(kgs, &targets);
+        let mut counts = vec![0u32; n as usize];
+        for g in 0..kgs {
+            counts[t.route(KeyGroup(g)).0 as usize] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<u32>() as u16, kgs);
+        // Balanced to within one group.
+        let (lo, hi) = (counts.iter().min().copied().unwrap_or(0), counts.iter().max().copied().unwrap_or(0));
+        prop_assert!(hi - lo <= 1, "imbalance {:?}", counts);
+    }
+
+    #[test]
+    fn repartition_moves_are_minimal_and_consistent(kgs in 8u16..=256, old_n in 1u32..=16, add in 1u32..=8) {
+        let old_t: Vec<InstId> = (0..old_n).map(InstId).collect();
+        let new_t: Vec<InstId> = (0..old_n + add).map(InstId).collect();
+        let old = RoutingTable::uniform(kgs, &old_t);
+        let new = RoutingTable::uniform(kgs, &new_t);
+        let moves = uniform_repartition(&old, &new_t);
+        let moved: HashSet<u16> = moves.iter().map(|m| m.kg.0).collect();
+        prop_assert_eq!(moved.len(), moves.len(), "duplicate moves");
+        for g in 0..kgs {
+            let kg = KeyGroup(g);
+            if moved.contains(&g) {
+                prop_assert_ne!(old.route(kg), new.route(kg));
+            } else {
+                prop_assert_eq!(old.route(kg), new.route(kg));
+            }
+        }
+    }
+
+    #[test]
+    fn subscale_division_is_a_partition(n_moves in 1usize..200, target in 1usize..32) {
+        let moves: Vec<KgMove> = (0..n_moves)
+            .map(|i| KgMove {
+                kg: KeyGroup(i as u16),
+                from: InstId((i % 5) as u32),
+                to: InstId(10 + (i % 3) as u32),
+            })
+            .collect();
+        let subs = divide_subscales(&moves, target);
+        let mut seen = HashSet::new();
+        for s in &subs {
+            prop_assert!(!s.kgs.is_empty());
+            for kg in &s.kgs {
+                prop_assert!(seen.insert(kg.0), "kg {} in two subscales", kg.0);
+            }
+            // Single (from, to) pair per subscale.
+            for m in &moves {
+                if s.kgs.contains(&m.kg) {
+                    prop_assert_eq!(m.from, s.from);
+                    prop_assert_eq!(m.to, s.to);
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), n_moves);
+    }
+
+    #[test]
+    fn state_extract_install_preserves_counts(
+        keys in proptest::collection::vec((any::<u64>(), 1u64..1000), 1..50)
+    ) {
+        let mut b = StateBackend::new(16, 1);
+        for g in 0..16 {
+            b.ensure_group(KeyGroup(g));
+        }
+        let mut expect = std::collections::HashMap::new();
+        for &(k, c) in &keys {
+            let kg = key_group_of(k, 16);
+            if let StateValue::Count(v) = b.entry_or(kg, k, || StateValue::Count(0)) {
+                *v += c;
+            }
+            *expect.entry(k).or_insert(0u64) += c;
+        }
+        // Move every group to a second backend.
+        let mut b2 = StateBackend::new(16, 1);
+        for g in 0..16 {
+            for u in b.extract_group(KeyGroup(g)) {
+                b2.install(u, true);
+            }
+        }
+        prop_assert_eq!(b.total_keys(), 0);
+        prop_assert_eq!(b2.snapshot_counts(), expect);
+    }
+
+    #[test]
+    fn panes_window_agg_matches_naive(
+        events in proptest::collection::vec((0u64..1000, -100i64..100), 1..60),
+        slide in 1u64..50,
+        size_mult in 1u64..6
+    ) {
+        let size = slide * size_mult;
+        let mut p = PaneSet::default();
+        for &(t, v) in &events {
+            p.add(t, v, 1, slide, Agg::Sum);
+        }
+        let end: u64 = 1000;
+        let naive: i64 = events
+            .iter()
+            .filter(|&&(t, _)| (t / slide) * slide >= end.saturating_sub(size) && t < end)
+            .map(|&(_, v)| v)
+            .sum();
+        let got = p.window_agg(end, size, Agg::Sum).map(|(v, _)| v).unwrap_or(0);
+        prop_assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn zipf_samples_within_universe(n in 1usize..500, alpha in 0.0f64..2.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = DetRng::seed(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}
+
+proptest! {
+    // Full-simulation properties are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn drrs_preserves_order_under_randomized_scaling(
+        seed in 0u64..1000,
+        scale_at_ms in 500u64..3000,
+        subscales in 1usize..12,
+        new_par in 3usize..6
+    ) {
+        let mut cfg = EngineConfig::test();
+        cfg.seed = seed;
+        let (mut w, agg) = tiny_job(cfg, 5_000.0, 256, 2);
+        w.schedule_scale(scale_at_ms * 1_000, agg, new_par);
+        let mech = MechanismConfig { subscale_count: subscales, ..MechanismConfig::drrs() };
+        let mut sim = Sim::new(w, Box::new(FlexScaler::new(mech)));
+        sim.run_until(secs(12));
+        prop_assert!(!sim.world.scale.in_progress, "incomplete");
+        prop_assert_eq!(sim.world.semantics.violations(), 0);
+        // Conservation: each group owned exactly once.
+        let moves = sim.world.scale.plan.as_ref().expect("plan").moves.clone();
+        for m in &moves {
+            prop_assert!(sim.world.insts[m.to.0 as usize].state.holds_group(m.kg));
+        }
+    }
+
+    #[test]
+    fn channel_credits_never_oversubscribe(seed in 0u64..200) {
+        let mut cfg = EngineConfig::test();
+        cfg.seed = seed;
+        let (w, _) = tiny_job(cfg, 30_000.0, 64, 1);
+        let mut sim = Sim::new(w, Box::new(drrs_repro::engine::NoScale));
+        sim.run_until(secs(2));
+        for c in &sim.world.chans {
+            prop_assert!(
+                c.queued() + c.in_flight <= c.capacity,
+                "channel {:?} oversubscribed: {} queued + {} in flight > {}",
+                c.id, c.queued(), c.in_flight, c.capacity
+            );
+        }
+    }
+}

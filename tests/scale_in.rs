@@ -1,0 +1,55 @@
+//! Scale-in (contraction): the engine supports shrinking an operator; the
+//! DRRS machinery is direction-agnostic — key-groups migrate from retiring
+//! instances to survivors, the retiring instances drain and are removed.
+
+use drrs_repro::drrs::FlexScaler;
+use drrs_repro::engine::world::tests_support::tiny_job;
+use drrs_repro::engine::world::Sim;
+use drrs_repro::engine::{EngineConfig, KeyGroup};
+use drrs_repro::sim::time::secs;
+
+#[test]
+fn drrs_scale_in_4_to_2() {
+    let (mut w, agg) = tiny_job(EngineConfig::test(), 4_000.0, 512, 4);
+    w.schedule_scale(secs(2), agg, 2);
+    let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+    sim.run_until(secs(15));
+    let w = &sim.world;
+    assert!(!w.scale.in_progress, "scale-in migration incomplete");
+    assert_eq!(w.semantics.violations(), 0);
+    // The operator shrank to 2 live instances.
+    assert_eq!(w.ops[agg.0 as usize].instances.len(), 2, "retiring instances not removed");
+    assert!(w.scale.retiring.is_empty(), "instances stuck in retiring state");
+    // Every key-group is owned exactly once, by a survivor.
+    for g in 0..w.cfg.max_key_groups {
+        let holders: Vec<_> = w.ops[agg.0 as usize]
+            .instances
+            .iter()
+            .filter(|&&i| w.insts[i.0 as usize].state.holds_group(KeyGroup(g)))
+            .collect();
+        assert_eq!(holders.len(), 1, "key-group {g}: {holders:?}");
+    }
+    // The pipeline kept flowing throughout.
+    assert!(w.metrics.sink_records > 20_000);
+}
+
+#[test]
+fn scale_in_then_out_round_trip() {
+    let (mut w, agg) = tiny_job(EngineConfig::test(), 3_000.0, 256, 3);
+    w.schedule_scale(secs(2), agg, 2);
+    w.schedule_scale(secs(8), agg, 4);
+    let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+    sim.run_until(secs(20));
+    let w = &sim.world;
+    assert!(!w.scale.in_progress);
+    assert_eq!(w.semantics.violations(), 0);
+    assert_eq!(w.ops[agg.0 as usize].instances.len(), 4);
+    for g in 0..w.cfg.max_key_groups {
+        let holders = w.ops[agg.0 as usize]
+            .instances
+            .iter()
+            .filter(|&&i| w.insts[i.0 as usize].state.holds_group(KeyGroup(g)))
+            .count();
+        assert_eq!(holders, 1, "key-group {g} held {holders} times");
+    }
+}

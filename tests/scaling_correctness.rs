@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: every mechanism on a full pipeline, with
+//! the invariants the paper claims (semantics preservation, state
+//! conservation, completion).
+
+use drrs_repro::baselines::{megaphone, otfs_all_at_once, otfs_fluid, MecesPlugin, StopRestartPlugin, UnboundPlugin};
+use drrs_repro::drrs::{FlexScaler, MechanismConfig};
+use drrs_repro::engine::world::tests_support::tiny_job;
+use drrs_repro::engine::world::Sim;
+use drrs_repro::engine::{EngineConfig, ScalePlugin};
+use drrs_repro::sim::time::secs;
+
+fn scaled_run(plugin: Box<dyn ScalePlugin>, horizon: u64) -> Sim {
+    let (mut w, agg) = tiny_job(EngineConfig::test(), 4_000.0, 512, 2);
+    w.schedule_scale(secs(2), agg, 4);
+    let mut sim = Sim::new(w, plugin);
+    sim.run_until(secs(horizon));
+    sim
+}
+
+fn semantic_mechanisms() -> Vec<(&'static str, Box<dyn ScalePlugin>)> {
+    vec![
+        ("DRRS", Box::new(FlexScaler::drrs())),
+        ("DR", Box::new(FlexScaler::new(MechanismConfig::dr_only()))),
+        ("Schedule", Box::new(FlexScaler::new(MechanismConfig::schedule_only()))),
+        ("Subscale", Box::new(FlexScaler::new(MechanismConfig::subscale_only()))),
+        ("OTFS", Box::new(otfs_fluid())),
+        ("OTFS-AAO", Box::new(otfs_all_at_once())),
+        ("Megaphone", Box::new(megaphone(1))),
+        ("Stop-Restart", Box::new(StopRestartPlugin::new())),
+    ]
+}
+
+#[test]
+fn all_semantic_mechanisms_preserve_order_and_complete() {
+    for (name, plugin) in semantic_mechanisms() {
+        let sim = scaled_run(plugin, 25);
+        assert!(
+            !sim.world.scale.in_progress,
+            "{name}: migration incomplete at horizon"
+        );
+        assert_eq!(
+            sim.world.semantics.violations(),
+            0,
+            "{name}: order violations {:?}",
+            sim.world.semantics.samples()
+        );
+    }
+}
+
+#[test]
+fn all_mechanisms_conserve_state_units() {
+    // No key-group may be lost or duplicated, whatever the mechanism.
+    let mut all: Vec<(&str, Box<dyn ScalePlugin>)> = semantic_mechanisms();
+    all.push(("Meces", Box::new(MecesPlugin::new())));
+    for (name, plugin) in all {
+        let sim = scaled_run(plugin, 30);
+        let w = &sim.world;
+        let agg_op = w.scale.plan.as_ref().expect("plan").op;
+        for g in 0..w.cfg.max_key_groups {
+            let holders: Vec<_> = w.ops[agg_op.0 as usize]
+                .instances
+                .iter()
+                .filter(|&&i| {
+                    w.insts[i.0 as usize]
+                        .state
+                        .holds_group(drrs_repro::engine::KeyGroup(g))
+                })
+                .collect();
+            assert_eq!(holders.len(), 1, "{name}: key-group {g} held by {holders:?}");
+        }
+    }
+}
+
+#[test]
+fn meces_completes_but_may_reorder() {
+    let sim = scaled_run(Box::new(MecesPlugin::new()), 40);
+    assert!(!sim.world.scale.in_progress, "Meces incomplete");
+    // Violations may be zero at low load; the dedicated baseline test
+    // exercises the overload case. Here we only require conservation +
+    // completion (asserted above) and that the sink kept receiving.
+    assert!(sim.world.metrics.sink_records > 50_000);
+}
+
+#[test]
+fn unbound_total_counts_match_sink() {
+    let sim = scaled_run(Box::new(UnboundPlugin::new()), 20);
+    let w = &sim.world;
+    let agg_op = w.scale.plan.as_ref().expect("plan").op;
+    let total: u64 = w.ops[agg_op.0 as usize]
+        .instances
+        .iter()
+        .map(|&i| w.insts[i.0 as usize].state.snapshot_counts().values().sum::<u64>())
+        .sum();
+    assert_eq!(total, w.metrics.sink_records);
+}
+
+#[test]
+fn scaling_rebalances_load() {
+    // After a 2→4 DRRS scale, new instances end up owning state and doing work.
+    let sim = scaled_run(Box::new(FlexScaler::drrs()), 25);
+    let w = &sim.world;
+    let agg_op = w.scale.plan.as_ref().expect("plan").op;
+    for &i in &w.ops[agg_op.0 as usize].instances {
+        let inst = &w.insts[i.0 as usize];
+        assert!(inst.state.total_keys() > 0, "{i} owns no keys after rescale");
+        assert!(inst.processed > 0, "{i} processed nothing after rescale");
+    }
+}
+
+#[test]
+fn back_to_back_scales_supersede_cleanly() {
+    // Scale 2→3, then 3→4 after the first completes.
+    let (mut w, agg) = tiny_job(EngineConfig::test(), 3_000.0, 256, 2);
+    w.schedule_scale(secs(2), agg, 3);
+    w.schedule_scale(secs(6), agg, 4);
+    let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+    sim.run_until(secs(12));
+    assert_eq!(sim.world.ops[agg.0 as usize].instances.len(), 4);
+    assert!(!sim.world.scale.in_progress, "second scale incomplete");
+    assert_eq!(sim.world.semantics.violations(), 0);
+}

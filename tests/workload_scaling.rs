@@ -1,0 +1,126 @@
+//! Integration tests exercising the paper's actual workloads under scaling
+//! (compressed timelines; the full protocol lives in the bench binaries).
+
+use drrs_repro::baselines::MecesPlugin;
+use drrs_repro::drrs::FlexScaler;
+use drrs_repro::engine::world::Sim;
+use drrs_repro::sim::time::secs;
+use drrs_repro::workloads::custom::{cluster_engine_config, custom, CustomParams};
+use drrs_repro::workloads::nexmark::{nexmark_engine_config, q7, q8, Q7Params, Q8Params};
+use drrs_repro::workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
+
+#[test]
+fn q7_scales_8_to_12_under_drrs() {
+    let mut cfg = nexmark_engine_config(1);
+    cfg.check_semantics = true;
+    let p = Q7Params {
+        tps: 8_000.0,
+        ..Default::default()
+    };
+    let (mut w, op) = q7(cfg, &p);
+    w.schedule_scale(secs(30), op, 12);
+    let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+    sim.run_until(secs(90));
+    assert!(!sim.world.scale.in_progress, "Q7 scale incomplete");
+    assert_eq!(sim.world.semantics.violations(), 0);
+    assert_eq!(sim.world.scale.plan.as_ref().expect("plan").moves.len(), 111);
+}
+
+#[test]
+fn q8_dual_keyed_input_scales_cleanly() {
+    // Q8's join has TWO keyed input edges — both routing-table sets must
+    // flip consistently.
+    let mut cfg = nexmark_engine_config(2);
+    cfg.check_semantics = true;
+    let p = Q8Params {
+        tps: 800.0,
+        window: secs(10),
+        ..Default::default()
+    };
+    let (mut w, op) = q8(cfg, &p);
+    w.schedule_scale(secs(20), op, 12);
+    let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+    sim.run_until(secs(120));
+    assert!(!sim.world.scale.in_progress, "Q8 scale incomplete");
+    assert_eq!(sim.world.semantics.violations(), 0);
+    // Both keyed edges now route every moving group to its new owner on
+    // every predecessor's table.
+    let plan = sim.world.scale.plan.as_ref().expect("plan").clone();
+    for e in sim.world.keyed_in_edges(op) {
+        for table in sim.world.edges[e.0 as usize].tables.values() {
+            for m in &plan.moves {
+                assert_eq!(table.route(m.kg), m.to, "stale routing on edge {}", e.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn twitch_pipeline_scales_mid_stream() {
+    let p = TwitchParams {
+        events: 800_000,
+        duration_s: 200,
+        parallelism: 8,
+        batch: 2,
+    };
+    let mut cfg = twitch_engine_config(3);
+    cfg.check_semantics = true;
+    let (mut w, op) = twitch(cfg, &p);
+    w.schedule_scale(secs(40), op, 12);
+    let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+    sim.run_until(secs(120));
+    assert!(!sim.world.scale.in_progress);
+    assert_eq!(sim.world.semantics.violations(), 0);
+    assert!(sim.world.metrics.sink_records > 200_000);
+}
+
+#[test]
+fn custom_cluster_scale_25_to_30_with_meces() {
+    let p = CustomParams {
+        tps: 5_000.0,
+        total_state_bytes: 500_000_000,
+        universe: 20_000,
+        skew: 0.5,
+        ..Default::default()
+    };
+    let (mut w, op) = custom(cluster_engine_config(4), &p);
+    w.schedule_scale(secs(20), op, 30);
+    let mut sim = Sim::new(w, Box::new(MecesPlugin::new()));
+    sim.run_until(secs(120));
+    assert!(!sim.world.scale.in_progress, "Meces cluster scale incomplete");
+    assert_eq!(sim.world.ops[op.0 as usize].instances.len(), 30);
+}
+
+#[test]
+fn concurrent_scale_requests_supersede() {
+    // Two requests fired while the first is still migrating: the engine
+    // defers (paper §IV-B — the later supersedes), and the final
+    // parallelism wins with no unit lost.
+    let mut cfg = nexmark_engine_config(5);
+    cfg.check_semantics = true;
+    let p = Q7Params {
+        tps: 6_000.0,
+        ..Default::default()
+    };
+    let (mut w, op) = q7(cfg, &p);
+    w.schedule_scale(secs(20), op, 10);
+    w.schedule_scale(secs(21), op, 12); // lands mid-deploy/migration
+    let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+    sim.run_until(secs(150));
+    assert_eq!(sim.world.ops[op.0 as usize].instances.len(), 12);
+    assert!(!sim.world.scale.in_progress);
+    assert_eq!(sim.world.semantics.violations(), 0);
+    // Conservation across the two scales.
+    for g in 0..sim.world.cfg.max_key_groups {
+        let holders = sim.world.ops[op.0 as usize]
+            .instances
+            .iter()
+            .filter(|&&i| {
+                sim.world.insts[i.0 as usize]
+                    .state
+                    .holds_group(drrs_repro::engine::KeyGroup(g))
+            })
+            .count();
+        assert_eq!(holders, 1, "key-group {g} held {holders} times");
+    }
+}
