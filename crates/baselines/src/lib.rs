@@ -85,7 +85,7 @@ mod tests {
             sim.run_until(secs(15));
             sim.world.scale.metrics.cumulative_propagation_delay()
         };
-        let meces = run(Box::new(MecesPlugin::new()));
+        let meces = run(Box::<MecesPlugin>::default());
         let otfs = run(Box::new(otfs_fluid()));
         assert!(
             meces < otfs,
@@ -149,13 +149,19 @@ mod tests {
         sim.run_until(secs(3));
         let mid = sim.world.metrics.sink_records;
         sim.run_until(secs(4));
-        assert_eq!(mid, sim.world.metrics.sink_records, "halted system delivered records");
+        assert_eq!(
+            mid, sim.world.metrics.sink_records,
+            "halted system delivered records"
+        );
         sim.run_until(secs(20));
         assert!(!sim.world.scale.in_progress);
         assert!(sim.world.metrics.sink_records > mid, "system never resumed");
         assert_eq!(sim.world.semantics.violations(), 0);
         // Restart causes a visible latency cliff.
         let (peak, _) = sim.world.metrics.latency_stats_ms(secs(2), secs(15));
-        assert!(peak > 5_000.0, "expected multi-second restart spike, saw {peak} ms");
+        assert!(
+            peak > 5_000.0,
+            "expected multi-second restart spike, saw {peak} ms"
+        );
     }
 }

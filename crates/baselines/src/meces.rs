@@ -116,7 +116,9 @@ impl MecesPlugin {
         if self.requested.contains(&(requester, unit)) {
             return;
         }
-        let Some(&(holder, in_transit)) = w.scale.unit_loc.get(&unit) else { return };
+        let Some(&(holder, in_transit)) = w.scale.unit_loc.get(&unit) else {
+            return;
+        };
         if in_transit.is_some() || holder == requester {
             return; // already on the move (or arriving here): wait
         }
@@ -135,7 +137,9 @@ impl MecesPlugin {
     }
 
     fn replay_orphans(&mut self, w: &mut World, inst: InstId) {
-        let Some(buf) = self.orphans.get_mut(&inst) else { return };
+        let Some(buf) = self.orphans.get_mut(&inst) else {
+            return;
+        };
         if buf.is_empty() {
             return;
         }
@@ -158,8 +162,13 @@ impl MecesPlugin {
 
     fn background_pump(&mut self, w: &mut World) {
         let mut moved = 0;
-        let entries: Vec<((u16, u8), (InstId, Option<InstId>))> =
+        #[allow(clippy::type_complexity)]
+        let mut entries: Vec<((u16, u8), (InstId, Option<InstId>))> =
             w.scale.unit_loc.iter().map(|(&u, &l)| (u, l)).collect();
+        // Canonical order: map iteration order must never pick which units
+        // migrate this pump (same seed ⇒ same run, the repo's determinism
+        // invariant).
+        entries.sort_unstable_by_key(|&(u, _)| u);
         for (unit, (holder, transit)) in entries {
             if moved >= self.background_batch {
                 break;
@@ -167,7 +176,9 @@ impl MecesPlugin {
             if transit.is_some() {
                 continue;
             }
-            let Some(&dest) = self.dest.get(&unit) else { continue };
+            let Some(&dest) = self.dest.get(&unit) else {
+                continue;
+            };
             if holder == dest {
                 continue;
             }
@@ -177,7 +188,14 @@ impl MecesPlugin {
         }
     }
 
-    fn serve_fetch(&mut self, w: &mut World, inst: InstId, kg: KeyGroup, sub: u8, requester: InstId) {
+    fn serve_fetch(
+        &mut self,
+        w: &mut World,
+        inst: InstId,
+        kg: KeyGroup,
+        sub: u8,
+        requester: InstId,
+    ) {
         // Serve the fetch if we still hold the unit; otherwise the requester
         // re-fetches when it observes the next install. A unit that only
         // just arrived is held briefly so the holder can make progress.
@@ -198,10 +216,13 @@ impl MecesPlugin {
         if self.done || !self.started {
             return;
         }
-        let settled = self
-            .dest
-            .iter()
-            .all(|(u, &d)| w.scale.unit_loc.get(u).map(|&(h, t)| h == d && t.is_none()).unwrap_or(false));
+        let settled = self.dest.iter().all(|(u, &d)| {
+            w.scale
+                .unit_loc
+                .get(u)
+                .map(|&(h, t)| h == d && t.is_none())
+                .unwrap_or(false)
+        });
         let orphans_empty = self.orphans.values().all(|v| v.is_empty());
         if settled && orphans_empty {
             self.done = true;
@@ -225,7 +246,7 @@ impl ScalePlugin for MecesPlugin {
         let now = w.now();
         // Single synchronization: flip every predecessor's routing at once.
         let kgs: Vec<KeyGroup> = plan.moves.iter().map(|m| m.kg).collect();
-        for pred in w.predecessors(plan.op) {
+        for pred in w.predecessors(plan.op).to_vec() {
             for m in &plan.moves {
                 w.reroute_groups(plan.op, pred, &[m.kg], m.to);
             }
@@ -280,7 +301,14 @@ impl ScalePlugin for MecesPlugin {
         self.serve_fetch(w, inst, kg, sub, requester);
     }
 
-    fn on_chunk(&mut self, w: &mut World, inst: InstId, unit: StateUnit, _ss: SubscaleId, _from: InstId) {
+    fn on_chunk(
+        &mut self,
+        w: &mut World,
+        inst: InstId,
+        unit: StateUnit,
+        _ss: SubscaleId,
+        _from: InstId,
+    ) {
         let key = (unit.kg.0, unit.sub);
         self.arrived_at.insert(key, w.now());
         w.install_unit(inst, unit, true);
@@ -323,6 +351,8 @@ impl ScalePlugin for MecesPlugin {
     /// Active-channel selection (no scheduling buffer, per the paper), with
     /// Meces' record-forwarding path for units that exhausted their
     /// fetch-back budget.
+    // See FlexScaler::select: the peek borrow must not span the body.
+    #[allow(clippy::while_let_loop)]
     fn select(&mut self, w: &mut World, inst: InstId) -> Selection {
         let (n, start) = {
             let i = &w.insts[inst.0 as usize];
@@ -338,7 +368,9 @@ impl ScalePlugin for MecesPlugin {
                 continue;
             }
             loop {
-                let Some(front) = w.chans[ch.0 as usize].queue.front() else { break };
+                let Some(front) = w.chans[ch.0 as usize].queue.front() else {
+                    break;
+                };
                 match front {
                     StreamElement::Record(r) => {
                         w.insts[inst.0 as usize].active_ch = idx;
@@ -364,7 +396,10 @@ impl ScalePlugin for MecesPlugin {
                             };
                             w.send_priority(
                                 dest,
-                                PriorityMsg::ReroutedRecords { from: inst, records: vec![rec] },
+                                PriorityMsg::ReroutedRecords {
+                                    from: inst,
+                                    records: vec![rec],
+                                },
                             );
                             continue;
                         }
@@ -381,7 +416,13 @@ impl ScalePlugin for MecesPlugin {
         Selection::Idle
     }
 
-    fn on_rerouted_records(&mut self, w: &mut World, inst: InstId, _from: InstId, records: Vec<Record>) {
+    fn on_rerouted_records(
+        &mut self,
+        w: &mut World,
+        inst: InstId,
+        _from: InstId,
+        records: Vec<Record>,
+    ) {
         for rec in records {
             let (kg, sub) = Self::unit_of(w, inst, rec.key);
             if w.insts[inst.0 as usize].state.holds(kg, sub) {
@@ -406,7 +447,10 @@ impl ScalePlugin for MecesPlugin {
         } else if let Some(&dest) = self.dest.get(&(kg.0, sub)) {
             w.send_priority(
                 dest,
-                PriorityMsg::ReroutedRecords { from: inst, records: vec![rec.clone()] },
+                PriorityMsg::ReroutedRecords {
+                    from: inst,
+                    records: vec![rec.clone()],
+                },
             );
         }
         true

@@ -82,7 +82,7 @@ impl ScalePlugin for StopRestartPlugin {
         let plan = self.plan.clone().expect("resume after start");
         // Restore = direct installation at the new owners (state comes from
         // the checkpoint store, not the old instances' memory).
-        for pred in w.predecessors(plan.op) {
+        for pred in w.predecessors(plan.op).to_vec() {
             for m in &plan.moves {
                 w.reroute_groups(plan.op, pred, &[m.kg], m.to);
             }
@@ -98,7 +98,14 @@ impl ScalePlugin for StopRestartPlugin {
     }
 
     fn on_signal(&mut self, _w: &mut World, _i: InstId, _c: ChannelId, _s: ScaleSignal) {}
-    fn on_chunk(&mut self, w: &mut World, inst: InstId, unit: StateUnit, _ss: SubscaleId, _f: InstId) {
+    fn on_chunk(
+        &mut self,
+        w: &mut World,
+        inst: InstId,
+        unit: StateUnit,
+        _ss: SubscaleId,
+        _f: InstId,
+    ) {
         w.install_unit(inst, unit, true);
     }
     fn admit(&mut self, _w: &mut World, _i: InstId, _c: ChannelId, _r: &Record) -> bool {

@@ -44,7 +44,7 @@ impl ScalePlugin for UnboundPlugin {
         w.scale.metrics.injected.insert(SubscaleId(0), now);
         let fanout = w.cfg.sub_group_fanout.max(1);
         // Independent routing update + migration trigger, no signals.
-        for pred in w.predecessors(plan.op) {
+        for pred in w.predecessors(plan.op).to_vec() {
             for m in &plan.moves {
                 w.reroute_groups(plan.op, pred, &[m.kg], m.to);
             }
@@ -59,7 +59,14 @@ impl ScalePlugin for UnboundPlugin {
 
     fn on_signal(&mut self, _w: &mut World, _i: InstId, _c: ChannelId, _s: ScaleSignal) {}
 
-    fn on_chunk(&mut self, w: &mut World, inst: InstId, unit: StateUnit, _ss: SubscaleId, _from: InstId) {
+    fn on_chunk(
+        &mut self,
+        w: &mut World,
+        inst: InstId,
+        unit: StateUnit,
+        _ss: SubscaleId,
+        _from: InstId,
+    ) {
         // Merge into whatever local state exists: the instance may already
         // have created a universal-key group for these keys.
         let kg = unit.kg;
@@ -74,7 +81,9 @@ impl ScalePlugin for UnboundPlugin {
                 merge_value(slot, &v);
             }
             if let Some(k) = some_key {
-                w.insts[inst.0 as usize].state.add_bytes(kg, k, bytes as i64);
+                w.insts[inst.0 as usize]
+                    .state
+                    .add_bytes(kg, k, bytes as i64);
             }
             w.wake(inst);
         } else {
@@ -129,4 +138,3 @@ fn merge_value(acc: &mut streamflow::state::StateValue, v: &streamflow::state::S
         _ => {}
     }
 }
-

@@ -152,6 +152,57 @@ fn bench_end_to_end(c: &mut Criterion) {
             black_box(sim.world.scale.metrics.migration_done)
         })
     });
+    // Scaling-in-progress paths: these spend most of the run with a plan
+    // active, exercising admission filters, re-routed records, migration
+    // links and the retirement sweep — the paths the dispatch-loop
+    // optimisations must not regress.
+    g.bench_function("megaphone_rescale_5s", |b| {
+        b.iter(|| {
+            let (mut w, agg) = tiny_job(EngineConfig::test(), 10_000.0, 256, 4);
+            w.schedule_scale(secs(1), agg, 6);
+            let mut sim = Sim::new(w, Box::new(baselines::megaphone(4)));
+            sim.run_until(secs(5));
+            black_box(sim.world.scale.metrics.migration_done)
+        })
+    });
+    g.bench_function("drrs_scale_in_5s", |b| {
+        b.iter(|| {
+            let (mut w, agg) = tiny_job(EngineConfig::test(), 10_000.0, 256, 6);
+            w.schedule_scale(secs(1), agg, 3);
+            let mut sim = Sim::new(w, Box::new(drrs_core::FlexScaler::drrs()));
+            sim.run_until(secs(5));
+            black_box((
+                sim.world.scale.metrics.migration_done,
+                sim.world.metrics.sink_records,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_dense_backend_hot_access(c: &mut Criterion) {
+    // The per-record state path in isolation: key-group lookup + dense
+    // slot indexing + FxHash entry access, mirroring what `apply_record`
+    // does per data record.
+    let mut g = c.benchmark_group("state_backend");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("hot_path_update_10k", |b| {
+        let mut backend = StateBackend::new(128, 1);
+        for kg in 0..128 {
+            backend.ensure_group(KeyGroup(kg));
+        }
+        // Realistic key universe: many more keys than groups.
+        b.iter(|| {
+            for k in 0..10_000u64 {
+                let kg = key_group_of(k, 128);
+                if let StateValue::Count(c) = backend.entry_or(kg, k, || StateValue::Count(0)) {
+                    *c += 1;
+                }
+                backend.add_bytes(kg, k, 1);
+            }
+            black_box(backend.total_keys())
+        })
+    });
     g.finish();
 }
 
@@ -160,6 +211,7 @@ criterion_group!(
     bench_event_queue,
     bench_routing,
     bench_state_backend,
+    bench_dense_backend_hot_access,
     bench_panes,
     bench_zipf,
     bench_end_to_end

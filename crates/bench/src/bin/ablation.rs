@@ -15,19 +15,37 @@ use simcore::time::{ms, secs};
 use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
 
 fn main() {
-    let (scale_at, window_end) = if quick() { (secs(60), secs(140)) } else { (secs(300), secs(475)) };
+    let (scale_at, window_end) = if quick() {
+        (secs(60), secs(140))
+    } else {
+        (secs(300), secs(475))
+    };
     let horizon = window_end + secs(40);
     let params = if quick() {
-        TwitchParams { events: 1_200_000, duration_s: 300, ..Default::default() }
+        TwitchParams {
+            events: 1_200_000,
+            duration_s: 300,
+            ..Default::default()
+        }
     } else {
         TwitchParams::default()
     };
 
     let go = |label: String, cfg: MechanismConfig| {
         let (w, op) = twitch(twitch_engine_config(99), &params);
-        let r = run("DRRS", w, op, Box::new(FlexScaler::new(cfg)), scale_at, 12, horizon);
+        let r = run(
+            "DRRS",
+            w,
+            op,
+            Box::new(FlexScaler::new(cfg)),
+            scale_at,
+            12,
+            horizon,
+        );
         let (peak, avg) = r.latency_ms(scale_at, window_end);
-        let done = r.migration_done().map(|t| t as f64 / 1e6 - scale_at as f64 / 1e6);
+        let done = r
+            .migration_done()
+            .map(|t| t as f64 / 1e6 - scale_at as f64 / 1e6);
         println!(
             "{label:<34} peak {peak:>8.0} ms  avg {avg:>7.0} ms  migration {:>6.1} s  susp {:>8.0} ms",
             done.unwrap_or(f64::NAN),
@@ -37,13 +55,19 @@ fn main() {
 
     println!("=== Ablation A: subscale count (concurrency 2) ===");
     for n in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = MechanismConfig { subscale_count: n, ..MechanismConfig::drrs() };
+        let cfg = MechanismConfig {
+            subscale_count: n,
+            ..MechanismConfig::drrs()
+        };
         go(format!("subscales={n}"), cfg);
     }
 
     println!("\n=== Ablation B: concurrency threshold (8 subscales) ===");
     for limit in [1usize, 2, 4, 64] {
-        let cfg = MechanismConfig { concurrency_limit: limit, ..MechanismConfig::drrs() };
+        let cfg = MechanismConfig {
+            concurrency_limit: limit,
+            ..MechanismConfig::drrs()
+        };
         go(format!("concurrency={limit}"), cfg);
     }
 
@@ -65,9 +89,19 @@ fn main() {
     for batch in [1usize, 4, 16, 64] {
         let cfg = MechanismConfig::megaphone(batch);
         let (w, op) = twitch(twitch_engine_config(99), &params);
-        let r = run("Megaphone", w, op, Box::new(FlexScaler::new(cfg)), scale_at, 12, horizon);
+        let r = run(
+            "Megaphone",
+            w,
+            op,
+            Box::new(FlexScaler::new(cfg)),
+            scale_at,
+            12,
+            horizon,
+        );
         let (peak, avg) = r.latency_ms(scale_at, window_end);
-        let done = r.migration_done().map(|t| t as f64 / 1e6 - scale_at as f64 / 1e6);
+        let done = r
+            .migration_done()
+            .map(|t| t as f64 / 1e6 - scale_at as f64 / 1e6);
         println!(
             "megaphone batch={batch:<3}                peak {peak:>8.0} ms  avg {avg:>7.0} ms  migration {:>6.1} s",
             done.unwrap_or(f64::NAN)
@@ -79,14 +113,25 @@ fn main() {
     // on Q7: same total window, slide = size (tumbling) vs 500 ms slides.
     println!("\n=== Ablation D: sliding vs tumbling windows under scaling (Q7) ===");
     use workloads::nexmark::{nexmark_engine_config, q7, Q7Params};
-    for (label, slide) in [("sliding 500ms (paper)", ms(500)), ("tumbling (slide=size)", secs(10))] {
+    for (label, slide) in [
+        ("sliding 500ms (paper)", ms(500)),
+        ("tumbling (slide=size)", secs(10)),
+    ] {
         let p = Q7Params {
             tps: if quick() { 10_000.0 } else { 20_000.0 },
             slide,
             ..Default::default()
         };
         let (w, op) = q7(nexmark_engine_config(77), &p);
-        let r = run("DRRS", w, op, Box::new(FlexScaler::drrs()), scale_at, 12, horizon);
+        let r = run(
+            "DRRS",
+            w,
+            op,
+            Box::new(FlexScaler::drrs()),
+            scale_at,
+            12,
+            horizon,
+        );
         let (peak, avg) = r.latency_ms(scale_at, window_end);
         println!("{label:<34} peak {peak:>8.0} ms  avg {avg:>7.0} ms");
     }

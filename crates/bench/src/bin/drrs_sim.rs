@@ -8,7 +8,9 @@
 //!     --from 8 --to 12 --scale-at 60 --horizon 180 --seed 1
 //! ```
 
-use baselines::{megaphone, otfs_all_at_once, otfs_fluid, MecesPlugin, StopRestartPlugin, UnboundPlugin};
+use baselines::{
+    megaphone, otfs_all_at_once, otfs_fluid, MecesPlugin, StopRestartPlugin, UnboundPlugin,
+};
 use drrs_core::{FlexScaler, MechanismConfig};
 use simcore::time::secs;
 use streamflow::world::Sim;
@@ -80,12 +82,26 @@ fn build_workload(a: &Args) -> (World, OpId) {
         "q7" => {
             let mut cfg = nexmark_engine_config(a.seed);
             cfg.check_semantics = true;
-            q7(cfg, &Q7Params { tps: a.rate, parallelism: a.from, ..Default::default() })
+            q7(
+                cfg,
+                &Q7Params {
+                    tps: a.rate,
+                    parallelism: a.from,
+                    ..Default::default()
+                },
+            )
         }
         "q8" => {
             let mut cfg = nexmark_engine_config(a.seed);
             cfg.check_semantics = true;
-            q8(cfg, &Q8Params { tps: a.rate, parallelism: a.from, ..Default::default() })
+            q8(
+                cfg,
+                &Q8Params {
+                    tps: a.rate,
+                    parallelism: a.from,
+                    ..Default::default()
+                },
+            )
         }
         "twitch" => {
             let mut cfg = twitch_engine_config(a.seed);
@@ -147,11 +163,20 @@ fn main() {
     let w = &sim.world;
     let sm = &w.scale.metrics;
     println!("== drrs-sim report ==");
-    println!("workload {} · mechanism {} · {} -> {} instances at {} s · seed {}",
-        a.workload, sim.plugin.name(), a.from, a.to, a.scale_at, a.seed);
+    println!(
+        "workload {} · mechanism {} · {} -> {} instances at {} s · seed {}",
+        a.workload,
+        sim.plugin.name(),
+        a.from,
+        a.to,
+        a.scale_at,
+        a.seed
+    );
     println!();
     println!("sink records            : {}", w.metrics.sink_records);
-    let (peak, avg) = w.metrics.latency_stats_ms(secs(a.scale_at), secs(a.horizon));
+    let (peak, avg) = w
+        .metrics
+        .latency_stats_ms(secs(a.scale_at), secs(a.horizon));
     println!("latency (scaling window): peak {peak:.1} ms, avg {avg:.1} ms");
     for q in [0.5, 0.9, 0.99] {
         if let Some(v) = w.metrics.latency_quantile_ms(q) {
@@ -165,8 +190,14 @@ fn main() {
             sm.bytes_transferred as f64 / 1e6,
             sm.migration_done.map(|t| t / 1_000_000)
         );
-        println!("propagation delay  (Lp) : {:.1} ms", sm.cumulative_propagation_delay() as f64 / 1e3);
-        println!("dependency overhead(Ld) : {:.1} ms", sm.avg_dependency_overhead() / 1e3);
+        println!(
+            "propagation delay  (Lp) : {:.1} ms",
+            sm.cumulative_propagation_delay() as f64 / 1e3
+        );
+        println!(
+            "dependency overhead(Ld) : {:.1} ms",
+            sm.avg_dependency_overhead() / 1e3
+        );
         let susp: u64 = w.ops[op.0 as usize]
             .instances
             .iter()

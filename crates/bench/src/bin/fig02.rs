@@ -15,7 +15,11 @@ use streamflow::NoScale;
 use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
 
 fn main() {
-    let (scale_at, end) = if quick() { (secs(60), secs(140)) } else { (secs(250), secs(450)) };
+    let (scale_at, end) = if quick() {
+        (secs(60), secs(140))
+    } else {
+        (secs(250), secs(450))
+    };
     let horizon = end + secs(30);
     let params = if quick() {
         TwitchParams {
@@ -28,14 +32,14 @@ fn main() {
     };
 
     println!("=== Fig. 2: Unbound vs OTFS vs No Scale (Twitch, fixed rate) ===");
-    println!("scaling during [{}, {}] s, 8 -> 12 instances\n", scale_at / 1_000_000, end / 1_000_000);
+    println!(
+        "scaling during [{}, {}] s, 8 -> 12 instances\n",
+        scale_at / 1_000_000,
+        end / 1_000_000
+    );
 
     let mut rows = Vec::new();
-    for (name, mk) in [
-        ("Unbound", 0usize),
-        ("OTFS", 1),
-        ("No Scale", 2),
-    ] {
+    for (name, mk) in [("Unbound", 0usize), ("OTFS", 1), ("No Scale", 2)] {
         let mut cfg = twitch_engine_config(42);
         cfg.check_semantics = true; // order violations are part of this figure's story
         let (w, op) = twitch(cfg, &params);
@@ -61,7 +65,10 @@ fn main() {
 
     println!("During: [{}, {}] s", scale_at / 1_000_000, end / 1_000_000);
     println!("--------------------------------------------");
-    println!("{:<10} {:>12} {:>12} {:>10}", "", "Peak(ms)", "Average(ms)", "OrderViol");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "", "Peak(ms)", "Average(ms)", "OrderViol"
+    );
     for (n, p, a, v) in &rows {
         println!("{n:<10} {p:>12.0} {a:>12.0} {v:>10}");
     }
@@ -70,7 +77,10 @@ fn main() {
     println!("            avg  OTFS  4399 / Unbound 1583 / NoScale 1266");
     let otfs = rows.iter().find(|r| r.0 == "OTFS").expect("otfs row");
     let unb = rows.iter().find(|r| r.0 == "Unbound").expect("unbound row");
-    let ns = rows.iter().find(|r| r.0 == "No Scale").expect("noscale row");
+    let ns = rows
+        .iter()
+        .find(|r| r.0 == "No Scale")
+        .expect("noscale row");
     println!(
         "shape check: OTFS/NoScale avg = {:.2}x (paper 3.47x), Unbound/NoScale avg = {:.2}x (paper 1.25x)",
         otfs.2 / ns.2.max(1.0),

@@ -44,7 +44,13 @@ fn workloads_under_test() -> Vec<Workload> {
             Workload {
                 name: "Q7",
                 build: Box::new(|seed| {
-                    q7(nexmark_engine_config(seed), &Q7Params { tps: 10_000.0, ..Default::default() })
+                    q7(
+                        nexmark_engine_config(seed),
+                        &Q7Params {
+                            tps: 10_000.0,
+                            ..Default::default()
+                        },
+                    )
                 }),
                 horizon: secs(200),
             },
@@ -53,7 +59,11 @@ fn workloads_under_test() -> Vec<Workload> {
                 build: Box::new(|seed| {
                     twitch(
                         twitch_engine_config(seed),
-                        &TwitchParams { events: 1_200_000, duration_s: 300, ..Default::default() },
+                        &TwitchParams {
+                            events: 1_200_000,
+                            duration_s: 300,
+                            ..Default::default()
+                        },
                     )
                 }),
                 horizon: secs(200),
@@ -73,7 +83,9 @@ fn workloads_under_test() -> Vec<Workload> {
             },
             Workload {
                 name: "Twitch",
-                build: Box::new(|seed| twitch(twitch_engine_config(seed), &TwitchParams::default())),
+                build: Box::new(|seed| {
+                    twitch(twitch_engine_config(seed), &TwitchParams::default())
+                }),
                 horizon: secs(650),
             },
         ]
@@ -85,7 +97,11 @@ fn main() {
     let seeds: Vec<u64> = if quick() { vec![1] } else { vec![1, 2] };
 
     for wl in workloads_under_test() {
-        println!("=== {} (scale at {} s, 8 -> 12 instances) ===", wl.name, scale_at / 1_000_000);
+        println!(
+            "=== {} (scale at {} s, 8 -> 12 instances) ===",
+            wl.name,
+            scale_at / 1_000_000
+        );
         // First pass: run everything and find the longest scaling period —
         // the paper uses "the longest observed scaling period among all
         // three methods as the statistical basis".
@@ -107,6 +123,7 @@ fn main() {
             scale_at / 1_000_000,
             longest_end / 1_000_000
         );
+        #[allow(clippy::type_complexity)]
         let mut table: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
         for (mech, per_seed) in &runs {
             let mut peaks = Vec::new();

@@ -28,7 +28,8 @@ fn main() {
         vec![("Q7", 620), ("Q8", 900), ("Twitch", 650)]
     };
 
-    let mut lp_rows: Vec<(String, Vec<f64>)> = names.iter().map(|n| (n.to_string(), vec![])).collect();
+    let mut lp_rows: Vec<(String, Vec<f64>)> =
+        names.iter().map(|n| (n.to_string(), vec![])).collect();
     let mut ld_rows = lp_rows.clone();
     let mut churn_rows: Vec<(String, Vec<(f64, u32)>)> =
         names.iter().map(|n| (n.to_string(), vec![])).collect();
@@ -38,13 +39,24 @@ fn main() {
         for (mi, mech) in names.iter().enumerate() {
             let (w, op) = match *wname {
                 "Q7" => {
-                    let p = if quick() { Q7Params { tps: 10_000.0, ..Default::default() } } else { Q7Params::default() };
+                    let p = if quick() {
+                        Q7Params {
+                            tps: 10_000.0,
+                            ..Default::default()
+                        }
+                    } else {
+                        Q7Params::default()
+                    };
                     q7(nexmark_engine_config(7), &p)
                 }
                 "Q8" => q8(nexmark_engine_config(7), &Q8Params::default()),
                 _ => {
                     let p = if quick() {
-                        TwitchParams { events: 1_200_000, duration_s: 300, ..Default::default() }
+                        TwitchParams {
+                            events: 1_200_000,
+                            duration_s: 300,
+                            ..Default::default()
+                        }
                     } else {
                         TwitchParams::default()
                     };
@@ -73,10 +85,17 @@ fn main() {
                 .iter()
                 .map(|&(t, v)| (t / 1_000_000, v / 1_000.0))
                 .collect();
-            print_series("Fig.13 cumulative suspension", &susp, if quick() { 10 } else { 25 }, "ms");
+            print_series(
+                "Fig.13 cumulative suspension",
+                &susp,
+                if quick() { 10 } else { 25 },
+                "ms",
+            );
             lp_rows[mi].1.push(r.lp_ms());
             ld_rows[mi].1.push(r.ld_ms());
-            churn_rows[mi].1.push(r.sim.world.scale.metrics.migration_churn());
+            churn_rows[mi]
+                .1
+                .push(r.sim.world.scale.metrics.migration_churn());
         }
         println!();
     }

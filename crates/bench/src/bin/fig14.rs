@@ -16,10 +16,18 @@ use simcore::time::secs;
 use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
 
 fn main() {
-    let (scale_at, window_end) = if quick() { (secs(60), secs(140)) } else { (secs(300), secs(475)) };
+    let (scale_at, window_end) = if quick() {
+        (secs(60), secs(140))
+    } else {
+        (secs(300), secs(475))
+    };
     let horizon = window_end + secs(60);
     let params = if quick() {
-        TwitchParams { events: 1_200_000, duration_s: 300, ..Default::default() }
+        TwitchParams {
+            events: 1_200_000,
+            duration_s: 300,
+            ..Default::default()
+        }
     } else {
         TwitchParams::default()
     };
@@ -35,9 +43,20 @@ fn main() {
     for cfg in variants {
         let name = cfg.name;
         let (w, op) = twitch(twitch_engine_config(14), &params);
-        let r = run(name, w, op, Box::new(FlexScaler::new(cfg)), scale_at, 12, horizon);
+        let r = run(
+            name,
+            w,
+            op,
+            Box::new(FlexScaler::new(cfg)),
+            scale_at,
+            12,
+            horizon,
+        );
         let (peak, avg) = r.latency_ms(scale_at, window_end);
-        println!("-- {name}: peak {peak:.0} ms, avg {avg:.0} ms, violations {}", r.violations());
+        println!(
+            "-- {name}: peak {peak:.0} ms, avg {avg:.0} ms, violations {}",
+            r.violations()
+        );
         print_series(
             "latency",
             &bench::latency_series_ms(&r),

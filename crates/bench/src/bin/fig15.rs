@@ -37,7 +37,10 @@ fn main() {
     let mechs = ["DRRS", "Megaphone", "Meces"];
 
     println!("=== Fig. 15: throughput deviation (input rate - measured, rec/s) ===");
-    println!("25 -> 30 instances, 256 key-groups (229 migrated), {}s window\n", measure / 1_000_000);
+    println!(
+        "25 -> 30 instances, 256 key-groups (229 migrated), {}s window\n",
+        measure / 1_000_000
+    );
 
     for mech in mechs {
         println!("--- {mech} ---");
@@ -71,7 +74,14 @@ fn main() {
                     // The paper's Megaphone anomaly: low deviation can mean
                     // the migration never finished in the window — report
                     // the completed fraction alongside.
-                    let planned = r.sim.world.scale.plan.as_ref().map(|p| p.moves.len()).unwrap_or(0);
+                    let planned = r
+                        .sim
+                        .world
+                        .scale
+                        .plan
+                        .as_ref()
+                        .map(|p| p.moves.len())
+                        .unwrap_or(0);
                     let settled = r
                         .sim
                         .world
@@ -81,7 +91,9 @@ fn main() {
                         .map(|plan| {
                             plan.moves
                                 .iter()
-                                .filter(|m| r.sim.world.insts[m.to.0 as usize].state.holds_group(m.kg))
+                                .filter(|m| {
+                                    r.sim.world.insts[m.to.0 as usize].state.holds_group(m.kg)
+                                })
                                 .count()
                         })
                         .unwrap_or(0);

@@ -1,0 +1,251 @@
+//! `perf_report` — the PR-over-PR performance trajectory harness.
+//!
+//! Runs a fixed scenario matrix (steady-state pipeline, DRRS rescale in
+//! progress, Megaphone-style baseline rescale, high-skew overload) and
+//! writes a JSON report with, per scenario:
+//!
+//! * simulated events dispatched and wall-clock time,
+//! * events/second of simulated pipeline (the headline number),
+//! * the deterministic metrics digest (same seed ⇒ same digest — any
+//!   divergence between two builds signals a semantics change, not just a
+//!   perf change),
+//! * a peak-RSS proxy (`VmHWM` from `/proc/self/status`, 0 where absent).
+//!
+//! Usage: `perf_report [--out FILE] [--baseline FILE] [--quick]`
+//!
+//! With `--baseline`, the report embeds the baseline's events/sec and the
+//! relative improvement, so `BENCH_PR1.json` carries the before/after pair
+//! measured on the same machine.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use simcore::time::secs;
+use streamflow::world::tests_support::tiny_job;
+use streamflow::world::Sim;
+use streamflow::{EngineConfig, NoScale, ScalePlugin};
+
+struct ScenarioResult {
+    name: &'static str,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    sink_records: u64,
+    digest: u64,
+}
+
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn run_scenario(name: &'static str, horizon_secs: u64, build: impl Fn() -> Sim) -> ScenarioResult {
+    // One warmup run (page in code, warm the allocator), then the timed run.
+    {
+        let mut sim = build();
+        sim.run_until(secs(1));
+    }
+    let mut sim = build();
+    let start = Instant::now();
+    sim.run_until(secs(horizon_secs));
+    let wall = start.elapsed().as_secs_f64();
+    let events = sim.world.q.processed();
+    ScenarioResult {
+        name,
+        events,
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall.max(1e-9),
+        sink_records: sim.world.metrics.sink_records,
+        digest: sim.world.metrics_digest(),
+    }
+}
+
+fn scenario_matrix(quick: bool) -> Vec<ScenarioResult> {
+    let horizon = if quick { 4 } else { 10 };
+    let mut cfg = EngineConfig::test();
+    cfg.max_key_groups = 128;
+    cfg.check_semantics = false;
+
+    let steady_cfg = cfg.clone();
+    let steady = run_scenario("steady_50k", horizon, move || {
+        let (w, _) = tiny_job(steady_cfg.clone(), 50_000.0, 4_096, 4);
+        Sim::new(w, Box::new(NoScale))
+    });
+
+    let drrs_cfg = cfg.clone();
+    let drrs = run_scenario("drrs_rescale_4_to_6", horizon, move || {
+        let (mut w, agg) = tiny_job(drrs_cfg.clone(), 50_000.0, 4_096, 4);
+        w.schedule_scale(secs(2), agg, 6);
+        Sim::new(w, drrs_plugin())
+    });
+
+    let mega_cfg = cfg.clone();
+    let megaphone = run_scenario("megaphone_rescale_4_to_6", horizon, move || {
+        let (mut w, agg) = tiny_job(mega_cfg.clone(), 50_000.0, 4_096, 4);
+        w.schedule_scale(secs(2), agg, 6);
+        Sim::new(w, megaphone_plugin())
+    });
+
+    let scalein_cfg = cfg.clone();
+    let scale_in = run_scenario("drrs_scale_in_6_to_3", horizon, move || {
+        let (mut w, agg) = tiny_job(scalein_cfg.clone(), 30_000.0, 4_096, 6);
+        w.schedule_scale(secs(2), agg, 3);
+        Sim::new(w, drrs_plugin())
+    });
+
+    let overload_cfg = cfg;
+    let overload = run_scenario("overload_backpressure", horizon, move || {
+        let (w, _) = tiny_job(overload_cfg.clone(), 120_000.0, 1_024, 2);
+        Sim::new(w, Box::new(NoScale))
+    });
+
+    vec![steady, drrs, megaphone, scale_in, overload]
+}
+
+fn drrs_plugin() -> Box<dyn ScalePlugin> {
+    Box::new(drrs_core::FlexScaler::drrs())
+}
+
+fn megaphone_plugin() -> Box<dyn ScalePlugin> {
+    Box::new(baselines::megaphone(8))
+}
+
+#[derive(Default)]
+struct Baseline {
+    total_events_per_sec: f64,
+    digests: Vec<(String, u64)>,
+}
+
+/// Minimal field extraction from our own JSON (no serde in the offline
+/// container): finds `"name": ..., "events_per_sec": ..., "digest": ...`
+/// triples in document order plus the top-level aggregate.
+fn parse_baseline(text: &str) -> Baseline {
+    let mut b = Baseline::default();
+    let grab_num = |line: &str| -> Option<f64> {
+        line.split(':')
+            .nth(1)?
+            .trim()
+            .trim_end_matches(',')
+            .parse()
+            .ok()
+    };
+    let grab_str = |line: &str| -> Option<String> {
+        Some(
+            line.split(':')
+                .nth(1)?
+                .trim()
+                .trim_matches(|c| c == ',' || c == '"')
+                .to_string(),
+        )
+    };
+    let mut cur_name: Option<String> = None;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("\"aggregate_events_per_sec\"") {
+            b.total_events_per_sec = grab_num(t).unwrap_or(0.0);
+        } else if t.starts_with("\"name\"") {
+            cur_name = grab_str(t);
+        } else if t.starts_with("\"digest\"") {
+            if let (Some(n), Some(d)) = (cur_name.take(), grab_str(t)) {
+                if let Ok(d) = u64::from_str_radix(d.trim_start_matches("0x"), 16) {
+                    b.digests.push((n, d));
+                }
+            }
+        }
+    }
+    b
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().position(|a| a == name);
+    let out_path = flag("--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let baseline_path = flag("--baseline").and_then(|i| args.get(i + 1).cloned());
+    let quick = flag("--quick").is_some() || bench::quick();
+
+    eprintln!("perf_report: running scenario matrix (quick={quick})...");
+    let results = scenario_matrix(quick);
+
+    let total_events: u64 = results.iter().map(|r| r.events).sum();
+    let total_wall: f64 = results.iter().map(|r| r.wall_secs).sum();
+    let aggregate = total_events as f64 / total_wall.max(1e-9);
+
+    let baseline = baseline_path.as_deref().and_then(|p| {
+        let Ok(text) = std::fs::read_to_string(p) else {
+            eprintln!("perf_report: warning: baseline {p} unreadable — skipping comparison");
+            return None;
+        };
+        let b = parse_baseline(&text);
+        if b.total_events_per_sec <= 0.0 {
+            eprintln!("perf_report: warning: baseline {p} has no aggregate_events_per_sec — skipping comparison");
+            return None;
+        }
+        Some(b)
+    });
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"report\": \"drrs-repro perf trajectory\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"aggregate_events_per_sec\": {aggregate:.0},");
+    let _ = writeln!(json, "  \"total_simulated_events\": {total_events},");
+    let _ = writeln!(json, "  \"total_wall_secs\": {total_wall:.3},");
+    let _ = writeln!(json, "  \"peak_rss_kb\": {},", peak_rss_kb());
+    if let Some(b) = &baseline {
+        let improvement = if b.total_events_per_sec > 0.0 {
+            aggregate / b.total_events_per_sec - 1.0
+        } else {
+            0.0
+        };
+        let digest_match = results.iter().all(|r| {
+            b.digests
+                .iter()
+                .find(|(n, _)| n == r.name)
+                .is_none_or(|(_, d)| *d == r.digest)
+        });
+        let _ = writeln!(
+            json,
+            "  \"baseline_events_per_sec\": {:.0},",
+            b.total_events_per_sec
+        );
+        let _ = writeln!(json, "  \"improvement_over_baseline\": {improvement:.4},");
+        let _ = writeln!(json, "  \"digest_match_with_baseline\": {digest_match},");
+        eprintln!(
+            "perf_report: {:.0} ev/s vs baseline {:.0} ev/s ({:+.1}%), digests match: {}",
+            aggregate,
+            b.total_events_per_sec,
+            improvement * 100.0,
+            digest_match
+        );
+    }
+    let _ = writeln!(json, "  \"scenarios\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"events\": {},", r.events);
+        let _ = writeln!(json, "      \"wall_secs\": {:.4},", r.wall_secs);
+        let _ = writeln!(json, "      \"events_per_sec\": {:.0},", r.events_per_sec);
+        let _ = writeln!(json, "      \"sink_records\": {},", r.sink_records);
+        let _ = writeln!(json, "      \"digest\": \"0x{:016x}\"", r.digest);
+        let _ = writeln!(json, "    }}{comma}");
+        eprintln!(
+            "  {:<26} {:>12} events  {:>8.3}s  {:>12.0} ev/s  digest 0x{:016x}",
+            r.name, r.events, r.wall_secs, r.events_per_sec, r.digest
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("perf_report: wrote {out_path}");
+}

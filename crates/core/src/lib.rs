@@ -166,7 +166,10 @@ mod tests {
         let total_a: u64 = a.values().sum();
         let total_b: u64 = b.values().sum();
         let diff = total_a.abs_diff(total_b) as f64 / total_a as f64;
-        assert!(diff < 0.1, "count divergence {diff} (a={total_a}, b={total_b})");
+        assert!(
+            diff < 0.1,
+            "count divergence {diff} (a={total_a}, b={total_b})"
+        );
     }
 
     #[test]
@@ -200,7 +203,11 @@ mod tests {
             w.schedule_scale(secs(2), agg, 4);
             let mut sim = Sim::new(w, Box::new(FlexScaler::new(cfg)));
             sim.run_until(secs(10));
-            assert!(!sim.world.scale.in_progress, "{} unfinished", sim.plugin.name());
+            assert!(
+                !sim.world.scale.in_progress,
+                "{} unfinished",
+                sim.plugin.name()
+            );
             sim.world.scale.metrics.cumulative_propagation_delay() as f64
                 / sim.world.scale.metrics.injected.len().max(1) as f64
         };
@@ -280,7 +287,10 @@ mod tests {
         w.schedule_scale(secs(2), agg, 4);
         let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
         sim.run_until(secs(20));
-        assert!(!sim.world.scale.in_progress, "scale never finished under overload");
+        assert!(
+            !sim.world.scale.in_progress,
+            "scale never finished under overload"
+        );
         assert_eq!(
             sim.world.semantics.violations(),
             0,
@@ -325,7 +335,11 @@ mod tests {
             w.schedule_scale(secs(2), agg, 4);
             let mut sim = Sim::new(w, Box::new(FlexScaler::new(cfg)));
             sim.run_until(secs(20));
-            assert!(!sim.world.scale.in_progress, "{} unfinished", sim.plugin.name());
+            assert!(
+                !sim.world.scale.in_progress,
+                "{} unfinished",
+                sim.plugin.name()
+            );
             sim.world.scale.metrics.avg_dependency_overhead()
         };
         let drrs = ld(MechanismConfig::drrs());

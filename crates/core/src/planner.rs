@@ -133,8 +133,16 @@ mod tests {
     #[test]
     fn greedy_prefers_emptier_destination() {
         let subs = vec![
-            SubscaleSpec { from: InstId(0), to: InstId(10), kgs: vec![KeyGroup(0)] },
-            SubscaleSpec { from: InstId(1), to: InstId(11), kgs: vec![KeyGroup(1)] },
+            SubscaleSpec {
+                from: InstId(0),
+                to: InstId(10),
+                kgs: vec![KeyGroup(0)],
+            },
+            SubscaleSpec {
+                from: InstId(1),
+                to: InstId(11),
+                kgs: vec![KeyGroup(1)],
+            },
         ];
         let held = |i: InstId| if i == InstId(10) { 100 } else { 0 };
         let active = HashMap::new();
@@ -145,8 +153,16 @@ mod tests {
     #[test]
     fn greedy_respects_concurrency_limit() {
         let subs = vec![
-            SubscaleSpec { from: InstId(0), to: InstId(10), kgs: vec![KeyGroup(0)] },
-            SubscaleSpec { from: InstId(0), to: InstId(11), kgs: vec![KeyGroup(1)] },
+            SubscaleSpec {
+                from: InstId(0),
+                to: InstId(10),
+                kgs: vec![KeyGroup(0)],
+            },
+            SubscaleSpec {
+                from: InstId(0),
+                to: InstId(11),
+                kgs: vec![KeyGroup(1)],
+            },
         ];
         let held = |_: InstId| 0;
         let mut active = HashMap::new();
@@ -159,8 +175,16 @@ mod tests {
     #[test]
     fn greedy_ties_break_by_index() {
         let subs = vec![
-            SubscaleSpec { from: InstId(0), to: InstId(10), kgs: vec![KeyGroup(0)] },
-            SubscaleSpec { from: InstId(1), to: InstId(10), kgs: vec![KeyGroup(1)] },
+            SubscaleSpec {
+                from: InstId(0),
+                to: InstId(10),
+                kgs: vec![KeyGroup(0)],
+            },
+            SubscaleSpec {
+                from: InstId(1),
+                to: InstId(10),
+                kgs: vec![KeyGroup(1)],
+            },
         ];
         let held = |_: InstId| 5;
         let active = HashMap::new();

@@ -22,8 +22,8 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use simcore::SimTime;
-use streamflow::ids::{ChannelId, InstId, KeyGroup, OpId, SubscaleId};
 use streamflow::events::PriorityMsg;
+use streamflow::ids::{ChannelId, InstId, KeyGroup, OpId, SubscaleId};
 use streamflow::record::{Record, RecordKind, ScaleSignal, SignalKind, StreamElement};
 use streamflow::scaling::{ScalePlan, ScalePlugin, Selection};
 use streamflow::state::StateUnit;
@@ -155,8 +155,13 @@ impl FlexScaler {
             }
             let specs: Vec<SubscaleSpec> = self.subs.iter().map(|s| s.spec.clone()).collect();
             let held = |i: InstId| w.insts[i.0 as usize].state.total_keys();
-            let Some(si) = greedy_pick(&self.pending, &specs, &held, &self.active_cnt, self.cfg.concurrency_limit)
-            else {
+            let Some(si) = greedy_pick(
+                &self.pending,
+                &specs,
+                &held,
+                &self.active_cnt,
+                self.cfg.concurrency_limit,
+            ) else {
                 break;
             };
             self.pending.retain(|&x| x != si);
@@ -202,7 +207,8 @@ impl FlexScaler {
         let now = w.now();
         let spec = self.subs[si].spec.clone();
         let kg_set: HashSet<u16> = spec.kgs.iter().map(|k| k.0).collect();
-        let edges = w.keyed_in_edges(op);
+        // Copy the cached edge list: the loop below mutates routing state.
+        let edges = w.keyed_in_edges(op).to_vec();
         let mut confirms: HashMap<InstId, u32> = HashMap::new();
         for e in edges {
             let from_op = w.edges[e.0 as usize].from;
@@ -210,7 +216,9 @@ impl FlexScaler {
             for pred in pred_insts {
                 // Routing confirmation point: future emissions go to `to`.
                 w.reroute_groups(op, pred, &spec.kgs, spec.to);
-                let Some(ch_old) = w.channel_between(e, pred, spec.from) else { continue };
+                let Some(ch_old) = w.channel_between(e, pred, spec.from) else {
+                    continue;
+                };
                 let ch_new = w
                     .channel_between(e, pred, spec.to)
                     .expect("channel to new instance wired at deploy");
@@ -287,7 +295,9 @@ impl FlexScaler {
     fn pump_migration(&mut self, w: &mut World, si: usize) {
         let (from, to, next) = {
             let s = &mut self.subs[si];
-            let Some(kg) = s.mig_queue.pop_front() else { return };
+            let Some(kg) = s.mig_queue.pop_front() else {
+                return;
+            };
             (s.spec.from, s.spec.to, kg)
         };
         if self.cfg.sequential {
@@ -296,7 +306,11 @@ impl FlexScaler {
             let t = w.scale.metrics.deployed_at.unwrap_or_else(|| w.now());
             let fanout = w.cfg.sub_group_fanout.max(1);
             for sb in 0..fanout {
-                w.scale.metrics.unit_injected.entry((next.0, sb)).or_insert(t);
+                w.scale
+                    .metrics
+                    .unit_injected
+                    .entry((next.0, sb))
+                    .or_insert(t);
             }
         }
         w.migrate_group(from, to, next, SubscaleId(si as u32));
@@ -338,7 +352,11 @@ impl FlexScaler {
     }
 
     fn flush_all(&mut self, w: &mut World) {
-        let keys: Vec<(InstId, InstId)> = self.rbuf.keys().copied().collect();
+        let mut keys: Vec<(InstId, InstId)> = self.rbuf.keys().copied().collect();
+        // Canonical order: the priority sends scheduled here tie-break FIFO
+        // in the event queue, so hash-map iteration order must not leak
+        // into the interleaving (same-seed reproducibility).
+        keys.sort_unstable();
         for (o, t) in keys {
             self.flush_rbuf(w, o, t);
         }
@@ -431,6 +449,9 @@ impl FlexScaler {
         }
     }
 
+    // `loop` + let-else keeps the queue-front borrow scoped to the peek;
+    // `while let` would hold it across the mutating body.
+    #[allow(clippy::while_let_loop)]
     fn flex_select(&mut self, w: &mut World, inst: InstId) -> Selection {
         // Re-routed records are special events, exempt from suspension.
         if let Some(run) = self.take_inbox_run(w, inst) {
@@ -452,7 +473,9 @@ impl FlexScaler {
             }
             // Drain any front-of-queue re-routable records, then examine.
             loop {
-                let Some(front) = w.chans[ch.0 as usize].queue.front() else { break };
+                let Some(front) = w.chans[ch.0 as usize].queue.front() else {
+                    break;
+                };
                 match front {
                     StreamElement::Record(r) => {
                         let from = w.chans[ch.0 as usize].from;
@@ -504,7 +527,10 @@ impl FlexScaler {
     /// Scan past the unprocessable head of `ch` for the first processable
     /// record within the scheduling buffer; stop at any control element.
     fn intra_scan(&mut self, w: &mut World, inst: InstId, ch: ChannelId) -> Option<Selection> {
-        let depth = self.cfg.sched_buffer.min(w.chans[ch.0 as usize].queue.len());
+        let depth = self
+            .cfg
+            .sched_buffer
+            .min(w.chans[ch.0 as usize].queue.len());
         for pos in 1..depth {
             let class = {
                 let el = &w.chans[ch.0 as usize].queue[pos];
@@ -578,8 +604,8 @@ impl FlexScaler {
             .subs
             .iter()
             .all(|s| s.confirms_pending.values().all(|&c| c == 0));
-        let buffers_empty = self.rbuf.values().all(|b| b.is_empty())
-            && self.inbox.values().all(|q| q.is_empty());
+        let buffers_empty =
+            self.rbuf.values().all(|b| b.is_empty()) && self.inbox.values().all(|q| q.is_empty());
         if subs_done && confirms_done && buffers_empty && !w.scale.in_progress {
             self.done = true;
             // Wake everything once so suspended instances re-evaluate under
@@ -629,7 +655,7 @@ impl ScalePlugin for FlexScaler {
         self.op = Some(plan.op);
         self.started = true;
         self.done = false;
-        self.preds = w.predecessors(plan.op).into_iter().collect();
+        self.preds = w.predecessors(plan.op).iter().copied().collect();
         self.pred_edge_count.clear();
         for e in w.keyed_in_edges(plan.op) {
             let from_op = w.edges[e.0 as usize].from;
@@ -721,7 +747,13 @@ impl ScalePlugin for FlexScaler {
         }
     }
 
-    fn on_rerouted_records(&mut self, w: &mut World, inst: InstId, _from: InstId, records: Vec<Record>) {
+    fn on_rerouted_records(
+        &mut self,
+        w: &mut World,
+        inst: InstId,
+        _from: InstId,
+        records: Vec<Record>,
+    ) {
         for rec in records {
             let kg = w.kg_of(rec.key);
             *self.inbox_kg.entry((inst, kg.0)).or_insert(0) += 1;
@@ -730,7 +762,13 @@ impl ScalePlugin for FlexScaler {
         w.wake(inst);
     }
 
-    fn on_rerouted_confirm(&mut self, w: &mut World, inst: InstId, _from: InstId, sig: ScaleSignal) {
+    fn on_rerouted_confirm(
+        &mut self,
+        w: &mut World,
+        inst: InstId,
+        _from: InstId,
+        sig: ScaleSignal,
+    ) {
         let si = sig.subscale.0 as usize;
         if si >= self.subs.len() {
             return;
@@ -748,7 +786,14 @@ impl ScalePlugin for FlexScaler {
         self.check_done(w);
     }
 
-    fn on_chunk(&mut self, w: &mut World, inst: InstId, unit: StateUnit, subscale: SubscaleId, _from: InstId) {
+    fn on_chunk(
+        &mut self,
+        w: &mut World,
+        inst: InstId,
+        unit: StateUnit,
+        subscale: SubscaleId,
+        _from: InstId,
+    ) {
         let si = subscale.0 as usize;
         let kg = unit.kg;
         w.install_unit(inst, unit, true);
@@ -781,9 +826,7 @@ impl ScalePlugin for FlexScaler {
     }
 
     fn selects(&self, w: &World, inst: InstId) -> bool {
-        self.started
-            && !self.done
-            && self.op == Some(w.insts[inst.0 as usize].op)
+        self.started && !self.done && self.op == Some(w.insts[inst.0 as usize].op)
     }
 
     fn select(&mut self, w: &mut World, inst: InstId) -> Selection {

@@ -38,20 +38,27 @@ pub struct Channel {
     pub capacity: usize,
     /// One-way latency.
     pub latency: SimTime,
+    /// Highest watermark delivered over this channel (receiver-side view;
+    /// the receiver's operator watermark is the min across its channels).
+    pub rx_watermark: SimTime,
 }
 
 impl Channel {
-    /// Create an empty channel.
+    /// Create an empty channel. The receiver queue is pre-sized to its
+    /// credit capacity (its hard occupancy bound), so steady-state traffic
+    /// never grows it; the backlog starts small and doubles only under
+    /// backpressure.
     pub fn new(id: ChannelId, from: InstId, to: InstId, capacity: usize, latency: SimTime) -> Self {
         Self {
             id,
             from,
             to,
-            queue: VecDeque::new(),
-            backlog: VecDeque::new(),
+            queue: VecDeque::with_capacity(capacity),
+            backlog: VecDeque::with_capacity(16),
             in_flight: 0,
             capacity,
             latency,
+            rx_watermark: 0,
         }
     }
 
@@ -161,7 +168,10 @@ mod tests {
             |e| e.as_record().map(|r| r.key % 2 == 0).unwrap_or(false),
             &mut out,
         );
-        let drained: Vec<u64> = out.iter().filter_map(|e| e.as_record().map(|r| r.key)).collect();
+        let drained: Vec<u64> = out
+            .iter()
+            .filter_map(|e| e.as_record().map(|r| r.key))
+            .collect();
         let kept: Vec<u64> = c
             .backlog
             .iter()

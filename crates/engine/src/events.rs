@@ -1,7 +1,5 @@
 //! The simulation event vocabulary.
 
-use simcore::SimTime;
-
 use crate::ids::{ChannelId, InstId, KeyGroup, SubscaleId};
 use crate::record::{Record, ScaleSignal, StreamElement};
 use crate::scaling::ScalePlan;
@@ -80,6 +78,12 @@ pub enum Ev {
         ch: ChannelId,
         /// The element.
         elem: StreamElement,
+        /// Did this element consume a credit when it was put on the wire?
+        /// Credited deliveries must decrement `in_flight`; uncredited ones
+        /// (priority barriers) bypass credit accounting entirely. The seed
+        /// conflated the two with a silent `if in_flight > 0` clamp, which
+        /// let uncredited barriers steal credits from in-flight data.
+        credited: bool,
     },
     /// An out-of-band message arriving at an instance.
     Priority {
@@ -110,4 +114,3 @@ pub enum Ev {
         inst: InstId,
     },
 }
-

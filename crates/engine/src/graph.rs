@@ -1,9 +1,7 @@
 //! Job graph construction: logical operators, edges, and the builder that
 //! lowers them into an executable [`World`](crate::world::World).
 
-use std::collections::HashMap;
-
-use simcore::SimTime;
+use simcore::{FxHashMap, SimTime};
 
 use crate::config::EngineConfig;
 use crate::ids::{ChannelId, EdgeId, InstId, OpId};
@@ -42,6 +40,14 @@ pub struct OperatorRt {
     pub in_edges: Vec<EdgeId>,
     /// Outgoing edges.
     pub out_edges: Vec<EdgeId>,
+    /// Cached: the keyed subset of `in_edges`. Edges are fixed at build
+    /// time, so this never changes after lowering; computing it per call
+    /// allocated on the dispatch path.
+    pub keyed_in_edges: Vec<EdgeId>,
+    /// Cached: all upstream instances feeding the keyed inputs (deduped, in
+    /// discovery order). Refreshed by the world whenever an upstream
+    /// operator's instance list changes (scale-out/retirement).
+    pub pred_insts: Vec<InstId>,
     /// Logic factory (Transform only).
     pub logic_factory: Option<LogicFactory>,
     /// Source factory (Source only).
@@ -64,9 +70,10 @@ pub struct EdgeRt {
     /// Partitioning.
     pub kind: EdgeKind,
     /// Keyed edges: each upstream instance's private routing table.
-    pub tables: HashMap<InstId, RoutingTable>,
-    /// Channel lookup by `(from instance, to instance)`.
-    pub channels: HashMap<(InstId, InstId), ChannelId>,
+    /// Looked up once per routed record — deterministic fast hashing.
+    pub tables: FxHashMap<InstId, RoutingTable>,
+    /// Channel lookup by `(from instance, to instance)`, same hot path.
+    pub channels: FxHashMap<(InstId, InstId), ChannelId>,
 }
 
 /// Builder for a streaming job.
@@ -103,6 +110,8 @@ impl JobBuilder {
             instances: Vec::with_capacity(parallelism),
             in_edges: Vec::new(),
             out_edges: Vec::new(),
+            keyed_in_edges: Vec::new(),
+            pred_insts: Vec::new(),
             logic_factory,
             source_factory,
             sink_service: 1,
@@ -148,7 +157,11 @@ mod tests {
     #[test]
     fn builder_assigns_sequential_op_ids() {
         let mut b = JobBuilder::new(EngineConfig::test());
-        let s = b.source("src", 1, Box::new(|_| Box::new(crate::world::tests_support::FixedGen::new(10.0, 4))));
+        let s = b.source(
+            "src",
+            1,
+            Box::new(|_| Box::new(crate::world::tests_support::FixedGen::new(10.0, 4))),
+        );
         let t = b.operator("map", 2, Box::new(|| Box::new(Relay { service: 10 })));
         let k = b.sink("sink", 1);
         assert_eq!(s, OpId(0));

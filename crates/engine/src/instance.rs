@@ -1,8 +1,8 @@
 //! Physical operator instances (parallel subtasks) and source generators.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
-use simcore::SimTime;
+use simcore::{FxHashSet, SimTime};
 
 use crate::ids::{ChannelId, InstId, Key, OpId};
 use crate::operator::OperatorLogic;
@@ -58,10 +58,12 @@ pub struct SourceState {
 }
 
 impl SourceState {
-    /// Wrap a generator.
+    /// Wrap a generator. The pending queue is pre-sized: it is the single
+    /// hottest queue in the simulation (every generated record passes
+    /// through it) and under backpressure it grows into the thousands.
     pub fn new(gen: Box<dyn SourceGen>, marker_offset: SimTime) -> Self {
         Self {
-            pending: VecDeque::new(),
+            pending: VecDeque::with_capacity(1024),
             gen,
             carry: 0.0,
             generated: 0,
@@ -79,7 +81,7 @@ pub struct CkptAlign {
     /// Checkpoint id being aligned.
     pub id: u64,
     /// Channels whose barrier has arrived (and are therefore blocked).
-    pub arrived: HashSet<ChannelId>,
+    pub arrived: FxHashSet<ChannelId>,
 }
 
 /// One physical operator instance.
@@ -109,11 +111,9 @@ pub struct Instance {
     /// Active-channel cursor (index into `in_channels`).
     pub active_ch: usize,
     /// Channels blocked by alignment (checkpoint or coupled scale barriers).
-    pub blocked_channels: HashSet<ChannelId>,
+    pub blocked_channels: FxHashSet<ChannelId>,
     /// In-progress checkpoint alignment.
     pub ckpt: Option<CkptAlign>,
-    /// Per-channel watermark.
-    pub ch_watermarks: HashMap<ChannelId, SimTime>,
     /// Operator watermark (min across channels).
     pub watermark: SimTime,
     /// When the current suspension started, if suspended.
@@ -127,8 +127,9 @@ pub struct Instance {
     /// When this instance becomes operational (deploy delay).
     pub operational_at: SimTime,
     /// Round-robin cursors per out-edge for rebalance partitioning and
-    /// marker forwarding, keyed by edge id.
-    pub rr_cursor: HashMap<u32, usize>,
+    /// marker forwarding, indexed densely by edge id (edge count is fixed
+    /// at build time; a hash lookup per emitted record is pure overhead).
+    pub rr_cursor: Vec<usize>,
     /// Records processed by this instance.
     pub processed: u64,
 }
@@ -149,16 +150,15 @@ impl Instance {
             proc_gen: 0,
             blocked_out: false,
             active_ch: 0,
-            blocked_channels: HashSet::new(),
+            blocked_channels: FxHashSet::default(),
             ckpt: None,
-            ch_watermarks: HashMap::new(),
             watermark: 0,
             suspended_since: None,
             suspended_total: 0,
             emit_seq: 0,
             halted: false,
             operational_at: 0,
-            rr_cursor: HashMap::new(),
+            rr_cursor: Vec::new(),
             processed: 0,
         }
     }

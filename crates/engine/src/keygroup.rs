@@ -41,14 +41,15 @@ impl RoutingTable {
         self.map[kg.0 as usize] = to;
     }
 
-    /// All key-groups currently routed to `inst`.
-    pub fn groups_of(&self, inst: InstId) -> Vec<KeyGroup> {
+    /// All key-groups currently routed to `inst`, in key-group order.
+    /// Iterator-based so callers that only count or scan do not allocate;
+    /// collect if a `Vec` is needed.
+    pub fn groups_of(&self, inst: InstId) -> impl Iterator<Item = KeyGroup> + '_ {
         self.map
             .iter()
             .enumerate()
-            .filter(|&(_, &t)| t == inst)
+            .filter(move |&(_, &t)| t == inst)
             .map(|(i, _)| KeyGroup(i as u16))
-            .collect()
     }
 
     /// Number of key-groups in the table.
@@ -126,9 +127,9 @@ pub fn minimal_repartition(old: &RoutingTable, new_targets: &[InstId]) -> Vec<Kg
     }
     // Shed over-quota groups (take from the back: lexicographically last).
     let mut pool = homeless;
-    for i in 0..n {
-        while held[i].len() > quota(i) {
-            pool.push(held[i].pop().expect("over quota"));
+    for (i, h) in held.iter_mut().enumerate() {
+        while h.len() > quota(i) {
+            pool.push(h.pop().expect("over quota"));
         }
     }
     // Hand the pool to under-quota targets.
@@ -140,7 +141,11 @@ pub fn minimal_repartition(old: &RoutingTable, new_targets: &[InstId]) -> Vec<Kg
             let kg = pool.next().expect("pool balances quotas exactly");
             let from = old.route(kg);
             if from != target {
-                moves.push(KgMove { kg, from, to: target });
+                moves.push(KgMove {
+                    kg,
+                    from,
+                    to: target,
+                });
             }
             held[i].push(kg);
         }

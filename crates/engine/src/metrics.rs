@@ -48,7 +48,10 @@ impl Metrics {
 
     /// Source throughput as a `(second, records/s)` series.
     pub fn throughput(&self) -> Vec<(u64, f64)> {
-        self.source_counts.iter().map(|&(s, c)| (s, c as f64)).collect()
+        self.source_counts
+            .iter()
+            .map(|&(s, c)| (s, c as f64))
+            .collect()
     }
 
     /// Mean source throughput over `[lo, hi)` seconds.

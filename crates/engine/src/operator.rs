@@ -158,11 +158,15 @@ impl OperatorLogic for KeyedTouch {
             fresh
         };
         if fresh && self.bytes_per_key > 0 {
-            ctx.state.add_bytes(ctx.kg, rec.key, self.bytes_per_key as i64);
+            ctx.state
+                .add_bytes(ctx.kg, rec.key, self.bytes_per_key as i64);
         }
         if self.bytes_per_record > 0 {
-            ctx.state
-                .add_bytes(ctx.kg, rec.key, (self.bytes_per_record * rec.count as u64) as i64);
+            ctx.state.add_bytes(
+                ctx.kg,
+                rec.key,
+                (self.bytes_per_record * rec.count as u64) as i64,
+            );
         }
         let mut r = rec.clone();
         r.origin = (crate::ids::InstId(u32::MAX), 0);
@@ -176,7 +180,9 @@ impl OperatorLogic for KeyedTouch {
 impl OperatorLogic for KeyedAgg {
     fn on_record(&mut self, ctx: &mut OpCtx<'_>, rec: &Record) {
         let fresh = {
-            let v = ctx.state.entry_or(ctx.kg, rec.key, || StateValue::Sum { count: 0, sum: 0 });
+            let v = ctx
+                .state
+                .entry_or(ctx.kg, rec.key, || StateValue::Sum { count: 0, sum: 0 });
             let fresh = matches!(v, StateValue::Sum { count: 0, .. });
             if let StateValue::Sum { count, sum } = v {
                 *count += rec.count as u64;
@@ -185,14 +191,21 @@ impl OperatorLogic for KeyedAgg {
             fresh
         };
         if fresh {
-            ctx.state.add_bytes(ctx.kg, rec.key, self.bytes_per_key as i64);
+            ctx.state
+                .add_bytes(ctx.kg, rec.key, self.bytes_per_key as i64);
         }
         if self.bytes_per_record > 0 {
-            ctx.state
-                .add_bytes(ctx.kg, rec.key, (self.bytes_per_record * rec.count as u64) as i64);
+            ctx.state.add_bytes(
+                ctx.kg,
+                rec.key,
+                (self.bytes_per_record * rec.count as u64) as i64,
+            );
         }
         if self.emit_every <= 1 || rec.origin.1.is_multiple_of(self.emit_every as u64) {
-            let sum = match ctx.state.entry_or(ctx.kg, rec.key, || StateValue::Sum { count: 0, sum: 0 }) {
+            let sum = match ctx
+                .state
+                .entry_or(ctx.kg, rec.key, || StateValue::Sum { count: 0, sum: 0 })
+            {
                 StateValue::Sum { sum, .. } => *sum,
                 _ => 0,
             };
@@ -225,7 +238,13 @@ pub struct WindowAgg {
 
 impl WindowAgg {
     /// Standard construction with `last_fired` starting at zero.
-    pub fn new(size: SimTime, slide: SimTime, agg: Agg, service: SimTime, bytes_per_record: u64) -> Self {
+    pub fn new(
+        size: SimTime,
+        slide: SimTime,
+        agg: Agg,
+        service: SimTime,
+        bytes_per_record: u64,
+    ) -> Self {
         Self {
             size,
             slide,
@@ -241,12 +260,17 @@ impl WindowAgg {
 impl OperatorLogic for WindowAgg {
     fn on_record(&mut self, ctx: &mut OpCtx<'_>, rec: &Record) {
         let (slide, agg) = (self.slide, self.agg);
-        let v = ctx.state.entry_or(ctx.kg, rec.key, || StateValue::Panes(PaneSet::default()));
+        let v = ctx
+            .state
+            .entry_or(ctx.kg, rec.key, || StateValue::Panes(PaneSet::default()));
         if let StateValue::Panes(p) = v {
             p.add(rec.event_time, rec.value, rec.count as u64, slide, agg);
         }
-        ctx.state
-            .add_bytes(ctx.kg, rec.key, (self.bytes_per_record * rec.count as u64) as i64);
+        ctx.state.add_bytes(
+            ctx.kg,
+            rec.key,
+            (self.bytes_per_record * rec.count as u64) as i64,
+        );
     }
 
     fn on_watermark(&mut self, ctx: &mut WmCtx<'_>) {
@@ -309,9 +333,9 @@ impl OperatorLogic for WindowJoin {
         let lo = rec.event_time.saturating_sub(self.size);
         let mut emit = None;
         {
-            let v = ctx
-                .state
-                .entry_or(ctx.kg, rec.key, || StateValue::Lists(Vec::new(), Vec::new()));
+            let v = ctx.state.entry_or(ctx.kg, rec.key, || {
+                StateValue::Lists(Vec::new(), Vec::new())
+            });
             if let StateValue::Lists(persons, auctions) = v {
                 if rec.value >= 0 {
                     persons.push(rec.event_time as i64);
@@ -324,8 +348,11 @@ impl OperatorLogic for WindowJoin {
                 }
             }
         }
-        ctx.state
-            .add_bytes(ctx.kg, rec.key, (self.bytes_per_record * rec.count as u64) as i64);
+        ctx.state.add_bytes(
+            ctx.kg,
+            rec.key,
+            (self.bytes_per_record * rec.count as u64) as i64,
+        );
         if let Some((k, et)) = emit {
             ctx.emit(k, 1, et);
         }
@@ -378,7 +405,12 @@ mod tests {
         (b, Vec::new())
     }
 
-    fn run_record(logic: &mut dyn OperatorLogic, state: &mut StateBackend, out: &mut Vec<Record>, rec: Record) {
+    fn run_record(
+        logic: &mut dyn OperatorLogic,
+        state: &mut StateBackend,
+        out: &mut Vec<Record>,
+        rec: Record,
+    ) {
         let kg = key_group_of(rec.key, 16);
         let mut ctx = OpCtx {
             now: rec.event_time,

@@ -70,16 +70,45 @@ pub trait ScalePlugin {
     fn on_priority_signal(&mut self, _w: &mut World, _inst: InstId, _sig: ScaleSignal) {}
 
     /// A migrated state unit arrived at `inst`.
-    fn on_chunk(&mut self, w: &mut World, inst: InstId, unit: StateUnit, subscale: SubscaleId, from: InstId);
+    fn on_chunk(
+        &mut self,
+        w: &mut World,
+        inst: InstId,
+        unit: StateUnit,
+        subscale: SubscaleId,
+        from: InstId,
+    );
 
     /// Re-routed records arrived at `inst` (DRRS-style mechanisms).
-    fn on_rerouted_records(&mut self, _w: &mut World, _inst: InstId, _from: InstId, _records: Vec<Record>) {}
+    fn on_rerouted_records(
+        &mut self,
+        _w: &mut World,
+        _inst: InstId,
+        _from: InstId,
+        _records: Vec<Record>,
+    ) {
+    }
 
     /// A re-routed confirm barrier arrived at `inst`.
-    fn on_rerouted_confirm(&mut self, _w: &mut World, _inst: InstId, _from: InstId, _sig: ScaleSignal) {}
+    fn on_rerouted_confirm(
+        &mut self,
+        _w: &mut World,
+        _inst: InstId,
+        _from: InstId,
+        _sig: ScaleSignal,
+    ) {
+    }
 
     /// A fetch request arrived at `inst` (Meces).
-    fn on_fetch(&mut self, _w: &mut World, _inst: InstId, _kg: KeyGroup, _sub: u8, _requester: InstId) {}
+    fn on_fetch(
+        &mut self,
+        _w: &mut World,
+        _inst: InstId,
+        _kg: KeyGroup,
+        _sub: u8,
+        _requester: InstId,
+    ) {
+    }
 
     /// A plugin timer (scheduled via [`World::schedule_plugin`]) fired.
     fn on_control(&mut self, _w: &mut World, _tag: u64) {}
@@ -180,7 +209,9 @@ impl ScaleMetrics {
         self.injected
             .iter()
             .filter_map(|(ss, &inj)| {
-                self.first_migration.get(ss).map(|&fm| fm.saturating_sub(inj))
+                self.first_migration
+                    .get(ss)
+                    .map(|&fm| fm.saturating_sub(inj))
             })
             .sum()
     }
@@ -296,6 +327,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
     fn context_move_lookup() {
         let mut ctx = ScaleContext::default();
         ctx.plan = Some(ScalePlan {

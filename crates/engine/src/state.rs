@@ -6,8 +6,28 @@
 //! (counts/sums/window panes) so that output equivalence can be verified,
 //! while `nominal_bytes` carries the migration-cost model so that totals can
 //! match the paper's 0.5–30 GB without materializing gigabytes.
+//!
+//! # Layout
+//!
+//! The backend is **dense**: sub-group slots live in one flat
+//! `Vec<Option<SubState>>` indexed by `kg * fanout + sub`, and the per-group
+//! inactive flags in a parallel `Vec<bool>`. `max_key_groups` is small (128
+//! or 256 in every paper configuration), so the dense table costs a few KB
+//! per instance and turns every state access on the per-record hot path into
+//! two array indexings — no hashing, no map lookups, and iteration order is
+//! the key-group order by construction, which keeps runs deterministic.
+//! Per-key entries inside a sub-group use [`simcore::FxHashMap`]: simulator
+//! keys are trusted `u64`s, so the DoS-resistant (and several-times slower)
+//! SipHash default buys nothing here.
+//!
+//! A key-group is "locally present" iff at least one of its sub-group slots
+//! is occupied; extracting the last sub-group of a group also clears its
+//! inactive flag, matching the previous map-based semantics where the
+//! group's entry was removed.
 
 use std::collections::HashMap;
+
+use simcore::FxHashMap;
 
 use crate::ids::{sub_group_of, Key, KeyGroup};
 use crate::window::PaneSet;
@@ -41,8 +61,8 @@ impl StateValue {
 /// organization; the whole key-group when `fanout == 1`).
 #[derive(Clone, Debug, Default)]
 pub struct SubState {
-    /// Per-key values.
-    pub entries: HashMap<Key, StateValue>,
+    /// Per-key values (fast deterministic hashing; keys are trusted).
+    pub entries: FxHashMap<Key, StateValue>,
     /// Modeled serialized size of this sub-group's state.
     pub nominal_bytes: u64,
 }
@@ -65,27 +85,44 @@ impl StateUnit {
     }
 }
 
-/// Per-instance keyed state store.
+/// Per-instance keyed state store (dense layout, see module docs).
 #[derive(Debug)]
 pub struct StateBackend {
     max_key_groups: u16,
     fanout: u8,
-    /// kg → sub → Some(state) if that sub-group is locally present.
-    groups: HashMap<u16, Vec<Option<SubState>>>,
-    /// kg → is the group active (DRRS: arrived-but-inactive until implicit
-    /// alignment). Absent = active (the common, non-scaling case).
-    inactive: HashMap<u16, bool>,
+    /// Flat sub-group table: index `kg * fanout + sub`.
+    slots: Vec<Option<SubState>>,
+    /// Per-group "arrived but awaiting alignment" flag (DRRS). Meaningful
+    /// only while the group is present.
+    inactive: Vec<bool>,
 }
 
 impl StateBackend {
     /// Create an empty backend.
     pub fn new(max_key_groups: u16, fanout: u8) -> Self {
+        let fanout = fanout.max(1);
+        let k = max_key_groups as usize;
+        let mut slots = Vec::new();
+        slots.resize_with(k * fanout as usize, || None);
         Self {
             max_key_groups,
-            fanout: fanout.max(1),
-            groups: HashMap::new(),
-            inactive: HashMap::new(),
+            fanout,
+            slots,
+            inactive: vec![false; k],
         }
+    }
+
+    #[inline]
+    fn slot_idx(&self, kg: KeyGroup, sub: u8) -> usize {
+        debug_assert!(kg.0 < self.max_key_groups, "key-group {kg} out of range");
+        debug_assert!(sub < self.fanout, "sub-group {sub} out of range");
+        kg.0 as usize * self.fanout as usize + sub as usize
+    }
+
+    #[inline]
+    fn group_slots(&self, kg: KeyGroup) -> &[Option<SubState>] {
+        let base = kg.0 as usize * self.fanout as usize;
+        &self.slots[base..base + self.fanout as usize]
     }
 
     /// Sub-group index of a key.
@@ -97,137 +134,136 @@ impl StateBackend {
     /// Is the sub-group holding `key` locally present?
     #[inline]
     pub fn holds(&self, kg: KeyGroup, sub: u8) -> bool {
-        self.groups
-            .get(&kg.0)
-            .map(|v| v[sub as usize].is_some())
-            .unwrap_or(false)
+        self.slots[self.slot_idx(kg, sub)].is_some()
     }
 
     /// Are *all* sub-groups of `kg` locally present?
+    #[inline]
     pub fn holds_group(&self, kg: KeyGroup) -> bool {
-        match self.groups.get(&kg.0) {
-            Some(v) => v.iter().all(|s| s.is_some()),
-            None => false,
-        }
+        self.group_slots(kg).iter().all(|s| s.is_some())
+    }
+
+    /// Is any sub-group of `kg` locally present?
+    #[inline]
+    fn group_exists(&self, kg: KeyGroup) -> bool {
+        self.group_slots(kg).iter().any(|s| s.is_some())
     }
 
     /// Mark a key-group inactive (arrived but awaiting alignment).
     pub fn set_inactive(&mut self, kg: KeyGroup, inactive: bool) {
-        if inactive {
-            self.inactive.insert(kg.0, true);
-        } else {
-            self.inactive.remove(&kg.0);
-        }
+        self.inactive[kg.0 as usize] = inactive;
     }
 
     /// Is the key-group active (present groups default to active)?
+    #[inline]
     pub fn is_active(&self, kg: KeyGroup) -> bool {
-        !self.inactive.get(&kg.0).copied().unwrap_or(false)
+        !self.inactive[kg.0 as usize]
     }
 
     /// Ensure a key-group exists locally with all sub-groups (used when an
     /// instance is the initial owner).
     pub fn ensure_group(&mut self, kg: KeyGroup) {
-        let fanout = self.fanout as usize;
-        self.groups
-            .entry(kg.0)
-            .or_insert_with(|| (0..fanout).map(|_| Some(SubState::default())).collect());
+        if self.group_exists(kg) {
+            return;
+        }
+        let base = kg.0 as usize * self.fanout as usize;
+        for s in &mut self.slots[base..base + self.fanout as usize] {
+            *s = Some(SubState::default());
+        }
     }
 
     /// Access the value for `key`, creating it with `default` if absent.
     /// Panics if the sub-group is not locally present — admission control
     /// must have checked [`Self::holds`] first.
-    pub fn entry_or(&mut self, kg: KeyGroup, key: Key, default: impl FnOnce() -> StateValue) -> &mut StateValue {
-        let sub = self.sub_of(key) as usize;
-        let g = self
-            .groups
-            .get_mut(&kg.0)
-            .unwrap_or_else(|| panic!("state access to absent key-group {kg}"));
-        let s = g[sub]
+    #[inline]
+    pub fn entry_or(
+        &mut self,
+        kg: KeyGroup,
+        key: Key,
+        default: impl FnOnce() -> StateValue,
+    ) -> &mut StateValue {
+        let sub = self.sub_of(key);
+        let idx = self.slot_idx(kg, sub);
+        let s = self.slots[idx]
             .as_mut()
-            .unwrap_or_else(|| panic!("state access to migrated-out sub-group {kg}/{sub}"));
+            .unwrap_or_else(|| panic!("state access to absent sub-group {kg}/{sub}"));
         s.entries.entry(key).or_insert_with(default)
     }
 
     /// Add to a sub-group's modeled serialized size (operators call this as
     /// their state grows).
+    #[inline]
     pub fn add_bytes(&mut self, kg: KeyGroup, key: Key, bytes: i64) {
-        let sub = self.sub_of(key) as usize;
-        if let Some(g) = self.groups.get_mut(&kg.0) {
-            if let Some(s) = g[sub].as_mut() {
-                s.nominal_bytes = (s.nominal_bytes as i64 + bytes).max(0) as u64;
-            }
+        let sub = self.sub_of(key);
+        let idx = self.slot_idx(kg, sub);
+        if let Some(s) = self.slots[idx].as_mut() {
+            s.nominal_bytes = (s.nominal_bytes as i64 + bytes).max(0) as u64;
         }
     }
 
     /// Extract (remove) one sub-group for migration.
     pub fn extract(&mut self, kg: KeyGroup, sub: u8) -> Option<StateUnit> {
-        let g = self.groups.get_mut(&kg.0)?;
-        let state = g[sub as usize].take()?;
-        if g.iter().all(|s| s.is_none()) {
-            self.groups.remove(&kg.0);
-            self.inactive.remove(&kg.0);
+        let idx = self.slot_idx(kg, sub);
+        let state = self.slots[idx].take()?;
+        if !self.group_exists(kg) {
+            self.inactive[kg.0 as usize] = false;
         }
         Some(StateUnit { kg, sub, state })
     }
 
     /// Extract all sub-groups of a key-group (key-group-granular migration).
     pub fn extract_group(&mut self, kg: KeyGroup) -> Vec<StateUnit> {
-        (0..self.fanout).filter_map(|s| self.extract(kg, s)).collect()
+        (0..self.fanout)
+            .filter_map(|s| self.extract(kg, s))
+            .collect()
     }
 
     /// Install a migrated unit.
     pub fn install(&mut self, unit: StateUnit, active: bool) {
-        let fanout = self.fanout as usize;
-        let g = self
-            .groups
-            .entry(unit.kg.0)
-            .or_insert_with(|| (0..fanout).map(|_| None).collect());
-        debug_assert!(g[unit.sub as usize].is_none(), "double-install of {}/{}", unit.kg, unit.sub);
-        g[unit.sub as usize] = Some(unit.state);
+        let idx = self.slot_idx(unit.kg, unit.sub);
+        debug_assert!(
+            self.slots[idx].is_none(),
+            "double-install of {}/{}",
+            unit.kg,
+            unit.sub
+        );
+        self.slots[idx] = Some(unit.state);
         self.set_inactive(unit.kg, !active);
     }
 
     /// Total modeled bytes held locally.
     pub fn total_bytes(&self) -> u64 {
-        self.groups
-            .values()
-            .flat_map(|g| g.iter().flatten())
-            .map(|s| s.nominal_bytes)
-            .sum()
+        self.slots.iter().flatten().map(|s| s.nominal_bytes).sum()
     }
 
     /// Total number of keys held locally.
     pub fn total_keys(&self) -> usize {
-        self.groups
-            .values()
-            .flat_map(|g| g.iter().flatten())
-            .map(|s| s.entries.len())
-            .sum()
+        self.slots.iter().flatten().map(|s| s.entries.len()).sum()
     }
 
     /// Bytes held for one key-group.
     pub fn group_bytes(&self, kg: KeyGroup) -> u64 {
-        self.groups
-            .get(&kg.0)
-            .map(|g| g.iter().flatten().map(|s| s.nominal_bytes).sum())
-            .unwrap_or(0)
+        self.group_slots(kg)
+            .iter()
+            .flatten()
+            .map(|s| s.nominal_bytes)
+            .sum()
     }
 
-    /// Iterate over locally present key-groups.
+    /// Iterate over locally present key-groups, in key-group order.
     pub fn held_groups(&self) -> impl Iterator<Item = KeyGroup> + '_ {
-        self.groups.keys().map(|&k| KeyGroup(k))
+        (0..self.max_key_groups)
+            .map(KeyGroup)
+            .filter(|&kg| self.group_exists(kg))
     }
 
     /// Fold all per-key values into `(key, count)` pairs — used by output
     /// equivalence tests.
     pub fn snapshot_counts(&self) -> HashMap<Key, u64> {
         let mut out = HashMap::new();
-        for g in self.groups.values() {
-            for s in g.iter().flatten() {
-                for (&k, v) in &s.entries {
-                    *out.entry(k).or_insert(0) += v.count();
-                }
+        for s in self.slots.iter().flatten() {
+            for (&k, v) in &s.entries {
+                *out.entry(k).or_insert(0) += v.count();
             }
         }
         out
@@ -240,6 +276,7 @@ impl StateBackend {
 
     /// Convenience for operators: adjust nominal bytes for the sub-group
     /// holding `key`, computing the key-group internally.
+    #[inline]
     pub fn add_bytes_for(&mut self, key: Key, bytes: i64) {
         let kg = crate::ids::key_group_of(key, self.max_key_groups);
         self.add_bytes(kg, key, bytes);
@@ -249,17 +286,14 @@ impl StateBackend {
     /// firing). Iteration order is deterministic (sorted by key-group then
     /// key) so runs stay reproducible.
     pub fn for_each_entry_mut(&mut self, mut f: impl FnMut(Key, &mut StateValue)) {
-        let mut kgs: Vec<u16> = self.groups.keys().copied().collect();
-        kgs.sort_unstable();
-        for kgi in kgs {
-            let g = self.groups.get_mut(&kgi).expect("key listed");
-            for s in g.iter_mut().flatten() {
-                let mut keys: Vec<Key> = s.entries.keys().copied().collect();
-                keys.sort_unstable();
-                for k in keys {
-                    let v = s.entries.get_mut(&k).expect("key listed");
-                    f(k, v);
-                }
+        let mut keys: Vec<Key> = Vec::new();
+        for s in self.slots.iter_mut().flatten() {
+            keys.clear();
+            keys.extend(s.entries.keys().copied());
+            keys.sort_unstable();
+            for &k in &keys {
+                let v = s.entries.get_mut(&k).expect("key listed");
+                f(k, v);
             }
         }
     }
@@ -316,6 +350,24 @@ mod tests {
     }
 
     #[test]
+    fn extracting_last_sub_clears_inactive_flag() {
+        // Dense-backend equivalent of the old "remove the map entry removes
+        // the flag": once a group is fully extracted, a later re-install
+        // must not inherit a stale inactive flag unless asked for.
+        let mut b = backend();
+        *b.entry_or(KeyGroup(3), 1, || StateValue::Count(0)) = StateValue::Count(1);
+        b.set_inactive(KeyGroup(3), true);
+        let unit = b.extract(KeyGroup(3), 0).expect("present");
+        assert!(!b.holds(KeyGroup(3), 0));
+        assert!(
+            b.is_active(KeyGroup(3)),
+            "flag must reset on full extraction"
+        );
+        b.install(unit, true);
+        assert!(b.is_active(KeyGroup(3)));
+    }
+
+    #[test]
     fn hierarchical_extract_is_partial() {
         let mut b = StateBackend::new(16, 4);
         b.ensure_group(KeyGroup(2));
@@ -349,5 +401,15 @@ mod tests {
         b.add_bytes(KeyGroup(3), 1, 100);
         b.add_bytes(KeyGroup(3), 1, -500);
         assert_eq!(b.total_bytes(), 0);
+    }
+
+    #[test]
+    fn held_groups_iterates_in_order() {
+        let mut b = StateBackend::new(16, 1);
+        for g in [9u16, 2, 14] {
+            b.ensure_group(KeyGroup(g));
+        }
+        let held: Vec<u16> = b.held_groups().map(|kg| kg.0).collect();
+        assert_eq!(held, vec![2, 9, 14]);
     }
 }

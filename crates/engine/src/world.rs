@@ -1,16 +1,31 @@
 //! The executable world: instances, channels, the event loop, emission and
 //! routing, backpressure, alignment, migration links, and the scaling
 //! control plane.
-
-use std::collections::HashSet;
+//!
+//! # Hot-path discipline
+//!
+//! The dispatch path (`Deliver` → `try_start` → `build_run` → `ProcDone` →
+//! `apply_record` → `emit_records` → `route_record` → `send`) is
+//! allocation-free in steady state:
+//!
+//! * per-operator topology (`keyed_in_edges`, `pred_insts`) is cached on
+//!   [`OperatorRt`] at build time and refreshed only on scale events,
+//! * operator output goes through a reused `emit_scratch` buffer,
+//! * quantum record buffers are recycled through `run_buf_pool`,
+//! * round-robin routing scans the destination list in place instead of
+//!   collecting eligible instances, and cursors are dense per-edge slots,
+//! * channel queues and the future-event list are pre-sized at build time.
+//!
+//! Keep it that way: if a change needs a temporary collection on any of
+//! those paths, reuse a scratch buffer on `World` instead of allocating.
 
 use simcore::time::{transfer_time, SimTime};
 
 const MICROS_PER_SEC_DEFER: SimTime = 1_000_000;
 use simcore::{DetRng, EventQueue};
 
-use crate::config::EngineConfig;
 use crate::channel::Channel;
+use crate::config::EngineConfig;
 use crate::events::{ControlMsg, Ev, PriorityMsg};
 use crate::graph::{EdgeKind, EdgeRt, OperatorRt};
 use crate::ids::{key_group_of, ChannelId, EdgeId, InstId, KeyGroup, OpId, SubscaleId};
@@ -48,11 +63,33 @@ pub struct World {
     pub rng: DetRng,
     /// Scratch: records of the quantum each busy instance is executing.
     pending_runs: Vec<Vec<Record>>,
+    /// Scratch: reusable operator-output buffer (`apply_record_basic`,
+    /// watermark firing). Always drained back to empty after use.
+    emit_scratch: Vec<Record>,
+    /// Recycled quantum buffers: `build_run` pops, `on_proc_done` returns.
+    run_buf_pool: Vec<Vec<Record>>,
     /// Next checkpoint id.
     next_ckpt: u64,
     /// Suspension series tracks instances of this op (set at scale time;
     /// defaults to all Transform ops).
     suspension_op: Option<OpId>,
+}
+
+/// The predecessor list of `op`: all upstream instances feeding its keyed
+/// inputs, deduped in discovery order. Single source of truth for the
+/// `pred_insts` cache — build-time seeding and scale-time refresh must
+/// never diverge.
+fn compute_pred_insts(op: &OperatorRt, ops: &[OperatorRt], edges: &[EdgeRt]) -> Vec<InstId> {
+    let mut preds: Vec<InstId> = Vec::new();
+    for &e in &op.keyed_in_edges {
+        let from_op = edges[e.0 as usize].from;
+        for &fi in &ops[from_op.0 as usize].instances {
+            if !preds.contains(&fi) {
+                preds.push(fi);
+            }
+        }
+    }
+    preds
 }
 
 impl World {
@@ -71,7 +108,12 @@ impl World {
             let par = op.instances.len();
             for li in 0..par {
                 let id = InstId(insts.len() as u32);
-                let mut inst = Instance::new(id, op.id, li, StateBackend::new(cfg.max_key_groups, cfg.sub_group_fanout));
+                let mut inst = Instance::new(
+                    id,
+                    op.id,
+                    li,
+                    StateBackend::new(cfg.max_key_groups, cfg.sub_group_fanout),
+                );
                 match op.role {
                     OpRole::Source => {
                         let gen = (op.source_factory.as_ref().expect("source factory"))(li);
@@ -112,7 +154,13 @@ impl World {
                 }
                 for &ti in &to_insts {
                     let cid = ChannelId(chans.len() as u32);
-                    chans.push(Channel::new(cid, fi, ti, cfg.channel_capacity, cfg.net_latency));
+                    chans.push(Channel::new(
+                        cid,
+                        fi,
+                        ti,
+                        cfg.channel_capacity,
+                        cfg.net_latency,
+                    ));
                     edge.channels.insert((fi, ti), cid);
                     insts[fi.0 as usize].out_channels.push(cid);
                     insts[ti.0 as usize].in_channels.push(cid);
@@ -134,7 +182,33 @@ impl World {
             edges.push(edge);
         }
 
-        let mut q = EventQueue::new();
+        // Freeze the topology caches. Keyed in-edge lists never change
+        // after lowering; predecessor lists are refreshed on scale events.
+        for op in ops.iter_mut() {
+            op.keyed_in_edges = op
+                .in_edges
+                .iter()
+                .copied()
+                .filter(|&e| edges[e.0 as usize].kind == EdgeKind::Keyed)
+                .collect();
+        }
+        let pred_lists: Vec<Vec<InstId>> = ops
+            .iter()
+            .map(|op| compute_pred_insts(op, &ops, &edges))
+            .collect();
+        for (op, preds) in ops.iter_mut().zip(pred_lists) {
+            op.pred_insts = preds;
+        }
+
+        // Dense per-edge round-robin cursors (edge count is now final).
+        for inst in insts.iter_mut() {
+            inst.rr_cursor = vec![0; edges.len()];
+        }
+
+        // Pre-size the future-event list: in steady state it holds at most
+        // a few events per instance (ticks, quanta) plus in-flight elements
+        // bounded by per-channel credits.
+        let mut q = EventQueue::with_capacity(insts.len() * 8 + chans.len() * 4 + 64);
         // Arm source ticks (jittered so they do not all fire in lockstep).
         for inst in insts.iter() {
             if inst.source.is_some() {
@@ -159,6 +233,8 @@ impl World {
             semantics: SemanticsChecker::new(),
             rng,
             pending_runs: (0..n).map(|_| Vec::new()).collect(),
+            emit_scratch: Vec::with_capacity(16),
+            run_buf_pool: Vec::new(),
             next_ckpt: 0,
             suspension_op: None,
         }
@@ -181,14 +257,11 @@ impl World {
         key_group_of(key, self.cfg.max_key_groups)
     }
 
-    /// Keyed input edges of an operator.
-    pub fn keyed_in_edges(&self, op: OpId) -> Vec<EdgeId> {
-        self.ops[op.0 as usize]
-            .in_edges
-            .iter()
-            .copied()
-            .filter(|&e| self.edges[e.0 as usize].kind == EdgeKind::Keyed)
-            .collect()
+    /// Keyed input edges of an operator (cached at build time — edges are
+    /// fixed after lowering).
+    #[inline]
+    pub fn keyed_in_edges(&self, op: OpId) -> &[EdgeId] {
+        &self.ops[op.0 as usize].keyed_in_edges
     }
 
     /// Schedule a plugin timer.
@@ -204,7 +277,12 @@ impl World {
     /// Request a rescale of `op` to `new_parallelism` at time `at`, with the
     /// paper's default uniform re-partitioning.
     pub fn schedule_scale(&mut self, at: SimTime, op: OpId, new_parallelism: usize) {
-        self.schedule_scale_with(at, op, new_parallelism, crate::keygroup::Repartition::Uniform);
+        self.schedule_scale_with(
+            at,
+            op,
+            new_parallelism,
+            crate::keygroup::Repartition::Uniform,
+        );
     }
 
     /// Request a rescale with an explicit re-partitioning strategy.
@@ -238,7 +316,14 @@ impl World {
         if c.backlog.is_empty() && c.has_credit() {
             c.in_flight += 1;
             let lat = c.latency;
-            self.q.schedule(lat, Ev::Deliver { ch, elem });
+            self.q.schedule(
+                lat,
+                Ev::Deliver {
+                    ch,
+                    elem,
+                    credited: true,
+                },
+            );
         } else {
             c.backlog.push_back(elem);
             if c.backlog.len() >= self.cfg.backlog_block {
@@ -252,7 +337,14 @@ impl World {
     /// barriers that are "priority in the output cache").
     pub fn send_uncredited(&mut self, ch: ChannelId, elem: StreamElement) {
         let lat = self.chans[ch.0 as usize].latency;
-        self.q.schedule(lat, Ev::Deliver { ch, elem });
+        self.q.schedule(
+            lat,
+            Ev::Deliver {
+                ch,
+                elem,
+                credited: false,
+            },
+        );
     }
 
     /// Send a priority message out-of-band to an instance.
@@ -272,7 +364,14 @@ impl World {
             let elem = c.backlog.pop_front().expect("non-empty");
             c.in_flight += 1;
             let lat = c.latency;
-            self.q.schedule(lat, Ev::Deliver { ch, elem });
+            self.q.schedule(
+                lat,
+                Ev::Deliver {
+                    ch,
+                    elem,
+                    credited: true,
+                },
+            );
         }
         // Hysteresis: unblock the sender when every outgoing backlog is low.
         let from = self.chans[ch.0 as usize].from;
@@ -310,22 +409,47 @@ impl World {
 
     /// Channel between two instances on an edge.
     pub fn channel_between(&self, edge: EdgeId, from: InstId, to: InstId) -> Option<ChannelId> {
-        self.edges[edge.0 as usize].channels.get(&(from, to)).copied()
+        self.edges[edge.0 as usize]
+            .channels
+            .get(&(from, to))
+            .copied()
     }
 
     // -----------------------------------------------------------------
     // Emission & routing
     // -----------------------------------------------------------------
 
-    /// Emit records produced by `inst` onto all its out edges.
-    pub fn emit_records(&mut self, inst: InstId, records: Vec<Record>) {
-        let out_edges = self.op_of(inst).out_edges.clone();
-        for mut rec in records {
-            let seq = self.insts[inst.0 as usize].next_seq();
-            rec.origin = (inst, seq);
-            for &e in &out_edges {
-                self.route_record(inst, e, rec.clone());
+    /// Emit records produced by `inst` onto all its out edges, draining the
+    /// buffer (its capacity is preserved so callers can reuse it).
+    pub fn emit_records(&mut self, inst: InstId, records: &mut Vec<Record>) {
+        let mut taken = std::mem::take(records);
+        for rec in taken.drain(..) {
+            self.emit_one(inst, rec);
+        }
+        // Hand the (empty, capacity-preserving) allocation back.
+        *records = taken;
+    }
+
+    /// Emit one record produced by `inst` (stamps the origin sequence).
+    pub fn emit_one(&mut self, inst: InstId, mut rec: Record) {
+        let seq = self.insts[inst.0 as usize].next_seq();
+        rec.origin = (inst, seq);
+        self.fan_out(inst, rec);
+    }
+
+    /// Route an already-stamped record onto every out edge of `inst`,
+    /// cloning only for all-but-the-last edge (single-edge operators — the
+    /// common case — move the record straight through).
+    fn fan_out(&mut self, inst: InstId, rec: Record) {
+        let opi = self.insts[inst.0 as usize].op.0 as usize;
+        let n = self.ops[opi].out_edges.len();
+        for k in 0..n {
+            let e = self.ops[opi].out_edges[k];
+            if k + 1 == n {
+                self.route_record(inst, e, rec);
+                return;
             }
+            self.route_record(inst, e, rec.clone());
         }
     }
 
@@ -347,9 +471,15 @@ impl World {
                 // Rebalance, broadcast, and all markers: markers round-robin
                 // over operational destinations so they sample every path.
                 if kind == EdgeKind::Broadcast && rec.kind == RecordKind::Data {
-                    let to_insts = self.ops[edge.to.0 as usize].instances.clone();
-                    for ti in to_insts {
+                    let toi = edge.to.0 as usize;
+                    let n = self.ops[toi].instances.len();
+                    for k in 0..n {
+                        let ti = self.ops[toi].instances[k];
                         let ch = self.edges[eid.0 as usize].channels[&(from, ti)];
+                        if k + 1 == n {
+                            self.send(ch, StreamElement::Record(rec));
+                            return;
+                        }
                         self.send(ch, StreamElement::Record(rec.clone()));
                     }
                     return;
@@ -358,42 +488,60 @@ impl World {
                 // destinations: freshly deployed instances must not swallow
                 // traffic (or markers) while their container is still
                 // initializing, and retiring instances receive nothing new.
+                // Two in-place scans (count, then pick) keep this
+                // allocation-free; destination lists are a handful of
+                // instances.
                 let now = self.now();
-                let to_insts: Vec<InstId> = self.ops[edge.to.0 as usize]
-                    .instances
-                    .iter()
-                    .copied()
-                    .filter(|&i| {
-                        self.insts[i.0 as usize].operational_at <= now
-                            && !self.scale.retiring.contains(&i)
-                    })
-                    .collect();
-                if to_insts.is_empty() {
+                let toi = self.edges[eid.0 as usize].to.0 as usize;
+                let eligible = |w: &World, i: InstId| {
+                    w.insts[i.0 as usize].operational_at <= now && !w.scale.retiring.contains(&i)
+                };
+                let mut count = 0usize;
+                for k in 0..self.ops[toi].instances.len() {
+                    let i = self.ops[toi].instances[k];
+                    if eligible(self, i) {
+                        count += 1;
+                    }
+                }
+                if count == 0 {
                     return;
                 }
                 let cursor = {
-                    let c = self.insts[from.0 as usize].rr_cursor.entry(eid.0).or_insert(0);
+                    let c = &mut self.insts[from.0 as usize].rr_cursor[eid.0 as usize];
                     *c += 1;
                     *c
                 };
-                let dest = to_insts[cursor % to_insts.len()];
-                let ch = self.edges[eid.0 as usize].channels[&(from, dest)];
-                self.send(ch, StreamElement::Record(rec));
+                let pick = cursor % count;
+                let mut seen = 0usize;
+                for k in 0..self.ops[toi].instances.len() {
+                    let i = self.ops[toi].instances[k];
+                    if eligible(self, i) {
+                        if seen == pick {
+                            let ch = self.edges[eid.0 as usize].channels[&(from, i)];
+                            self.send(ch, StreamElement::Record(rec));
+                            return;
+                        }
+                        seen += 1;
+                    }
+                }
+                unreachable!("pick < count");
             }
         }
     }
 
-    /// Broadcast a watermark from `inst` on every out edge.
+    /// Broadcast a watermark from `inst` on every out channel.
     pub fn broadcast_watermark(&mut self, inst: InstId, wm: SimTime) {
-        let out = self.insts[inst.0 as usize].out_channels.clone();
-        for ch in out {
+        let n = self.insts[inst.0 as usize].out_channels.len();
+        for k in 0..n {
+            let ch = self.insts[inst.0 as usize].out_channels[k];
             self.send(ch, StreamElement::Watermark(wm));
         }
     }
 
     fn broadcast_ckpt(&mut self, inst: InstId, id: u64) {
-        let out = self.insts[inst.0 as usize].out_channels.clone();
-        for ch in out {
+        let n = self.insts[inst.0 as usize].out_channels.len();
+        for k in 0..n {
+            let ch = self.insts[inst.0 as usize].out_channels[k];
             self.send(ch, StreamElement::CheckpointBarrier(id));
         }
     }
@@ -403,31 +551,38 @@ impl World {
     // -----------------------------------------------------------------
 
     /// Update one predecessor's routing for a set of key-groups on every
-    /// keyed input edge of the scaling operator. Returns the edges touched.
-    pub fn reroute_groups(&mut self, op: OpId, pred: InstId, kgs: &[KeyGroup], to: InstId) -> Vec<EdgeId> {
-        let edges = self.keyed_in_edges(op);
-        for &e in &edges {
+    /// keyed input edge of the scaling operator. (The touched edges are
+    /// exactly [`Self::keyed_in_edges`]; callers that need them can read
+    /// the cache directly.)
+    pub fn reroute_groups(&mut self, op: OpId, pred: InstId, kgs: &[KeyGroup], to: InstId) {
+        let n = self.ops[op.0 as usize].keyed_in_edges.len();
+        for k in 0..n {
+            let e = self.ops[op.0 as usize].keyed_in_edges[k];
             if let Some(t) = self.edges[e.0 as usize].tables.get_mut(&pred) {
                 for &kg in kgs {
                     t.set(kg, to);
                 }
             }
         }
-        edges
     }
 
-    /// All upstream instances feeding the keyed inputs of `op`.
-    pub fn predecessors(&self, op: OpId) -> Vec<InstId> {
-        let mut out = Vec::new();
-        for e in self.keyed_in_edges(op) {
-            let from_op = self.edges[e.0 as usize].from;
-            for &i in &self.ops[from_op.0 as usize].instances {
-                if !out.contains(&i) {
-                    out.push(i);
-                }
-            }
+    /// All upstream instances feeding the keyed inputs of `op` (cached;
+    /// refreshed whenever an upstream instance list changes).
+    #[inline]
+    pub fn predecessors(&self, op: OpId) -> &[InstId] {
+        &self.ops[op.0 as usize].pred_insts
+    }
+
+    /// Rebuild the cached predecessor lists of every operator downstream
+    /// of `op`. Must be called whenever `op`'s instance list changes
+    /// (scale-out instance creation, retirement removal).
+    fn refresh_pred_caches_after(&mut self, op: OpId) {
+        let outs = self.ops[op.0 as usize].out_edges.clone();
+        for e in outs {
+            let to = self.edges[e.0 as usize].to;
+            let preds = compute_pred_insts(&self.ops[to.0 as usize], &self.ops, &self.edges);
+            self.ops[to.0 as usize].pred_insts = preds;
         }
-        out
     }
 
     // -----------------------------------------------------------------
@@ -444,7 +599,14 @@ impl World {
     }
 
     /// Extract a single sub-group and enqueue it.
-    pub fn migrate_unit(&mut self, from: InstId, to: InstId, kg: KeyGroup, sub: u8, subscale: SubscaleId) -> bool {
+    pub fn migrate_unit(
+        &mut self,
+        from: InstId,
+        to: InstId,
+        kg: KeyGroup,
+        sub: u8,
+        subscale: SubscaleId,
+    ) -> bool {
         match self.insts[from.0 as usize].state.extract(kg, sub) {
             Some(u) => {
                 self.enqueue_unit(from, to, u, subscale);
@@ -467,7 +629,9 @@ impl World {
 
     fn link_start(&mut self, from: InstId) {
         let now = self.now();
-        let Some(link) = self.scale.links.get_mut(&from) else { return };
+        let Some(link) = self.scale.links.get_mut(&from) else {
+            return;
+        };
         let Some((_to, unit, ss)) = link.queue.front() else {
             link.busy = false;
             return;
@@ -556,6 +720,42 @@ impl World {
         }
     }
 
+    /// A deterministic digest of the run's observable state: metrics,
+    /// per-instance progress, state sizes and watermarks. Two runs with the
+    /// same seed and timeline must produce identical digests — the
+    /// regression guard for every hot-path data-structure swap.
+    pub fn metrics_digest(&self) -> u64 {
+        // FNV-1a over a canonical serialization of the observables.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        put(self.metrics.sink_records);
+        put(self.q.processed());
+        put(self.metrics.latency.len() as u64);
+        for &(t, v) in self.metrics.latency.points() {
+            put(t);
+            put(v.to_bits());
+        }
+        for &(s, c) in &self.metrics.source_counts {
+            put(s);
+            put(c);
+        }
+        put(self.semantics.violations());
+        for inst in &self.insts {
+            put(inst.processed);
+            put(inst.watermark);
+            put(inst.state.total_bytes());
+            put(inst.state.total_keys() as u64);
+            put(inst.suspended_total);
+        }
+        put(self.scale.metrics.bytes_transferred);
+        h
+    }
+
     /// Total nominal state bytes across instances of an operator.
     pub fn op_state_bytes(&self, op: OpId) -> u64 {
         self.ops[op.0 as usize]
@@ -575,10 +775,18 @@ impl World {
     pub fn dispatch(&mut self, plugin: &mut dyn ScalePlugin, ev: Ev) {
         match ev {
             Ev::SourceTick { inst } => self.on_source_tick(plugin, inst),
-            Ev::Deliver { ch, elem } => {
+            Ev::Deliver { ch, elem, credited } => {
                 let c = &mut self.chans[ch.0 as usize];
-                if c.in_flight > 0 {
-                    c.in_flight -= 1;
+                if credited {
+                    // A credited delivery without a matching in-flight
+                    // element is a credit-accounting bug — surface it loudly
+                    // in debug builds instead of silently clamping.
+                    debug_assert!(
+                        c.in_flight > 0,
+                        "credited Deliver on {:?} with in_flight == 0",
+                        c.id
+                    );
+                    c.in_flight = c.in_flight.saturating_sub(1);
                 }
                 c.queue.push_back(elem);
                 let to = c.to;
@@ -596,23 +804,31 @@ impl World {
     fn on_priority(&mut self, plugin: &mut dyn ScalePlugin, to: InstId, msg: PriorityMsg) {
         match msg {
             PriorityMsg::Signal(sig) => plugin.on_priority_signal(self, to, sig),
-            PriorityMsg::Chunk { unit, subscale, from } => {
-                plugin.on_chunk(self, to, *unit, subscale, from)
-            }
+            PriorityMsg::Chunk {
+                unit,
+                subscale,
+                from,
+            } => plugin.on_chunk(self, to, *unit, subscale, from),
             PriorityMsg::ReroutedRecords { from, records } => {
                 plugin.on_rerouted_records(self, to, from, records)
             }
             PriorityMsg::ReroutedConfirm { from, signal } => {
                 plugin.on_rerouted_confirm(self, to, from, signal)
             }
-            PriorityMsg::Fetch { kg, sub, requester } => plugin.on_fetch(self, to, kg, sub, requester),
+            PriorityMsg::Fetch { kg, sub, requester } => {
+                plugin.on_fetch(self, to, kg, sub, requester)
+            }
         }
         self.try_start(plugin, to);
     }
 
     fn on_link_done(&mut self, plugin: &mut dyn ScalePlugin, from: InstId) {
-        let Some(link) = self.scale.links.get_mut(&from) else { return };
-        let Some((to, unit, ss)) = link.queue.pop_front() else { return };
+        let Some(link) = self.scale.links.get_mut(&from) else {
+            return;
+        };
+        let Some((to, unit, ss)) = link.queue.pop_front() else {
+            return;
+        };
         link.busy = false;
         let lat = self.cfg.net_latency;
         self.q.schedule(
@@ -645,8 +861,10 @@ impl World {
                 // The paper (§IV-C) prevents concurrent fault tolerance and
                 // scaling: defer the checkpoint until migration completes.
                 if self.scale.in_progress {
-                    self.q
-                        .schedule(MICROS_PER_SEC_DEFER, Ev::Control(ControlMsg::CheckpointTick));
+                    self.q.schedule(
+                        MICROS_PER_SEC_DEFER,
+                        Ev::Control(ControlMsg::CheckpointTick),
+                    );
                     return;
                 }
                 self.next_ckpt += 1;
@@ -713,6 +931,7 @@ impl World {
                 .logic_factory
                 .as_ref()
                 .expect("scaling a transform operator"))());
+            inst.rr_cursor = vec![0; self.edges.len()];
             self.insts.push(inst);
             self.pending_runs.push(Vec::new());
             self.ops[op.0 as usize].instances.push(id);
@@ -724,8 +943,13 @@ impl World {
                 let from_op = self.edges[eid.0 as usize].from;
                 for fi in self.ops[from_op.0 as usize].instances.clone() {
                     let cid = ChannelId(self.chans.len() as u32);
-                    self.chans
-                        .push(Channel::new(cid, fi, id, self.cfg.channel_capacity, self.cfg.net_latency));
+                    self.chans.push(Channel::new(
+                        cid,
+                        fi,
+                        id,
+                        self.cfg.channel_capacity,
+                        self.cfg.net_latency,
+                    ));
                     self.edges[eid.0 as usize].channels.insert((fi, id), cid);
                     self.insts[fi.0 as usize].out_channels.push(cid);
                     self.insts[id.0 as usize].in_channels.push(cid);
@@ -736,23 +960,32 @@ impl World {
                 let to_op = self.edges[eid.0 as usize].to;
                 for ti in self.ops[to_op.0 as usize].instances.clone() {
                     let cid = ChannelId(self.chans.len() as u32);
-                    self.chans
-                        .push(Channel::new(cid, id, ti, self.cfg.channel_capacity, self.cfg.net_latency));
+                    self.chans.push(Channel::new(
+                        cid,
+                        id,
+                        ti,
+                        self.cfg.channel_capacity,
+                        self.cfg.net_latency,
+                    ));
                     self.edges[eid.0 as usize].channels.insert((id, ti), cid);
                     self.insts[id.0 as usize].out_channels.push(cid);
                     // Initialize the successor's view of this channel's
                     // watermark to its current one so downstream windows do
                     // not stall on the fresh channel.
                     let cur = self.insts[ti.0 as usize].watermark;
-                    self.insts[ti.0 as usize].ch_watermarks.insert(cid, cur);
+                    self.chans[cid.0 as usize].rx_watermark = cur;
                     self.insts[ti.0 as usize].in_channels.push(cid);
                 }
             }
         }
 
+        // The scaled operator's instance list changed: downstream operators'
+        // cached predecessor lists must see the new instances.
+        self.refresh_pred_caches_after(op);
+
         // Compute the moves with the uniform re-partitioning strategy.
-        let keyed = self.keyed_in_edges(op);
-        let base = keyed
+        let base = self
+            .keyed_in_edges(op)
             .first()
             .map(|&e| {
                 let edge = &self.edges[e.0 as usize];
@@ -780,7 +1013,8 @@ impl World {
             }
         }
         let delay = self.cfg.deploy_delay;
-        self.q.schedule(delay, Ev::Control(ControlMsg::DeployDone { epoch }));
+        self.q
+            .schedule(delay, Ev::Control(ControlMsg::DeployDone { epoch }));
     }
 
     fn on_sample(&mut self) {
@@ -818,13 +1052,18 @@ impl World {
                         .all(|&c| self.chans[c.0 as usize].occupancy() == 0)
             })
             .collect();
+        let mut changed_op = None;
         for i in ready {
             self.insts[i.0 as usize].halted = true;
             self.scale.retiring.retain(|&x| x != i);
             if let Some(plan) = self.scale.plan.as_ref() {
                 let op = plan.op;
                 self.ops[op.0 as usize].instances.retain(|&x| x != i);
+                changed_op = Some(op);
             }
+        }
+        if let Some(op) = changed_op {
+            self.refresh_pred_caches_after(op);
         }
     }
 
@@ -888,7 +1127,11 @@ impl World {
                 if i.halted || i.blocked_out {
                     break;
                 }
-                if i.source.as_ref().map(|s| s.pending.is_empty()).unwrap_or(true) {
+                if i.source
+                    .as_ref()
+                    .map(|s| s.pending.is_empty())
+                    .unwrap_or(true)
+                {
                     break;
                 }
             }
@@ -904,7 +1147,7 @@ impl World {
                 self.broadcast_ckpt(inst, rec.key);
             } else {
                 let n = rec.count as u64;
-                self.emit_records(inst, vec![rec]);
+                self.emit_one(inst, rec);
                 self.metrics.count_source(now, n);
                 if let Some(src) = self.insts[inst.0 as usize].source.as_mut() {
                     src.emitted += n;
@@ -952,6 +1195,8 @@ impl World {
                     i.busy = true;
                     i.proc_gen += 1;
                     let gen = i.proc_gen;
+                    // The slot holds an empty Vec (drained by the previous
+                    // `on_proc_done`); dropping it frees nothing.
                     self.pending_runs[inst.0 as usize] = records;
                     self.q.schedule(service.max(1), Ev::ProcDone { inst, gen });
                     return;
@@ -1021,14 +1266,22 @@ impl World {
     }
 
     /// Pop a run of admissible records from `ch` bounded by the quantum.
-    pub fn build_run(&mut self, plugin: &mut dyn ScalePlugin, inst: InstId, ch: ChannelId) -> Selection {
-        let mut records = Vec::new();
+    pub fn build_run(
+        &mut self,
+        plugin: &mut dyn ScalePlugin,
+        inst: InstId,
+        ch: ChannelId,
+    ) -> Selection {
+        let mut records = self.run_buf_pool.pop().unwrap_or_default();
+        debug_assert!(records.is_empty());
         let mut service: SimTime = 0;
         loop {
             if records.len() >= self.cfg.quantum_records || service >= self.cfg.quantum_time {
                 break;
             }
-            let Some(front) = self.chans[ch.0 as usize].queue.front() else { break };
+            let Some(front) = self.chans[ch.0 as usize].queue.front() else {
+                break;
+            };
             let Some(rec) = front.as_record() else { break };
             let rec = rec.clone();
             if rec.kind != RecordKind::Marker && !plugin.admit(self, inst, ch, &rec) {
@@ -1042,6 +1295,7 @@ impl World {
             }
         }
         if records.is_empty() {
+            self.run_buf_pool.push(records);
             Selection::Suspend
         } else {
             Selection::Run { records, service }
@@ -1069,9 +1323,14 @@ impl World {
             return;
         }
         self.insts[inst.0 as usize].busy = false;
-        let records = std::mem::take(&mut self.pending_runs[inst.0 as usize]);
-        for rec in records {
+        let mut records = std::mem::take(&mut self.pending_runs[inst.0 as usize]);
+        for rec in records.drain(..) {
             self.apply_record(plugin, inst, rec);
+        }
+        // Recycle the (now empty, capacity-preserving) buffer. Bound the
+        // pool so pathological plugins cannot hoard memory through it.
+        if self.run_buf_pool.len() < 64 {
+            self.run_buf_pool.push(records);
         }
         self.try_start(plugin, inst);
     }
@@ -1085,18 +1344,17 @@ impl World {
         match role {
             OpRole::Sink => {
                 if rec.kind == RecordKind::Marker {
-                    self.metrics.record_latency(now, now.saturating_sub(rec.created));
+                    self.metrics
+                        .record_latency(now, now.saturating_sub(rec.created));
                 } else {
                     self.metrics.sink_records += rec.count as u64;
                 }
             }
             _ => {
                 if rec.kind == RecordKind::Marker {
-                    // Markers bypass operator logic entirely.
-                    let out_edges = self.op_of(inst).out_edges.clone();
-                    for e in out_edges {
-                        self.route_record(inst, e, rec.clone());
-                    }
+                    // Markers bypass operator logic entirely (origin is
+                    // already stamped; forward as-is).
+                    self.fan_out(inst, rec);
                     return;
                 }
                 let kg = self.kg_of(rec.key);
@@ -1131,15 +1389,21 @@ impl World {
         let kg = self.kg_of(rec.key);
         // Per-key order is only a guarantee of keyed (hash-partitioned)
         // edges; rebalance edges interleave keys across instances by design.
-        if self.cfg.check_semantics
-            && rec.origin.0 != InstId(u32::MAX)
-            && self.op_of(inst).stateful
+        if self.cfg.check_semantics && rec.origin.0 != InstId(u32::MAX) && self.op_of(inst).stateful
         {
             let op = self.insts[inst.0 as usize].op;
-            self.semantics.observe(op, rec.key, rec.origin.0, rec.origin.1);
+            self.semantics
+                .observe(op, rec.key, rec.origin.0, rec.origin.1);
         }
-        let mut logic = self.insts[inst.0 as usize].logic.take().expect("transform logic");
-        let mut out = Vec::new();
+        let mut logic = self.insts[inst.0 as usize]
+            .logic
+            .take()
+            .expect("transform logic");
+        // Reuse the world's emission scratch: one operator invocation runs
+        // at a time on this path, and `emit_records` drains it back to
+        // empty before we return it.
+        let mut out = std::mem::take(&mut self.emit_scratch);
+        debug_assert!(out.is_empty());
         {
             let i = &mut self.insts[inst.0 as usize];
             let mut ctx = OpCtx {
@@ -1154,8 +1418,9 @@ impl World {
         }
         self.insts[inst.0 as usize].logic = Some(logic);
         if !out.is_empty() {
-            self.emit_records(inst, out);
+            self.emit_records(inst, &mut out);
         }
+        self.emit_scratch = out;
     }
 
     /// Handle a popped control element (public: plugin selections reuse it).
@@ -1175,16 +1440,25 @@ impl World {
     }
 
     fn on_watermark(&mut self, inst: InstId, ch: ChannelId, wm: SimTime) {
+        {
+            let c = &mut self.chans[ch.0 as usize];
+            c.rx_watermark = c.rx_watermark.max(wm);
+        }
+        // The operator watermark is the min across input channels; the
+        // per-channel value lives on the channel itself (plain indexed
+        // reads, no map lookups on this per-watermark path).
+        let mut min = SimTime::MAX;
+        {
+            let i = &self.insts[inst.0 as usize];
+            for &ic in &i.in_channels {
+                min = min.min(self.chans[ic.0 as usize].rx_watermark);
+            }
+            if i.in_channels.is_empty() {
+                min = 0;
+            }
+        }
         let advanced = {
             let i = &mut self.insts[inst.0 as usize];
-            let slot = i.ch_watermarks.entry(ch).or_insert(0);
-            *slot = (*slot).max(wm);
-            let min = i
-                .in_channels
-                .iter()
-                .map(|c| i.ch_watermarks.get(c).copied().unwrap_or(0))
-                .min()
-                .unwrap_or(0);
             if min > i.watermark {
                 i.watermark = min;
                 true
@@ -1199,8 +1473,12 @@ impl World {
         if role == OpRole::Transform {
             let now = self.now();
             let new_wm = self.insts[inst.0 as usize].watermark;
-            let mut logic = self.insts[inst.0 as usize].logic.take().expect("transform logic");
-            let mut out = Vec::new();
+            let mut logic = self.insts[inst.0 as usize]
+                .logic
+                .take()
+                .expect("transform logic");
+            let mut out = std::mem::take(&mut self.emit_scratch);
+            debug_assert!(out.is_empty());
             {
                 let i = &mut self.insts[inst.0 as usize];
                 let mut ctx = WmCtx {
@@ -1214,8 +1492,9 @@ impl World {
             let cost = logic.watermark_cost();
             self.insts[inst.0 as usize].logic = Some(logic);
             if !out.is_empty() {
-                self.emit_records(inst, out);
+                self.emit_records(inst, &mut out);
             }
+            self.emit_scratch = out;
             // Charge firing cost as a busy period.
             if cost > 0 {
                 let i = &mut self.insts[inst.0 as usize];
@@ -1238,7 +1517,7 @@ impl World {
             if i.ckpt.is_none() {
                 i.ckpt = Some(CkptAlign {
                     id,
-                    arrived: HashSet::new(),
+                    arrived: Default::default(),
                 });
             }
             let all = i.in_channels.len();
@@ -1255,13 +1534,13 @@ impl World {
             }
         };
         if aligned {
-            let chans: Vec<ChannelId> = self.insts[inst.0 as usize].in_channels.clone();
             {
                 let i = &mut self.insts[inst.0 as usize];
                 i.ckpt = None;
-                for c in &chans {
-                    i.blocked_channels.remove(c);
-                }
+                // `blocked_channels` only ever holds this instance's input
+                // channels, so dropping them all is exactly the old
+                // per-channel removal.
+                i.blocked_channels.clear();
             }
             // Synchronous snapshot part.
             let cost = (snapshot_bytes / 1_000_000) * self.cfg.snapshot_us_per_mb;
@@ -1349,7 +1628,11 @@ pub mod tests_support {
         use crate::graph::{EdgeKind, JobBuilder};
         use crate::operator::KeyedAgg;
         let mut b = JobBuilder::new(cfg);
-        let src = b.source("src", 1, Box::new(move |_| Box::new(FixedGen::new(rate, universe))));
+        let src = b.source(
+            "src",
+            1,
+            Box::new(move |_| Box::new(FixedGen::new(rate, universe))),
+        );
         let agg = b.operator(
             "agg",
             par,
@@ -1382,7 +1665,11 @@ mod tests {
         let (w, _agg) = tiny_job(EngineConfig::test(), 1000.0, 64, 2);
         let mut sim = Sim::new(w, Box::new(NoScale));
         sim.run_until(secs(5));
-        assert!(sim.world.metrics.sink_records > 3_000, "{}", sim.world.metrics.sink_records);
+        assert!(
+            sim.world.metrics.sink_records > 3_000,
+            "{}",
+            sim.world.metrics.sink_records
+        );
         // Latency markers made it through.
         assert!(sim.world.metrics.latency.len() > 50);
         // No order violations without scaling.
@@ -1407,7 +1694,13 @@ mod tests {
         let total: u64 = sim.world.ops[agg.0 as usize]
             .instances
             .iter()
-            .map(|&i| sim.world.insts[i.0 as usize].state.snapshot_counts().values().sum::<u64>())
+            .map(|&i| {
+                sim.world.insts[i.0 as usize]
+                    .state
+                    .snapshot_counts()
+                    .values()
+                    .sum::<u64>()
+            })
             .sum();
         // All data records that reached the agg are counted.
         assert!(total > 2_000, "{total}");
@@ -1422,7 +1715,10 @@ mod tests {
         let mut sim = Sim::new(w, Box::new(NoScale));
         sim.run_until(secs(5));
         let (peak, _mean) = sim.world.metrics.latency_stats_ms(secs(3), secs(5));
-        assert!(peak > 500.0, "expected growing latency under overload, peak={peak} ms");
+        assert!(
+            peak > 500.0,
+            "expected growing latency under overload, peak={peak} ms"
+        );
     }
 
     #[test]

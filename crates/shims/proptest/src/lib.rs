@@ -1,0 +1,386 @@
+//! A dependency-free, proptest-compatible property-testing shim.
+//!
+//! The build container has no access to crates.io, so the real `proptest`
+//! cannot be vendored. This shim implements the subset of its API the
+//! repo's property tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), `any::<T>()`, integer/float range
+//! strategies, tuple strategies, `collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! per-test seed (derived from the test path, so runs are deterministic),
+//! and failing cases are reported but **not shrunk**. For a simulator
+//! whose inputs are small scalars and short vectors, the unshrunk
+//! counterexample is almost always readable as-is.
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------
+// Deterministic RNG (SplitMix64 — small, fast, and plenty for test gen)
+// ---------------------------------------------------------------------
+
+/// The shim's internal random source. Public because the [`proptest!`]
+/// macro expansion instantiates it; not part of the emulated API.
+pub struct ShimRng(u64);
+
+impl ShimRng {
+    /// Seed deterministically from the fully qualified test name.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name, then mixed: stable across runs and rustc
+        // versions, unique per test.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(h | 1)
+    }
+
+    /// Next raw 64-bit value (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift bounded sampling (Lemire); bias is negligible for
+        // test generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// A value generator. The emulated subset of proptest's `Strategy`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut ShimRng) -> Self::Value;
+}
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut ShimRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// An unconstrained value of `T`, like proptest's `any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut ShimRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut ShimRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut ShimRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut ShimRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ShimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ShimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut ShimRng) -> f64 {
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ )),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut ShimRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{ShimRng, Strategy};
+    use std::ops::Range;
+
+    /// Size specification for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut ShimRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo).max(1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------
+
+/// Runner configuration (`#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property test; failure aborts the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr) => {{
+        let (l, r) = (&$l, &$r);
+        if !(*l == *r) {
+            return Err(format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($l), stringify!($r), l, r));
+        }
+    }};
+    ($l:expr, $r:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$l, &$r);
+        if !(*l == *r) {
+            return Err(format!("assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($l), stringify!($r), format!($($fmt)+), l, r));
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr) => {{
+        let (l, r) = (&$l, &$r);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($l),
+                stringify!($r),
+                l
+            ));
+        }
+    }};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the emulated API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $( #[test] fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::ShimRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    let result: ::std::result::Result<(), ::std::string::String> = (move || {
+                        $body;
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!(
+                            "proptest {} failed at case {}/{} with inputs {}: {}",
+                            stringify!($name),
+                            case + 1,
+                            cfg.cases,
+                            stringify!($($arg in $strat),+),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::ShimRng::for_test("bounds");
+        for _ in 0..10_000 {
+            let v = (3u16..=9).generate(&mut rng);
+            assert!((3..=9).contains(&v));
+            let w = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::ShimRng::for_test("vec");
+        for _ in 0..1_000 {
+            let v = collection::vec((any::<u64>(), 1u64..10), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&(_, c)| (1..10).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::ShimRng::for_test("same");
+        let mut b = crate::ShimRng::for_test("same");
+        for _ in 0..100 {
+            assert_eq!(
+                (0u64..1_000).generate(&mut a),
+                (0u64..1_000).generate(&mut b)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_cases(x in 1u32..100, y in 1u32..100) {
+            prop_assert!(x >= 1 && y >= 1);
+            prop_assert_ne!(x + y, 0);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

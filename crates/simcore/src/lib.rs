@@ -15,11 +15,13 @@
 //! is what makes the paper's latency/suspension measurements reproducible
 //! down to the microsecond.
 
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::{DetRng, Zipf};
 pub use stats::{Histogram, Summary, TimeSeries};

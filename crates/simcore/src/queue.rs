@@ -52,8 +52,15 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue with the clock at zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Create an empty queue with pre-allocated heap storage. Sized from
+    /// the world's entity counts at build time, this keeps the future-event
+    /// list from re-allocating during the simulation's warm-up ramp.
+    pub fn with_capacity(cap: usize) -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(cap),
             now: 0,
             seq: 0,
             processed: 0,

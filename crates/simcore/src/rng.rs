@@ -1,50 +1,91 @@
 //! Deterministic randomness for workload generation.
 //!
-//! Wraps a seeded [`rand::rngs::StdRng`] and adds a Zipf(α) sampler over a
-//! finite item universe (the offline crate set has no `rand_distr`, so the
-//! sampler is implemented here with a precomputed CDF + binary search, which
-//! is both exact and fast for the universe sizes the workloads use).
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! Self-contained (the offline crate set has no `rand`): a xoshiro256++
+//! generator seeded through SplitMix64, plus a Zipf(α) sampler over a finite
+//! item universe implemented with a precomputed CDF + binary search, which
+//! is both exact and fast for the universe sizes the workloads use.
+//!
+//! Every draw is a pure function of the seed, so simulation runs are
+//! bit-reproducible across platforms and rustc versions — the property the
+//! determinism regression tests pin down.
 
 /// A deterministic random source. Cloneable so sub-generators can be forked;
 /// prefer [`DetRng::fork`] which decorrelates the child stream.
 #[derive(Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Create from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        // Expand the seed through SplitMix64, per the xoshiro authors'
+        // recommendation (avoids the all-zero state and correlated lanes).
+        let mut sm = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Fork a decorrelated child generator (e.g. one per source instance).
     pub fn fork(&mut self, salt: u64) -> Self {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Self::seed(s)
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "below(0)");
+        // Multiply-shift bounded sampling (Lemire). The bias for any n the
+        // simulator uses (≪ 2^32) is far below 2^-32 — irrelevant here, and
+        // the method is branch-free which keeps the hot generators cheap.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the canonical [0,1) double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`.
     #[inline]
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli trial.
@@ -138,6 +179,30 @@ mod tests {
         let s1: Vec<u64> = (0..10).map(|_| c1.below(u64::MAX)).collect();
         let s2: Vec<u64> = (0..10).map(|_| c2.below(u64::MAX)).collect();
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn below_and_range_stay_in_bounds() {
+        let mut rng = DetRng::seed(11);
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+            let v = rng.range(100, 110);
+            assert!((100..110).contains(&v));
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        // Every residue of a small modulus must be reachable (a classic
+        // failure mode of bad bounded sampling).
+        let mut rng = DetRng::seed(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
     }
 
     #[test]

@@ -81,7 +81,9 @@ impl TimeSeries {
                 _ => out.push((s, v, 1)),
             }
         }
-        out.into_iter().map(|(s, sum, n)| (s, sum / n as f64)).collect()
+        out.into_iter()
+            .map(|(s, sum, n)| (s, sum / n as f64))
+            .collect()
     }
 
     /// The earliest time `t0 >= from` such that every sample in
@@ -90,8 +92,12 @@ impl TimeSeries {
     ///
     /// Returns `None` if the series never stabilizes within its extent.
     pub fn stabilize_time(&self, from: SimTime, limit: f64, hold: SimTime) -> Option<SimTime> {
-        let pts: Vec<(SimTime, f64)> =
-            self.points.iter().copied().filter(|&(t, _)| t >= from).collect();
+        let pts: Vec<(SimTime, f64)> = self
+            .points
+            .iter()
+            .copied()
+            .filter(|&(t, _)| t >= from)
+            .collect();
         if pts.is_empty() {
             return None;
         }

@@ -100,7 +100,15 @@ pub fn custom(cfg: EngineConfig, p: &CustomParams) -> (World, OpId) {
     let src = b.source(
         "gen",
         sources,
-        Box::new(move |i| Box::new(CustomGen::new(per_src, universe, skew, 0xC057 + i as u64, batch))),
+        Box::new(move |i| {
+            Box::new(CustomGen::new(
+                per_src,
+                universe,
+                skew,
+                0xC057 + i as u64,
+                batch,
+            ))
+        }),
     );
     let bytes_per_key = p.total_state_bytes / p.universe as u64;
     let service = p.service;

@@ -192,14 +192,26 @@ pub fn q8(cfg: EngineConfig, p: &Q8Params) -> (World, OpId) {
         "persons",
         1,
         Box::new(move |i| {
-            Box::new(PersonAuctionGen::new(per_src, 20_000, 0.0, 0x0E01 + i as u64, batch))
+            Box::new(PersonAuctionGen::new(
+                per_src,
+                20_000,
+                0.0,
+                0x0E01 + i as u64,
+                batch,
+            ))
         }),
     );
     let auctions = b.source(
         "auctions",
         1,
         Box::new(move |i| {
-            Box::new(PersonAuctionGen::new(per_src, 20_000, 1.0, 0x0E11 + i as u64, batch))
+            Box::new(PersonAuctionGen::new(
+                per_src,
+                20_000,
+                1.0,
+                0x0E11 + i as u64,
+                batch,
+            ))
         }),
     );
     // ~3 GB: 1K tps × 40 s = 40K buffered elements → 75 KB each.

@@ -126,7 +126,11 @@ pub fn twitch(cfg: EngineConfig, p: &TwitchParams) -> (World, OpId) {
         }),
     );
     // Engagement scoring re-keys user → channel (the value field).
-    let engagement = b.operator("engagement", 4, Box::new(|| Box::new(ReKeyByValue { service: 40 })));
+    let engagement = b.operator(
+        "engagement",
+        4,
+        Box::new(|| Box::new(ReKeyByValue { service: 40 })),
+    );
     // Loyalty aggregation: the scaling operator. State accumulates with the
     // stream (paper: ≈500 MB when scaling begins at 300 s):
     // 4K tps × 300 s × ~420 B ≈ 500 MB.

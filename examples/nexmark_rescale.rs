@@ -35,7 +35,10 @@ fn main() {
         tps: 10_000.0,
         ..Default::default()
     };
-    println!("NEXMark Q7 @ {} tps, scaling 8 -> 12 instances at 60 s\n", params.tps);
+    println!(
+        "NEXMark Q7 @ {} tps, scaling 8 -> 12 instances at 60 s\n",
+        params.tps
+    );
     println!(
         "{:<12} {:>10} {:>10} {:>12} {:>12} {:>10}",
         "mechanism", "peak(ms)", "avg(ms)", "Lp(ms)", "Ld(ms)", "done(s)"
@@ -57,5 +60,7 @@ fn main() {
             m.migration_done.map(|t| t as f64 / 1e6).unwrap_or(f64::NAN),
         );
     }
-    println!("\n(The full-protocol comparison lives in `cargo run --release -p bench --bin fig10_11`.)");
+    println!(
+        "\n(The full-protocol comparison lives in `cargo run --release -p bench --bin fig10_11`.)"
+    );
 }

@@ -10,14 +10,29 @@ fn main() {
         sim.run_until(secs(t));
         let w = &sim.world;
         let plan = w.scale.plan.as_ref().unwrap();
-        let settled = plan.moves.iter().filter(|m| w.insts[m.to.0 as usize].state.holds_group(m.kg)).count();
-        let installs = w.scale.metrics.unit_migrations.values().map(|&c| c as u64).sum::<u64>();
+        let settled = plan
+            .moves
+            .iter()
+            .filter(|m| w.insts[m.to.0 as usize].state.holds_group(m.kg))
+            .count();
+        let installs = w
+            .scale
+            .metrics
+            .unit_migrations
+            .values()
+            .map(|&c| c as u64)
+            .sum::<u64>();
         let (avg, max) = w.scale.metrics.migration_churn();
         // where are the unsettled units?
-        let mut away = 0; let mut transit = 0;
+        let mut away = 0;
+        let mut transit = 0;
         for m in &plan.moves {
             if let Some(&(h, tr)) = w.scale.unit_loc.get(&(m.kg.0, 0)) {
-                if tr.is_some() { transit += 1; } else if h != m.to { away += 1; }
+                if tr.is_some() {
+                    transit += 1;
+                } else if h != m.to {
+                    away += 1;
+                }
             }
         }
         println!("t={t}s settled={settled}/{} installs={installs} churn avg={avg:.2} max={max} away={away} transit={transit} in_progress={}", plan.moves.len(), w.scale.in_progress);

@@ -11,17 +11,36 @@ fn main() {
     let plan = w.scale.plan.as_ref().unwrap();
     for m in &plan.moves {
         let loc = w.scale.unit_loc.get(&(m.kg.0, 0)).copied();
-        let churn = w.scale.metrics.unit_migrations.get(&(m.kg.0, 0)).copied().unwrap_or(0);
-        if churn > 5 || loc.map(|(h,t)| t.is_some() || h != m.to).unwrap_or(true) {
-            println!("kg={} from={} to={} loc={:?} churn={}", m.kg.0, m.from.0, m.to.0, loc, churn);
+        let churn = w
+            .scale
+            .metrics
+            .unit_migrations
+            .get(&(m.kg.0, 0))
+            .copied()
+            .unwrap_or(0);
+        if churn > 5 || loc.map(|(h, t)| t.is_some() || h != m.to).unwrap_or(true) {
+            println!(
+                "kg={} from={} to={} loc={:?} churn={}",
+                m.kg.0, m.from.0, m.to.0, loc, churn
+            );
         }
     }
     // queue state of involved instances
     for &i in &w.ops[op.0 as usize].instances {
         let inst = &w.insts[i.0 as usize];
-        let q: usize = inst.in_channels.iter().map(|c| w.chans[c.0 as usize].queue.len()).sum();
+        let q: usize = inst
+            .in_channels
+            .iter()
+            .map(|c| w.chans[c.0 as usize].queue.len())
+            .sum();
         if q > 0 || inst.suspended_since.is_some() {
-            println!("inst {} q={} suspended={:?} busy={}", i.0, q, inst.suspended_since.map(|s| s/1000000), inst.busy);
+            println!(
+                "inst {} q={} suspended={:?} busy={}",
+                i.0,
+                q,
+                inst.suspended_since.map(|s| s / 1000000),
+                inst.busy
+            );
         }
     }
 }

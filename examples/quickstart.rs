@@ -31,14 +31,20 @@ impl SourceGen for MySource {
 
 fn main() {
     // 1. Describe the job: source → keyed aggregation → sink.
-    let mut cfg = EngineConfig::default();
-    cfg.max_key_groups = 128;
-    cfg.check_semantics = true;
+    let cfg = EngineConfig {
+        max_key_groups: 128,
+        check_semantics: true,
+        ..EngineConfig::default()
+    };
     let mut b = JobBuilder::new(cfg);
     let src = b.source(
         "numbers",
         1,
-        Box::new(|i| Box::new(MySource { rng: DetRng::seed(7 + i as u64) })),
+        Box::new(|i| {
+            Box::new(MySource {
+                rng: DetRng::seed(7 + i as u64),
+            })
+        }),
     );
     let agg = b.operator(
         "running-sum",
@@ -75,7 +81,11 @@ fn main() {
     );
     println!(
         "migration finished at     : {:.1} s",
-        w.scale.metrics.migration_done.map(|t| t as f64 / 1e6).unwrap_or(f64::NAN)
+        w.scale
+            .metrics
+            .migration_done
+            .map(|t| t as f64 / 1e6)
+            .unwrap_or(f64::NAN)
     );
     println!(
         "propagation delay (Lp)    : {:.2} ms",
@@ -88,7 +98,11 @@ fn main() {
     let (peak, avg) = w.metrics.latency_stats_ms(secs(10), secs(20));
     println!("latency during scaling    : peak {peak:.1} ms, avg {avg:.1} ms");
 
-    assert_eq!(w.semantics.violations(), 0, "DRRS preserves execution semantics");
+    assert_eq!(
+        w.semantics.violations(),
+        0,
+        "DRRS preserves execution semantics"
+    );
     assert!(w.scale.metrics.migration_done.is_some(), "scale completed");
     println!("\nOK: scaled 2 → 4 on the fly with zero order violations.");
 }

@@ -24,12 +24,7 @@ fn main() {
     let (mut world, loyalty) = twitch(cfg, &params);
     println!("pipeline operators:");
     for op in &world.ops {
-        println!(
-            "  {:<12} x{} ({:?})",
-            op.name,
-            op.instances.len(),
-            op.role
-        );
+        println!("  {:<12} x{} ({:?})", op.name, op.instances.len(), op.role);
     }
 
     // Scale the loyalty stage 8 → 12 at t = 90 s with 8 subscales.
@@ -46,7 +41,9 @@ fn main() {
         let w = &sim.world;
         let installed = w.scale.metrics.unit_installed.len();
         let planned = w.scale.plan.as_ref().map(|p| p.moves.len()).unwrap_or(0);
-        let (_, avg) = w.metrics.latency_stats_ms(secs(t.saturating_sub(5)), secs(t));
+        let (_, avg) = w
+            .metrics
+            .latency_stats_ms(secs(t.saturating_sub(5)), secs(t));
         println!(
             "t={t:>3}s  migrated {installed:>3}/{planned:>3} key-groups  \
              latency≈{avg:>7.1} ms  suspension={:>6.0} ms",
@@ -60,8 +57,14 @@ fn main() {
     }
 
     let w = &sim.world;
-    println!("\nscale finished at {:?} s", w.scale.metrics.migration_done.map(|t| t / 1_000_000));
-    println!("bytes migrated: {:.1} MB", w.scale.metrics.bytes_transferred as f64 / 1e6);
+    println!(
+        "\nscale finished at {:?} s",
+        w.scale.metrics.migration_done.map(|t| t / 1_000_000)
+    );
+    println!(
+        "bytes migrated: {:.1} MB",
+        w.scale.metrics.bytes_transferred as f64 / 1e6
+    );
     println!("order violations: {}", w.semantics.violations());
     assert_eq!(w.semantics.violations(), 0);
 }

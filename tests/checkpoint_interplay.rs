@@ -20,11 +20,24 @@ fn checkpoints_pause_during_scaling_and_resume() {
     assert!(!w.scale.in_progress, "scale incomplete");
     assert_eq!(w.semantics.violations(), 0);
 
-    let ckpts: Vec<u64> = w.metrics.checkpoints.points().iter().map(|&(t, _)| t).collect();
-    assert!(ckpts.len() >= 4, "too few checkpoints completed: {}", ckpts.len());
+    let ckpts: Vec<u64> = w
+        .metrics
+        .checkpoints
+        .points()
+        .iter()
+        .map(|&(t, _)| t)
+        .collect();
+    assert!(
+        ckpts.len() >= 4,
+        "too few checkpoints completed: {}",
+        ckpts.len()
+    );
     // Checkpoints both before the scale and after migration completed.
     let done = w.scale.metrics.migration_done.expect("migration done");
-    assert!(ckpts.iter().any(|&t| t < secs(2)), "no pre-scale checkpoint");
+    assert!(
+        ckpts.iter().any(|&t| t < secs(2)),
+        "no pre-scale checkpoint"
+    );
     assert!(ckpts.iter().any(|&t| t > done), "no post-scale checkpoint");
     // No checkpoint completed in the deferral window between the scale
     // request and migration completion (barriers already in flight at the

@@ -1,0 +1,81 @@
+//! Determinism regression tests guarding the hot-path data structures.
+//!
+//! The simulator's value is bit-reproducibility: identical seeds must
+//! produce identical metrics, byte for byte. Every PR that swaps a queue,
+//! hasher, or state-backend layout must keep these green — a digest
+//! mismatch means iteration order (and therefore the event interleaving)
+//! leaked into observable behavior.
+
+use drrs_repro::baselines::MecesPlugin;
+use drrs_repro::drrs::FlexScaler;
+use drrs_repro::engine::world::tests_support::tiny_job;
+use drrs_repro::engine::world::Sim;
+use drrs_repro::engine::{EngineConfig, NoScale, ScalePlugin};
+use drrs_repro::sim::time::secs;
+
+fn digest_with(seed: u64, horizon_s: u64, plugin: Box<dyn ScalePlugin>, scale: bool) -> u64 {
+    let mut cfg = EngineConfig::test();
+    cfg.seed = seed;
+    let (mut w, agg) = tiny_job(cfg, 5_000.0, 256, 2);
+    if scale {
+        w.schedule_scale(secs(1), agg, 4);
+    }
+    let mut sim = Sim::new(w, plugin);
+    sim.run_until(secs(horizon_s));
+    sim.world.metrics_digest()
+}
+
+fn digest_of_run(seed: u64, scale: bool, horizon_s: u64) -> u64 {
+    let plugin: Box<dyn ScalePlugin> = if scale {
+        Box::new(FlexScaler::drrs())
+    } else {
+        Box::new(NoScale)
+    };
+    digest_with(seed, horizon_s, plugin, scale)
+}
+
+#[test]
+fn same_seed_same_digest_steady_state() {
+    let a = digest_of_run(0xD225, false, 5);
+    let b = digest_of_run(0xD225, false, 5);
+    assert_eq!(a, b, "steady-state run diverged between two identical runs");
+}
+
+#[test]
+fn same_seed_same_digest_with_mid_run_scale() {
+    // The scale event exercises the rewritten paths end to end: dense
+    // backend extraction/installation, routing-table updates, cached
+    // predecessor lists, re-routed records and the migration links.
+    let a = digest_of_run(0xD225, true, 6);
+    let b = digest_of_run(0xD225, true, 6);
+    assert_eq!(a, b, "scaling run diverged between two identical runs");
+}
+
+#[test]
+fn same_seed_same_digest_meces() {
+    // Regression: Meces' background pump used to iterate a std HashMap
+    // (random SipHash order) to pick which units migrate per pump, making
+    // same-seed Meces runs diverge. The pump now sorts into canonical
+    // unit order.
+    let a = digest_with(0xD225, 6, Box::new(MecesPlugin::new()), true);
+    let b = digest_with(0xD225, 6, Box::new(MecesPlugin::new()), true);
+    assert_eq!(a, b, "Meces run diverged between two identical runs");
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Digest sanity: the digest must actually observe the run (two seeds
+    // colliding would make the equality tests above vacuous).
+    let a = digest_of_run(1, true, 5);
+    let b = digest_of_run(2, true, 5);
+    assert_ne!(a, b, "digest is insensitive to the seed");
+}
+
+#[test]
+fn digest_stable_across_horizons_prefix() {
+    // Running longer must change the digest (it ingests more events) —
+    // guards against the digest accidentally hashing only static topology.
+    let a = digest_of_run(7, false, 3);
+    let b = digest_of_run(7, false, 5);
+    assert_ne!(a, b);
+}

@@ -119,8 +119,14 @@ fn minimal_moves_strategy_shortens_migration() {
     };
     let (uni_moves, uni_done) = run_with(Repartition::Uniform);
     let (min_moves, min_done) = run_with(Repartition::MinimalMoves);
-    assert!(min_moves < uni_moves, "minimal {min_moves} vs uniform {uni_moves}");
-    assert!(min_done < uni_done, "minimal {min_done} vs uniform {uni_done}");
+    assert!(
+        min_moves < uni_moves,
+        "minimal {min_moves} vs uniform {uni_moves}"
+    );
+    assert!(
+        min_done < uni_done,
+        "minimal {min_done} vs uniform {uni_done}"
+    );
 }
 
 #[test]
@@ -133,5 +139,8 @@ fn claim_meces_back_and_forth_churn() {
     sim.run_until(secs(30));
     let (avg, max) = sim.world.scale.metrics.migration_churn();
     assert!(avg >= 1.0);
-    assert!(max >= 2, "expected at least one unit to bounce (avg {avg}, max {max})");
+    assert!(
+        max >= 2,
+        "expected at least one unit to bounce (avg {avg}, max {max})"
+    );
 }

@@ -18,8 +18,15 @@ fn drrs_scale_in_4_to_2() {
     assert!(!w.scale.in_progress, "scale-in migration incomplete");
     assert_eq!(w.semantics.violations(), 0);
     // The operator shrank to 2 live instances.
-    assert_eq!(w.ops[agg.0 as usize].instances.len(), 2, "retiring instances not removed");
-    assert!(w.scale.retiring.is_empty(), "instances stuck in retiring state");
+    assert_eq!(
+        w.ops[agg.0 as usize].instances.len(),
+        2,
+        "retiring instances not removed"
+    );
+    assert!(
+        w.scale.retiring.is_empty(),
+        "instances stuck in retiring state"
+    );
     // Every key-group is owned exactly once, by a survivor.
     for g in 0..w.cfg.max_key_groups {
         let holders: Vec<_> = w.ops[agg.0 as usize]

@@ -2,7 +2,9 @@
 //! the invariants the paper claims (semantics preservation, state
 //! conservation, completion).
 
-use drrs_repro::baselines::{megaphone, otfs_all_at_once, otfs_fluid, MecesPlugin, StopRestartPlugin, UnboundPlugin};
+use drrs_repro::baselines::{
+    megaphone, otfs_all_at_once, otfs_fluid, MecesPlugin, StopRestartPlugin, UnboundPlugin,
+};
 use drrs_repro::drrs::{FlexScaler, MechanismConfig};
 use drrs_repro::engine::world::tests_support::tiny_job;
 use drrs_repro::engine::world::Sim;
@@ -21,8 +23,14 @@ fn semantic_mechanisms() -> Vec<(&'static str, Box<dyn ScalePlugin>)> {
     vec![
         ("DRRS", Box::new(FlexScaler::drrs())),
         ("DR", Box::new(FlexScaler::new(MechanismConfig::dr_only()))),
-        ("Schedule", Box::new(FlexScaler::new(MechanismConfig::schedule_only()))),
-        ("Subscale", Box::new(FlexScaler::new(MechanismConfig::subscale_only()))),
+        (
+            "Schedule",
+            Box::new(FlexScaler::new(MechanismConfig::schedule_only())),
+        ),
+        (
+            "Subscale",
+            Box::new(FlexScaler::new(MechanismConfig::subscale_only())),
+        ),
         ("OTFS", Box::new(otfs_fluid())),
         ("OTFS-AAO", Box::new(otfs_all_at_once())),
         ("Megaphone", Box::new(megaphone(1))),
@@ -66,7 +74,11 @@ fn all_mechanisms_conserve_state_units() {
                         .holds_group(drrs_repro::engine::KeyGroup(g))
                 })
                 .collect();
-            assert_eq!(holders.len(), 1, "{name}: key-group {g} held by {holders:?}");
+            assert_eq!(
+                holders.len(),
+                1,
+                "{name}: key-group {g} held by {holders:?}"
+            );
         }
     }
 }
@@ -89,7 +101,13 @@ fn unbound_total_counts_match_sink() {
     let total: u64 = w.ops[agg_op.0 as usize]
         .instances
         .iter()
-        .map(|&i| w.insts[i.0 as usize].state.snapshot_counts().values().sum::<u64>())
+        .map(|&i| {
+            w.insts[i.0 as usize]
+                .state
+                .snapshot_counts()
+                .values()
+                .sum::<u64>()
+        })
         .sum();
     assert_eq!(total, w.metrics.sink_records);
 }
@@ -102,7 +120,10 @@ fn scaling_rebalances_load() {
     let agg_op = w.scale.plan.as_ref().expect("plan").op;
     for &i in &w.ops[agg_op.0 as usize].instances {
         let inst = &w.insts[i.0 as usize];
-        assert!(inst.state.total_keys() > 0, "{i} owns no keys after rescale");
+        assert!(
+            inst.state.total_keys() > 0,
+            "{i} owns no keys after rescale"
+        );
         assert!(inst.processed > 0, "{i} processed nothing after rescale");
     }
 }

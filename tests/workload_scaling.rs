@@ -23,7 +23,10 @@ fn q7_scales_8_to_12_under_drrs() {
     sim.run_until(secs(90));
     assert!(!sim.world.scale.in_progress, "Q7 scale incomplete");
     assert_eq!(sim.world.semantics.violations(), 0);
-    assert_eq!(sim.world.scale.plan.as_ref().expect("plan").moves.len(), 111);
+    assert_eq!(
+        sim.world.scale.plan.as_ref().expect("plan").moves.len(),
+        111
+    );
 }
 
 #[test]
@@ -87,7 +90,10 @@ fn custom_cluster_scale_25_to_30_with_meces() {
     w.schedule_scale(secs(20), op, 30);
     let mut sim = Sim::new(w, Box::new(MecesPlugin::new()));
     sim.run_until(secs(120));
-    assert!(!sim.world.scale.in_progress, "Meces cluster scale incomplete");
+    assert!(
+        !sim.world.scale.in_progress,
+        "Meces cluster scale incomplete"
+    );
     assert_eq!(sim.world.ops[op.0 as usize].instances.len(), 30);
 }
 
