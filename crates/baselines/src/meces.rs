@@ -368,17 +368,22 @@ impl ScalePlugin for MecesPlugin {
                 continue;
             }
             loop {
-                let Some(front) = w.chans[ch.0 as usize].queue.front() else {
+                // Copy the classification fields out of the peek so the
+                // arena borrow ends before `w` is mutated below.
+                let head = w
+                    .chan_front(ch)
+                    .map(|e| e.as_record().map(|r| (r.kind, r.key)));
+                let Some(head) = head else {
                     break;
                 };
-                match front {
-                    StreamElement::Record(r) => {
+                match head {
+                    Some((kind, key)) => {
                         w.insts[inst.0 as usize].active_ch = idx;
-                        if r.kind == RecordKind::Marker {
+                        if kind == RecordKind::Marker {
                             let mut shim = MecesAdmit(self);
                             return w.build_run(&mut shim, inst, ch);
                         }
-                        let (kg, sub) = Self::unit_of(w, inst, r.key);
+                        let (kg, sub) = Self::unit_of(w, inst, key);
                         if w.insts[inst.0 as usize].state.holds(kg, sub) {
                             let mut shim = MecesAdmit(self);
                             return w.build_run(&mut shim, inst, ch);
@@ -405,7 +410,7 @@ impl ScalePlugin for MecesPlugin {
                         }
                         return Selection::Suspend;
                     }
-                    _ => {
+                    None => {
                         w.insts[inst.0 as usize].active_ch = idx;
                         let elem = w.chan_pop(ch).expect("non-empty");
                         return Selection::Control(ch, elem);

@@ -228,8 +228,10 @@ impl FlexScaler {
                     // the new instance's channel, order preserved (epoch Ef).
                     // Redirection concludes at any in-flight checkpoint
                     // barrier (paper Fig. 9a) to keep snapshot consistency.
+                    // Only arena handles move between the two backlogs.
                     let mut moved = Vec::new();
                     w.chans[ch_old.0 as usize].drain_backlog_matching_until(
+                        &w.arena,
                         |el| {
                             el.as_record()
                                 .map(|r| {
@@ -473,7 +475,7 @@ impl FlexScaler {
             }
             // Drain any front-of-queue re-routable records, then examine.
             loop {
-                let Some(front) = w.chans[ch.0 as usize].queue.front() else {
+                let Some(front) = w.chan_front(ch) else {
                     break;
                 };
                 match front {
@@ -533,7 +535,7 @@ impl FlexScaler {
             .min(w.chans[ch.0 as usize].queue.len());
         for pos in 1..depth {
             let class = {
-                let el = &w.chans[ch.0 as usize].queue[pos];
+                let el = w.chan_peek(ch, pos).expect("pos < queue depth");
                 match el {
                     StreamElement::Record(r) => {
                         let from = w.chans[ch.0 as usize].from;

@@ -12,13 +12,29 @@
 //! block watermark the *sender instance stalls*, which is how backpressure
 //! propagates hop by hop back to the sources — the effect behind the paper's
 //! latency spikes and post-scaling throughput overshoot.
+//!
+//! Queues hold [`RecordRef`] handles, not elements: the payload lives once
+//! in the world's [`RecordArena`](crate::record::RecordArena) from `send`
+//! until consumption, so moving an element between stages (backlog → wire →
+//! queue) and DRRS' backlog redirection are 8-byte handle moves.
 
 use std::collections::VecDeque;
 
 use simcore::SimTime;
 
 use crate::ids::{ChannelId, InstId};
-use crate::record::StreamElement;
+use crate::record::{RecordArena, RecordRef, StreamElement};
+
+/// Initial sender-backlog capacity, in elements.
+///
+/// Steady state never backlogs: under the credit model an element only
+/// lands here once the receiver queue plus the wire hold `capacity`
+/// elements, i.e. the link is already saturated. The backlog therefore
+/// starts at a token size — enough to absorb a transient burst without
+/// reallocating — and doubles only under genuine backpressure, where the
+/// resize cost is noise against the stall itself. (The hard behavioural
+/// bounds are `EngineConfig::{backlog_block, backlog_resume}`, not this.)
+pub const BACKLOG_INITIAL_BUFFERS: usize = 16;
 
 /// One directed channel between two instances.
 pub struct Channel {
@@ -28,10 +44,10 @@ pub struct Channel {
     pub from: InstId,
     /// Receiving instance.
     pub to: InstId,
-    /// Receiver-side queue (input buffers).
-    pub queue: VecDeque<StreamElement>,
+    /// Receiver-side queue (input buffers) of arena handles.
+    pub queue: VecDeque<RecordRef>,
     /// Sender-side backlog awaiting credit (output buffers).
-    pub backlog: VecDeque<StreamElement>,
+    pub backlog: VecDeque<RecordRef>,
     /// Elements currently "on the wire".
     pub in_flight: usize,
     /// Receiver queue capacity (credits).
@@ -46,15 +62,15 @@ pub struct Channel {
 impl Channel {
     /// Create an empty channel. The receiver queue is pre-sized to its
     /// credit capacity (its hard occupancy bound), so steady-state traffic
-    /// never grows it; the backlog starts small and doubles only under
-    /// backpressure.
+    /// never grows it; the backlog starts at
+    /// [`BACKLOG_INITIAL_BUFFERS`] and doubles only under backpressure.
     pub fn new(id: ChannelId, from: InstId, to: InstId, capacity: usize, latency: SimTime) -> Self {
         Self {
             id,
             from,
             to,
             queue: VecDeque::with_capacity(capacity),
-            backlog: VecDeque::with_capacity(16),
+            backlog: VecDeque::with_capacity(BACKLOG_INITIAL_BUFFERS),
             in_flight: 0,
             capacity,
             latency,
@@ -87,13 +103,15 @@ impl Channel {
 
     /// Drain records of the backlog matching `pred` into `out`, preserving
     /// relative order of both kept and drained elements. Used by DRRS'
-    /// confirm-barrier output-cache redirection.
+    /// confirm-barrier output-cache redirection. Only handles move; the
+    /// elements stay parked in `arena`.
     pub fn drain_backlog_matching(
         &mut self,
+        arena: &RecordArena,
         pred: impl FnMut(&StreamElement) -> bool,
-        out: &mut Vec<StreamElement>,
+        out: &mut Vec<RecordRef>,
     ) {
-        self.drain_backlog_matching_until(pred, |_| false, out);
+        self.drain_backlog_matching_until(arena, pred, |_| false, out);
     }
 
     /// Like [`Self::drain_backlog_matching`] but stops scanning at the
@@ -102,20 +120,22 @@ impl Channel {
     /// [checkpoint] barrier").
     pub fn drain_backlog_matching_until(
         &mut self,
+        arena: &RecordArena,
         mut pred: impl FnMut(&StreamElement) -> bool,
         mut fence: impl FnMut(&StreamElement) -> bool,
-        out: &mut Vec<StreamElement>,
+        out: &mut Vec<RecordRef>,
     ) {
         let mut kept = VecDeque::with_capacity(self.backlog.len());
         let mut fenced = false;
-        for e in self.backlog.drain(..) {
-            if !fenced && fence(&e) {
+        for r in self.backlog.drain(..) {
+            let e = &arena[r];
+            if !fenced && fence(e) {
                 fenced = true;
             }
-            if !fenced && pred(&e) {
-                out.push(e);
+            if !fenced && pred(e) {
+                out.push(r);
             } else {
-                kept.push_back(e);
+                kept.push_back(r);
             }
         }
         self.backlog = kept;
@@ -131,17 +151,18 @@ mod tests {
         Channel::new(ChannelId(0), InstId(0), InstId(1), 4, 100)
     }
 
-    fn rec(key: u64) -> StreamElement {
-        StreamElement::Record(Record::data(key, 0, 0))
+    fn rec(arena: &mut RecordArena, key: u64) -> RecordRef {
+        arena.insert(StreamElement::Record(Record::data(key, 0, 0)))
     }
 
     #[test]
     fn credit_accounting() {
+        let mut arena = RecordArena::new();
         let mut c = chan();
         assert!(c.has_credit());
         c.in_flight = 2;
-        c.queue.push_back(rec(1));
-        c.queue.push_back(rec(2));
+        c.queue.push_back(rec(&mut arena, 1));
+        c.queue.push_back(rec(&mut arena, 2));
         assert!(!c.has_credit());
         c.in_flight = 1;
         assert!(c.has_credit());
@@ -149,33 +170,37 @@ mod tests {
 
     #[test]
     fn occupancy_counts_all_stages() {
+        let mut arena = RecordArena::new();
         let mut c = chan();
-        c.queue.push_back(rec(1));
+        c.queue.push_back(rec(&mut arena, 1));
         c.in_flight = 1;
-        c.backlog.push_back(rec(2));
+        c.backlog.push_back(rec(&mut arena, 2));
         assert_eq!(c.occupancy(), 3);
     }
 
     #[test]
     fn drain_backlog_preserves_order() {
+        let mut arena = RecordArena::new();
         let mut c = chan();
         for k in 0..6u64 {
-            c.backlog.push_back(rec(k));
+            let r = rec(&mut arena, k);
+            c.backlog.push_back(r);
         }
         let mut out = Vec::new();
         // Extract even keys.
         c.drain_backlog_matching(
+            &arena,
             |e| e.as_record().map(|r| r.key % 2 == 0).unwrap_or(false),
             &mut out,
         );
         let drained: Vec<u64> = out
             .iter()
-            .filter_map(|e| e.as_record().map(|r| r.key))
+            .filter_map(|&h| arena[h].as_record().map(|r| r.key))
             .collect();
         let kept: Vec<u64> = c
             .backlog
             .iter()
-            .filter_map(|e| e.as_record().map(|r| r.key))
+            .filter_map(|&h| arena[h].as_record().map(|r| r.key))
             .collect();
         assert_eq!(drained, vec![0, 2, 4]);
         assert_eq!(kept, vec![1, 3, 5]);

@@ -1,7 +1,7 @@
 //! The simulation event vocabulary.
 
 use crate::ids::{ChannelId, InstId, KeyGroup, SubscaleId};
-use crate::record::{Record, ScaleSignal, StreamElement};
+use crate::record::{Record, RecordRef, ScaleSignal};
 use crate::scaling::ScalePlan;
 use crate::state::StateUnit;
 
@@ -72,12 +72,15 @@ pub enum Ev {
         /// The source instance.
         inst: InstId,
     },
-    /// An element coming off the wire into the receiver queue.
+    /// An element coming off the wire into the receiver queue. Carries an
+    /// arena handle, not the element: the payload stays parked in the
+    /// world's `RecordArena`, so the event heap sifts 8-byte handles
+    /// instead of ~56-byte stream elements.
     Deliver {
         /// Target channel.
         ch: ChannelId,
-        /// The element.
-        elem: StreamElement,
+        /// Handle of the element in the record arena.
+        elem: RecordRef,
         /// Did this element consume a credit when it was put on the wire?
         /// Credited deliveries must decrement `in_flight`; uncredited ones
         /// (priority barriers) bypass credit accounting entirely. The seed

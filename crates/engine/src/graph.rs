@@ -1,7 +1,7 @@
 //! Job graph construction: logical operators, edges, and the builder that
 //! lowers them into an executable [`World`](crate::world::World).
 
-use simcore::{FxHashMap, SimTime};
+use simcore::SimTime;
 
 use crate::config::EngineConfig;
 use crate::ids::{ChannelId, EdgeId, InstId, OpId};
@@ -59,7 +59,18 @@ pub struct OperatorRt {
     pub stateful: bool,
 }
 
+/// Sentinel for "no channel wired between this (from, to) pair".
+const NO_CHANNEL: ChannelId = ChannelId(u32::MAX);
+/// Sentinel for "this instance has no slot on this edge".
+const NO_SLOT: u32 = u32::MAX;
+
 /// Runtime descriptor of an edge.
+///
+/// Per-record lookups — routing table of the sender, channel of a
+/// `(from, to)` pair — are two dense index reads plus one matrix read, no
+/// hashing. The dense index is derived from an append-only wiring log and
+/// rebuilt only on scale events (build time, scale-out channel wiring), so
+/// sender/receiver slots are compacted per edge and stable across rebuilds.
 pub struct EdgeRt {
     /// Edge id.
     pub id: EdgeId,
@@ -69,11 +80,158 @@ pub struct EdgeRt {
     pub to: OpId,
     /// Partitioning.
     pub kind: EdgeKind,
-    /// Keyed edges: each upstream instance's private routing table.
-    /// Looked up once per routed record — deterministic fast hashing.
-    pub tables: FxHashMap<InstId, RoutingTable>,
-    /// Channel lookup by `(from instance, to instance)`, same hot path.
-    pub channels: FxHashMap<(InstId, InstId), ChannelId>,
+    /// Append-only wiring log: every `(from, to, channel)` ever created on
+    /// this edge, in creation order. Source of truth for rebuilds.
+    wiring: Vec<(InstId, InstId, ChannelId)>,
+    /// Global `InstId` → compacted sender slot (`NO_SLOT` = not a sender).
+    from_slot: Vec<u32>,
+    /// Global `InstId` → compacted receiver slot.
+    to_slot: Vec<u32>,
+    /// Receiver-slot count (stride of the channel matrix).
+    to_len: usize,
+    /// Sender-slot-major channel matrix; `NO_CHANNEL` where unwired.
+    chan: Vec<ChannelId>,
+    /// Keyed edges: per sender slot, that predecessor's private routing
+    /// table (paper §II-A — scaling mechanisms update copies individually).
+    tables: Vec<Option<RoutingTable>>,
+}
+
+impl EdgeRt {
+    /// A fresh, unwired edge.
+    pub fn new(id: EdgeId, from: OpId, to: OpId, kind: EdgeKind) -> Self {
+        Self {
+            id,
+            from,
+            to,
+            kind,
+            wiring: Vec::new(),
+            from_slot: Vec::new(),
+            to_slot: Vec::new(),
+            to_len: 0,
+            chan: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Record a newly created channel. The dense index does NOT see it
+    /// until [`Self::rebuild_index`] runs — callers wire a batch of
+    /// channels (build, scale-out) and rebuild once.
+    pub fn add_channel(&mut self, from: InstId, to: InstId, ch: ChannelId) {
+        self.wiring.push((from, to, ch));
+    }
+
+    /// Recompute the compacted slots and channel matrix from the wiring
+    /// log. `n_insts` is the world's current instance count (slot vectors
+    /// are indexed by global `InstId`). Slot assignment follows wiring
+    /// discovery order, so existing instances keep their slots across
+    /// rebuilds and routing tables survive in place.
+    pub fn rebuild_index(&mut self, n_insts: usize) {
+        // Remember which instance owned each sender slot, to carry tables.
+        let mut old_slot_inst: Vec<Option<InstId>> = vec![None; self.tables.len()];
+        for (inst, &slot) in self.from_slot.iter().enumerate() {
+            if slot != NO_SLOT {
+                old_slot_inst[slot as usize] = Some(InstId(inst as u32));
+            }
+        }
+        self.from_slot = vec![NO_SLOT; n_insts];
+        self.to_slot = vec![NO_SLOT; n_insts];
+        let mut from_len = 0u32;
+        let mut to_len = 0u32;
+        for &(f, t, _) in &self.wiring {
+            if self.from_slot[f.0 as usize] == NO_SLOT {
+                self.from_slot[f.0 as usize] = from_len;
+                from_len += 1;
+            }
+            if self.to_slot[t.0 as usize] == NO_SLOT {
+                self.to_slot[t.0 as usize] = to_len;
+                to_len += 1;
+            }
+        }
+        self.to_len = to_len as usize;
+        self.chan = vec![NO_CHANNEL; from_len as usize * self.to_len];
+        for &(f, t, c) in &self.wiring {
+            let fs = self.from_slot[f.0 as usize] as usize;
+            let ts = self.to_slot[t.0 as usize] as usize;
+            self.chan[fs * self.to_len + ts] = c;
+        }
+        let mut tables = vec![None; from_len as usize];
+        for (old_slot, inst) in old_slot_inst.into_iter().enumerate() {
+            if let Some(inst) = inst {
+                let new_slot = self.from_slot[inst.0 as usize];
+                debug_assert_ne!(new_slot, NO_SLOT, "wired sender lost its slot");
+                tables[new_slot as usize] = self.tables[old_slot].take();
+            }
+        }
+        self.tables = tables;
+    }
+
+    /// Channel between two instances, if wired.
+    #[inline]
+    pub fn channel(&self, from: InstId, to: InstId) -> Option<ChannelId> {
+        let fs = *self.from_slot.get(from.0 as usize)?;
+        let ts = *self.to_slot.get(to.0 as usize)?;
+        if fs == NO_SLOT || ts == NO_SLOT {
+            return None;
+        }
+        let c = self.chan[fs as usize * self.to_len + ts as usize];
+        (c != NO_CHANNEL).then_some(c)
+    }
+
+    /// Hot-path channel lookup: both endpoints must be wired on this edge
+    /// (routing only ever targets wired destinations). Two dense reads and
+    /// one matrix read — no hashing, no branching beyond debug asserts.
+    #[inline]
+    pub fn channel_of(&self, from: InstId, to: InstId) -> ChannelId {
+        let fs = self.from_slot[from.0 as usize] as usize;
+        let ts = self.to_slot[to.0 as usize] as usize;
+        debug_assert!(fs != NO_SLOT as usize && ts != NO_SLOT as usize);
+        let c = self.chan[fs * self.to_len + ts];
+        debug_assert_ne!(c, NO_CHANNEL, "unwired channel on the hot path");
+        c
+    }
+
+    /// The routing table of a sender instance (keyed edges).
+    #[inline]
+    pub fn table(&self, from: InstId) -> Option<&RoutingTable> {
+        let fs = *self.from_slot.get(from.0 as usize)?;
+        if fs == NO_SLOT {
+            return None;
+        }
+        self.tables[fs as usize].as_ref()
+    }
+
+    /// Mutable routing-table access (scaling mechanisms re-point groups).
+    #[inline]
+    pub fn table_mut(&mut self, from: InstId) -> Option<&mut RoutingTable> {
+        let fs = *self.from_slot.get(from.0 as usize)?;
+        if fs == NO_SLOT {
+            return None;
+        }
+        self.tables[fs as usize].as_mut()
+    }
+
+    /// Install (or replace) a sender's routing table. The sender must
+    /// already hold a slot, i.e. its channels were wired and the index
+    /// rebuilt.
+    pub fn set_table(&mut self, from: InstId, table: RoutingTable) {
+        let fs = self.from_slot[from.0 as usize];
+        assert_ne!(fs, NO_SLOT, "routing table for unwired sender {from}");
+        self.tables[fs as usize] = Some(table);
+    }
+
+    /// All `(sender, routing table)` pairs on this edge, in ascending
+    /// sender-instance order (cold path: assertions, planners).
+    pub fn tables(&self) -> impl Iterator<Item = (InstId, &RoutingTable)> + '_ {
+        self.from_slot
+            .iter()
+            .enumerate()
+            .filter(|&(_, &slot)| slot != NO_SLOT)
+            .filter_map(|(inst, &slot)| {
+                self.tables[slot as usize]
+                    .as_ref()
+                    .map(|t| (InstId(inst as u32), t))
+            })
+    }
 }
 
 /// Builder for a streaming job.

@@ -101,6 +101,17 @@ pub enum StreamElement {
     Scale(ScaleSignal),
 }
 
+/// Handle to a [`StreamElement`] parked in the world's [`RecordArena`].
+/// Everything between emission and consumption — channel queues, sender
+/// backlogs, the in-flight leg of `Ev::Deliver` — passes these 8-byte
+/// `Copy` handles; the payload itself lives exactly once in the arena.
+pub type RecordRef = simcore::SlabRef;
+
+/// The slab owning every stream element currently queued, backlogged or on
+/// the wire. Slots are generational: a handle that outlives its element is
+/// caught at the access site instead of aliasing recycled storage.
+pub type RecordArena = simcore::Slab<StreamElement>;
+
 impl StreamElement {
     /// Is this a data/marker record?
     pub fn is_record(&self) -> bool {

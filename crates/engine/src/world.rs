@@ -6,15 +6,25 @@
 //!
 //! The dispatch path (`Deliver` → `try_start` → `build_run` → `ProcDone` →
 //! `apply_record` → `emit_records` → `route_record` → `send`) is
-//! allocation-free in steady state:
+//! allocation-free and hash-free in steady state:
 //!
+//! * stream elements live exactly once in the world's [`RecordArena`];
+//!   `send` parks the payload and everything downstream — sender backlog,
+//!   the in-flight leg of `Ev::Deliver`, the receiver queue — moves 8-byte
+//!   [`RecordRef`](crate::record::RecordRef) handles until `chan_pop`
+//!   takes the element out,
+//! * edge routing is dense: per-edge compacted (from, to) slots index a
+//!   flat channel matrix and per-sender routing tables ([`EdgeRt`]),
+//!   rebuilt only on scale events — no per-record map lookup remains,
 //! * per-operator topology (`keyed_in_edges`, `pred_insts`) is cached on
 //!   [`OperatorRt`] at build time and refreshed only on scale events,
 //! * operator output goes through a reused `emit_scratch` buffer,
 //! * quantum record buffers are recycled through `run_buf_pool`,
 //! * round-robin routing scans the destination list in place instead of
-//!   collecting eligible instances, and cursors are dense per-edge slots,
-//! * channel queues and the future-event list are pre-sized at build time.
+//!   collecting eligible instances, cursors are dense per-edge slots, and
+//!   the scale-in retiring probe is a bitset read,
+//! * channel queues, the arena and the future-event list are pre-sized at
+//!   build time.
 //!
 //! Keep it that way: if a change needs a temporary collection on any of
 //! those paths, reuse a scratch buffer on `World` instead of allocating.
@@ -33,7 +43,7 @@ use crate::instance::{CkptAlign, Instance, SourceState};
 use crate::keygroup::{uniform_repartition, RoutingTable};
 use crate::metrics::Metrics;
 use crate::operator::{OpCtx, OpRole, WmCtx};
-use crate::record::{Record, RecordKind, StreamElement};
+use crate::record::{Record, RecordArena, RecordKind, StreamElement};
 use crate::scaling::{ScaleContext, ScalePlan, ScalePlugin, Selection};
 use crate::semantics::SemanticsChecker;
 use crate::state::{StateBackend, StateUnit};
@@ -51,6 +61,9 @@ pub struct World {
     pub insts: Vec<Instance>,
     /// Channels.
     pub chans: Vec<Channel>,
+    /// Every stream element currently queued, backlogged or on the wire
+    /// lives here exactly once; channels and `Ev::Deliver` carry handles.
+    pub arena: RecordArena,
     /// Edges.
     pub edges: Vec<EdgeRt>,
     /// Scaling context.
@@ -137,21 +150,10 @@ impl World {
         let mut chans: Vec<Channel> = Vec::new();
         for (from, to, kind) in edge_defs {
             let eid = EdgeId(edges.len() as u32);
-            let mut edge = EdgeRt {
-                id: eid,
-                from,
-                to,
-                kind,
-                tables: Default::default(),
-                channels: Default::default(),
-            };
+            let mut edge = EdgeRt::new(eid, from, to, kind);
             let from_insts = ops[from.0 as usize].instances.clone();
             let to_insts = ops[to.0 as usize].instances.clone();
             for &fi in &from_insts {
-                if kind == EdgeKind::Keyed {
-                    edge.tables
-                        .insert(fi, RoutingTable::uniform(cfg.max_key_groups, &to_insts));
-                }
                 for &ti in &to_insts {
                     let cid = ChannelId(chans.len() as u32);
                     chans.push(Channel::new(
@@ -161,9 +163,15 @@ impl World {
                         cfg.channel_capacity,
                         cfg.net_latency,
                     ));
-                    edge.channels.insert((fi, ti), cid);
+                    edge.add_channel(fi, ti, cid);
                     insts[fi.0 as usize].out_channels.push(cid);
                     insts[ti.0 as usize].in_channels.push(cid);
+                }
+            }
+            edge.rebuild_index(insts.len());
+            if kind == EdgeKind::Keyed {
+                for &fi in &from_insts {
+                    edge.set_table(fi, RoutingTable::uniform(cfg.max_key_groups, &to_insts));
                 }
             }
             ops[from.0 as usize].out_edges.push(eid);
@@ -221,12 +229,16 @@ impl World {
         }
 
         let n = insts.len();
+        // Pre-size the arena to the steady-state bound: live elements are
+        // capped by per-channel credits plus modest backlogs.
+        let arena = RecordArena::with_capacity(chans.len() * (cfg.channel_capacity + 4) + 64);
         World {
             cfg,
             q,
             ops,
             insts,
             chans,
+            arena,
             edges,
             scale: ScaleContext::default(),
             metrics: Metrics::default(),
@@ -310,8 +322,12 @@ impl World {
     // Channel primitives
     // -----------------------------------------------------------------
 
-    /// Send an element over a channel, respecting credits and backlog.
+    /// Send an element over a channel, respecting credits and backlog. The
+    /// element is parked in the arena here — its single resting place until
+    /// consumption — and only its handle moves through backlog, wire and
+    /// receiver queue.
     pub fn send(&mut self, ch: ChannelId, elem: StreamElement) {
+        let r = self.arena.insert(elem);
         let c = &mut self.chans[ch.0 as usize];
         if c.backlog.is_empty() && c.has_credit() {
             c.in_flight += 1;
@@ -320,12 +336,12 @@ impl World {
                 lat,
                 Ev::Deliver {
                     ch,
-                    elem,
+                    elem: r,
                     credited: true,
                 },
             );
         } else {
-            c.backlog.push_back(elem);
+            c.backlog.push_back(r);
             if c.backlog.len() >= self.cfg.backlog_block {
                 let from = c.from;
                 self.insts[from.0 as usize].blocked_out = true;
@@ -336,12 +352,13 @@ impl World {
     /// Send a control element bypassing the backlog and credits (used for
     /// barriers that are "priority in the output cache").
     pub fn send_uncredited(&mut self, ch: ChannelId, elem: StreamElement) {
+        let r = self.arena.insert(elem);
         let lat = self.chans[ch.0 as usize].latency;
         self.q.schedule(
             lat,
             Ev::Deliver {
                 ch,
-                elem,
+                elem: r,
                 credited: false,
             },
         );
@@ -361,14 +378,14 @@ impl World {
             if c.backlog.is_empty() || !c.has_credit() {
                 break;
             }
-            let elem = c.backlog.pop_front().expect("non-empty");
+            let r = c.backlog.pop_front().expect("non-empty");
             c.in_flight += 1;
             let lat = c.latency;
             self.q.schedule(
                 lat,
                 Ev::Deliver {
                     ch,
-                    elem,
+                    elem: r,
                     credited: true,
                 },
             );
@@ -388,31 +405,52 @@ impl World {
         }
     }
 
-    /// Pop the front element of a channel, refilling from the backlog.
+    /// Pop the front element of a channel, refilling from the backlog. The
+    /// element leaves the arena here — the single payload move on the
+    /// consume side.
     pub fn chan_pop(&mut self, ch: ChannelId) -> Option<StreamElement> {
-        let e = self.chans[ch.0 as usize].queue.pop_front();
-        if e.is_some() {
-            self.pump(ch);
+        match self.chans[ch.0 as usize].queue.pop_front() {
+            Some(r) => {
+                self.pump(ch);
+                Some(self.arena.remove(r))
+            }
+            None => None,
         }
-        e
     }
 
     /// Remove the element at queue position `idx` (intra-channel
     /// scheduling). Position 0 is the front.
     pub fn chan_remove_at(&mut self, ch: ChannelId, idx: usize) -> Option<StreamElement> {
-        let e = self.chans[ch.0 as usize].queue.remove(idx);
-        if e.is_some() {
-            self.pump(ch);
+        match self.chans[ch.0 as usize].queue.remove(idx) {
+            Some(r) => {
+                self.pump(ch);
+                Some(self.arena.remove(r))
+            }
+            None => None,
         }
-        e
+    }
+
+    /// Peek the element at the front of a channel's receiver queue.
+    #[inline]
+    pub fn chan_front(&self, ch: ChannelId) -> Option<&StreamElement> {
+        self.chans[ch.0 as usize]
+            .queue
+            .front()
+            .map(|&r| &self.arena[r])
+    }
+
+    /// Peek the element at receiver-queue position `idx` (0 = front).
+    #[inline]
+    pub fn chan_peek(&self, ch: ChannelId, idx: usize) -> Option<&StreamElement> {
+        self.chans[ch.0 as usize]
+            .queue
+            .get(idx)
+            .map(|&r| &self.arena[r])
     }
 
     /// Channel between two instances on an edge.
     pub fn channel_between(&self, edge: EdgeId, from: InstId, to: InstId) -> Option<ChannelId> {
-        self.edges[edge.0 as usize]
-            .channels
-            .get(&(from, to))
-            .copied()
+        self.edges[edge.0 as usize].channel(from, to)
     }
 
     // -----------------------------------------------------------------
@@ -460,11 +498,10 @@ impl World {
             EdgeKind::Keyed if rec.kind == RecordKind::Data => {
                 let kg = key_group_of(rec.key, self.cfg.max_key_groups);
                 let dest = edge
-                    .tables
-                    .get(&from)
+                    .table(from)
                     .unwrap_or_else(|| panic!("no routing table for {from} on edge {}", eid.0))
                     .route(kg);
-                let ch = edge.channels[&(from, dest)];
+                let ch = edge.channel_of(from, dest);
                 self.send(ch, StreamElement::Record(rec));
             }
             _ => {
@@ -475,7 +512,7 @@ impl World {
                     let n = self.ops[toi].instances.len();
                     for k in 0..n {
                         let ti = self.ops[toi].instances[k];
-                        let ch = self.edges[eid.0 as usize].channels[&(from, ti)];
+                        let ch = self.edges[eid.0 as usize].channel_of(from, ti);
                         if k + 1 == n {
                             self.send(ch, StreamElement::Record(rec));
                             return;
@@ -490,11 +527,11 @@ impl World {
                 // initializing, and retiring instances receive nothing new.
                 // Two in-place scans (count, then pick) keep this
                 // allocation-free; destination lists are a handful of
-                // instances.
+                // instances, and the retiring probe is a bitset read.
                 let now = self.now();
                 let toi = self.edges[eid.0 as usize].to.0 as usize;
                 let eligible = |w: &World, i: InstId| {
-                    w.insts[i.0 as usize].operational_at <= now && !w.scale.retiring.contains(&i)
+                    w.insts[i.0 as usize].operational_at <= now && !w.scale.retiring.contains(i)
                 };
                 let mut count = 0usize;
                 for k in 0..self.ops[toi].instances.len() {
@@ -517,7 +554,7 @@ impl World {
                     let i = self.ops[toi].instances[k];
                     if eligible(self, i) {
                         if seen == pick {
-                            let ch = self.edges[eid.0 as usize].channels[&(from, i)];
+                            let ch = self.edges[eid.0 as usize].channel_of(from, i);
                             self.send(ch, StreamElement::Record(rec));
                             return;
                         }
@@ -558,7 +595,7 @@ impl World {
         let n = self.ops[op.0 as usize].keyed_in_edges.len();
         for k in 0..n {
             let e = self.ops[op.0 as usize].keyed_in_edges[k];
-            if let Some(t) = self.edges[e.0 as usize].tables.get_mut(&pred) {
+            if let Some(t) = self.edges[e.0 as usize].table_mut(pred) {
                 for &kg in kgs {
                     t.set(kg, to);
                 }
@@ -915,7 +952,9 @@ impl World {
         self.scale.new_instances.clear();
         self.scale.retiring.clear();
         if plan.new_parallelism < old_insts.len() {
-            self.scale.retiring = old_insts[plan.new_parallelism..].to_vec();
+            self.scale
+                .retiring
+                .assign(&old_insts[plan.new_parallelism..]);
             all_insts.truncate(plan.new_parallelism);
         }
         for li in old_insts.len()..plan.new_parallelism {
@@ -950,7 +989,7 @@ impl World {
                         self.cfg.channel_capacity,
                         self.cfg.net_latency,
                     ));
-                    self.edges[eid.0 as usize].channels.insert((fi, id), cid);
+                    self.edges[eid.0 as usize].add_channel(fi, id, cid);
                     self.insts[fi.0 as usize].out_channels.push(cid);
                     self.insts[id.0 as usize].in_channels.push(cid);
                 }
@@ -967,7 +1006,7 @@ impl World {
                         self.cfg.channel_capacity,
                         self.cfg.net_latency,
                     ));
-                    self.edges[eid.0 as usize].channels.insert((id, ti), cid);
+                    self.edges[eid.0 as usize].add_channel(id, ti, cid);
                     self.insts[id.0 as usize].out_channels.push(cid);
                     // Initialize the successor's view of this channel's
                     // watermark to its current one so downstream windows do
@@ -977,6 +1016,19 @@ impl World {
                     self.insts[ti.0 as usize].in_channels.push(cid);
                 }
             }
+        }
+
+        // Fold the freshly wired channels into the dense per-edge indices —
+        // the one (cold) rebuild point; per-record routing never re-indexes.
+        let n_insts = self.insts.len();
+        for eid in self.ops[op.0 as usize]
+            .in_edges
+            .iter()
+            .chain(self.ops[op.0 as usize].out_edges.iter())
+            .copied()
+            .collect::<Vec<_>>()
+        {
+            self.edges[eid.0 as usize].rebuild_index(n_insts);
         }
 
         // The scaled operator's instance list changed: downstream operators'
@@ -990,7 +1042,9 @@ impl World {
             .map(|&e| {
                 let edge = &self.edges[e.0 as usize];
                 let any_pred = self.ops[edge.from.0 as usize].instances[0];
-                edge.tables[&any_pred].clone()
+                edge.table(any_pred)
+                    .expect("predecessor routing table on keyed edge")
+                    .clone()
             })
             .expect("scaling operator must have a keyed input");
         plan.moves = match plan.strategy {
@@ -1042,7 +1096,6 @@ impl World {
             .scale
             .retiring
             .iter()
-            .copied()
             .filter(|&i| {
                 let inst = &self.insts[i.0 as usize];
                 !inst.busy
@@ -1055,7 +1108,7 @@ impl World {
         let mut changed_op = None;
         for i in ready {
             self.insts[i.0 as usize].halted = true;
-            self.scale.retiring.retain(|&x| x != i);
+            self.scale.retiring.remove(i);
             if let Some(plan) = self.scale.plan.as_ref() {
                 let op = plan.op;
                 self.ops[op.0 as usize].instances.retain(|&x| x != i);
@@ -1240,19 +1293,14 @@ impl World {
             }
             // First non-empty unblocked channel becomes the active channel.
             self.insts[inst.0 as usize].active_ch = idx;
-            let is_record = self.chans[ch.0 as usize]
-                .queue
-                .front()
-                .map(|e| e.is_record())
-                .unwrap_or(false);
+            let is_record = self.chan_front(ch).map(|e| e.is_record()).unwrap_or(false);
             if !is_record {
                 let elem = self.chan_pop(ch).expect("non-empty");
                 return Selection::Control(ch, elem);
             }
             // Peek admission for the head record.
-            let rec = self.chans[ch.0 as usize]
-                .queue
-                .front()
+            let rec = self
+                .chan_front(ch)
                 .and_then(|e| e.as_record())
                 .cloned()
                 .expect("checked record");
@@ -1279,7 +1327,7 @@ impl World {
             if records.len() >= self.cfg.quantum_records || service >= self.cfg.quantum_time {
                 break;
             }
-            let Some(front) = self.chans[ch.0 as usize].queue.front() else {
+            let Some(front) = self.chan_front(ch) else {
                 break;
             };
             let Some(rec) = front.as_record() else { break };

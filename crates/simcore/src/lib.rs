@@ -18,11 +18,13 @@
 pub mod hash;
 pub mod queue;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::{DetRng, Zipf};
+pub use slab::{Slab, SlabRef};
 pub use stats::{Histogram, Summary, TimeSeries};
 pub use time::{SimTime, GIGA, MICROS_PER_MS, MICROS_PER_SEC};

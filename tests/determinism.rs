@@ -63,6 +63,54 @@ fn same_seed_same_digest_meces() {
 }
 
 #[test]
+fn same_seed_same_digest_overload_backpressure() {
+    // The arena path under sustained backpressure: the operator saturates
+    // (120K/s into a ~40K/s pipeline), so backlogs fill to the block
+    // watermark, senders stall, and every pump cycle recycles arena slots
+    // through the free list. Any nondeterminism in handle recycling or the
+    // index queues would change the interleaving and split these digests.
+    let digest = |seed: u64| {
+        let mut cfg = EngineConfig::test();
+        cfg.seed = seed;
+        let (w, _) = tiny_job(cfg, 120_000.0, 1_024, 2);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(6));
+        sim.world.metrics_digest()
+    };
+    let a = digest(0xBEEF);
+    let b = digest(0xBEEF);
+    assert_eq!(a, b, "overload run diverged between two identical runs");
+}
+
+#[test]
+fn arena_slots_are_reclaimed_in_steady_state() {
+    // The record arena must plateau: live elements are bounded by channel
+    // credits plus bounded backlogs, so its slot count after warm-up must
+    // not grow over a 5x longer run — monotonic growth means consumed
+    // elements are leaking slots.
+    let mut cfg = EngineConfig::test();
+    cfg.seed = 42;
+    let (w, _) = tiny_job(cfg, 5_000.0, 256, 2);
+    let mut sim = Sim::new(w, Box::new(NoScale));
+    sim.run_until(secs(2));
+    let warm = sim.world.arena.slot_count();
+    sim.run_until(secs(10));
+    let end = sim.world.arena.slot_count();
+    assert_eq!(
+        warm, end,
+        "arena slots grew in steady state: {warm} -> {end}"
+    );
+    // And the live element count stays within the credit bound.
+    let slack = drrs_repro::engine::channel::BACKLOG_INITIAL_BUFFERS;
+    let credit_bound: usize = sim.world.chans.iter().map(|c| c.capacity + slack).sum();
+    assert!(
+        sim.world.arena.len() <= credit_bound,
+        "live elements {} exceed the credit bound {credit_bound}",
+        sim.world.arena.len()
+    );
+}
+
+#[test]
 fn different_seeds_differ() {
     // Digest sanity: the digest must actually observe the run (two seeds
     // colliding would make the equality tests above vacuous).

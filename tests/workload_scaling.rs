@@ -50,7 +50,7 @@ fn q8_dual_keyed_input_scales_cleanly() {
     // every predecessor's table.
     let plan = sim.world.scale.plan.as_ref().expect("plan").clone();
     for e in sim.world.keyed_in_edges(op) {
-        for table in sim.world.edges[e.0 as usize].tables.values() {
+        for (_pred, table) in sim.world.edges[e.0 as usize].tables() {
             for m in &plan.moves {
                 assert_eq!(table.route(m.kg), m.to, "stale routing on edge {}", e.0);
             }
