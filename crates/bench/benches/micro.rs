@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use simcore::time::secs;
-use simcore::{DetRng, EventQueue, Zipf};
+use simcore::{DetRng, EventQueue, FutureEventList, SchedulerBackend, Zipf};
 use streamflow::ids::{key_group_of, InstId, KeyGroup};
 use streamflow::keygroup::{uniform_repartition, RoutingTable};
 use streamflow::state::{StateBackend, StateValue};
@@ -18,9 +18,14 @@ use streamflow::{EngineConfig, NoScale};
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
     g.throughput(Throughput::Elements(10_000));
+    // Pinned to the heap backend: this series predates the pluggable
+    // future-event list and stays on the backend it has always measured,
+    // so recorded numbers remain an apples-to-apples trend. The
+    // scheduler_backends group below measures both backends explicitly.
     g.bench_function("schedule_pop_10k", |b| {
         b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut q: EventQueue<u64> =
+                FutureEventList::with_backend(SchedulerBackend::BinaryHeap, 0);
             for i in 0..10_000u64 {
                 q.schedule(i % 97, i);
             }
@@ -31,6 +36,57 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    g.finish();
+}
+
+/// A delay from the simulator's short-horizon-heavy mix: mostly sub-ms
+/// deliveries/quanta, some 10 ms-scale ticks, a few far-future timers
+/// (checkpoints, deploys) — the distribution the calendar queue is tuned
+/// for.
+#[inline]
+fn sim_like_delay(rng: &mut DetRng) -> u64 {
+    match rng.below(100) {
+        0..=79 => 20 + rng.below(1_000),      // deliveries, service quanta
+        80..=97 => 5_000 + rng.below(20_000), // ticks, markers, samples
+        _ => 500_000 + rng.below(3_000_000),  // checkpoints, deploy delays
+    }
+}
+
+fn bench_scheduler_backends(c: &mut Criterion) {
+    // Steady-state churn at a fixed pending population: pop one, schedule
+    // one. This is the future-event list's life inside the dispatch loop —
+    // the population stays put while time advances, which is where the
+    // heap pays O(log n) per event and the calendar queue aims at O(1).
+    const CHURN: u64 = 10_000;
+    let mut g = c.benchmark_group("scheduler_backends");
+    g.throughput(Throughput::Elements(CHURN));
+    for backend in [SchedulerBackend::BinaryHeap, SchedulerBackend::Calendar] {
+        for pending in [1_000usize, 100_000] {
+            let name = format!("churn_{}_{}_pending", backend.name(), pending);
+            g.bench_function(&name, |b| {
+                b.iter_with_setup(
+                    || {
+                        let mut q: FutureEventList<u64> =
+                            FutureEventList::with_backend(backend, pending);
+                        let mut rng = DetRng::seed(7);
+                        for i in 0..pending as u64 {
+                            q.schedule(sim_like_delay(&mut rng), i);
+                        }
+                        (q, rng)
+                    },
+                    |(mut q, mut rng)| {
+                        let mut acc = 0u64;
+                        for i in 0..CHURN {
+                            let (_, e) = q.pop().expect("pending events");
+                            acc = acc.wrapping_add(e);
+                            q.schedule(sim_like_delay(&mut rng), i);
+                        }
+                        black_box((acc, q.len()))
+                    },
+                )
+            });
+        }
+    }
     g.finish();
 }
 
@@ -209,6 +265,7 @@ fn bench_dense_backend_hot_access(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_scheduler_backends,
     bench_routing,
     bench_state_backend,
     bench_dense_backend_hot_access,

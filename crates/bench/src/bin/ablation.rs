@@ -7,12 +7,23 @@
 //! * **Re-route Manager strategy** (§IV-A B4: capacity- vs timeout-based
 //!   flushing).
 //!
-//! Run on the Twitch workload under the fig-14 protocol.
+//! Run on the Twitch workload under the fig-14 protocol. Every ablation row
+//! is an independent simulation, so each section's rows run on a thread
+//! pool (`bench::parallel_map`, one single-threaded deterministic sim per
+//! thread) and print in canonical row order regardless of finish order.
 
-use bench::{quick, run};
+use bench::{parallel_map, quick, run};
 use drrs_core::{FlexScaler, MechanismConfig};
-use simcore::time::{ms, secs};
+use simcore::time::{ms, secs, SimTime};
 use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
+
+/// One ablation row's measurements.
+struct Row {
+    peak: f64,
+    avg: f64,
+    migration_s: f64,
+    susp_ms: f64,
+}
 
 fn main() {
     let (scale_at, window_end) = if quick() {
@@ -31,10 +42,10 @@ fn main() {
         TwitchParams::default()
     };
 
-    let go = |label: String, cfg: MechanismConfig| {
+    let go = |mech: &'static str, cfg: MechanismConfig| -> Row {
         let (w, op) = twitch(twitch_engine_config(99), &params);
         let r = run(
-            "DRRS",
+            mech,
             w,
             op,
             Box::new(FlexScaler::new(cfg)),
@@ -46,65 +57,79 @@ fn main() {
         let done = r
             .migration_done()
             .map(|t| t as f64 / 1e6 - scale_at as f64 / 1e6);
+        Row {
+            peak,
+            avg,
+            migration_s: done.unwrap_or(f64::NAN),
+            susp_ms: r.suspension_ms(),
+        }
+    };
+    let print_row = |label: &str, row: &Row| {
         println!(
-            "{label:<34} peak {peak:>8.0} ms  avg {avg:>7.0} ms  migration {:>6.1} s  susp {:>8.0} ms",
-            done.unwrap_or(f64::NAN),
-            r.suspension_ms()
+            "{label:<34} peak {:>8.0} ms  avg {:>7.0} ms  migration {:>6.1} s  susp {:>8.0} ms",
+            row.peak, row.avg, row.migration_s, row.susp_ms
         );
     };
 
     println!("=== Ablation A: subscale count (concurrency 2) ===");
-    for n in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = MechanismConfig {
-            subscale_count: n,
-            ..MechanismConfig::drrs()
-        };
-        go(format!("subscales={n}"), cfg);
+    let subscales = [1usize, 2, 4, 8, 16, 32];
+    let rows = parallel_map(subscales.to_vec(), |n| {
+        go(
+            "DRRS",
+            MechanismConfig {
+                subscale_count: n,
+                ..MechanismConfig::drrs()
+            },
+        )
+    });
+    for (n, row) in subscales.iter().zip(&rows) {
+        print_row(&format!("subscales={n}"), row);
     }
 
     println!("\n=== Ablation B: concurrency threshold (8 subscales) ===");
-    for limit in [1usize, 2, 4, 64] {
-        let cfg = MechanismConfig {
-            concurrency_limit: limit,
-            ..MechanismConfig::drrs()
-        };
-        go(format!("concurrency={limit}"), cfg);
+    let limits = [1usize, 2, 4, 64];
+    let rows = parallel_map(limits.to_vec(), |limit| {
+        go(
+            "DRRS",
+            MechanismConfig {
+                concurrency_limit: limit,
+                ..MechanismConfig::drrs()
+            },
+        )
+    });
+    for (limit, row) in limits.iter().zip(&rows) {
+        print_row(&format!("concurrency={limit}"), row);
     }
 
     println!("\n=== Ablation C: Re-route Manager strategy ===");
-    for (label, batch, timeout) in [
-        ("capacity=1 (immediate)", 1usize, ms(50)),
+    let strategies: [(&str, usize, SimTime); 3] = [
+        ("capacity=1 (immediate)", 1, ms(50)),
         ("capacity=32, timeout=5ms (default)", 32, ms(5)),
         ("capacity=256, timeout=50ms (lazy)", 256, ms(50)),
-    ] {
-        let cfg = MechanismConfig {
-            reroute_batch: batch,
-            reroute_timeout: timeout,
-            ..MechanismConfig::drrs()
-        };
-        go(label.to_string(), cfg);
+    ];
+    let rows = parallel_map(strategies.to_vec(), |(_, batch, timeout)| {
+        go(
+            "DRRS",
+            MechanismConfig {
+                reroute_batch: batch,
+                reroute_timeout: timeout,
+                ..MechanismConfig::drrs()
+            },
+        )
+    });
+    for ((label, _, _), row) in strategies.iter().zip(&rows) {
+        print_row(label, row);
     }
 
     println!("\n=== Ablation E: Megaphone batch size (naive-division granularity) ===");
-    for batch in [1usize, 4, 16, 64] {
-        let cfg = MechanismConfig::megaphone(batch);
-        let (w, op) = twitch(twitch_engine_config(99), &params);
-        let r = run(
-            "Megaphone",
-            w,
-            op,
-            Box::new(FlexScaler::new(cfg)),
-            scale_at,
-            12,
-            horizon,
-        );
-        let (peak, avg) = r.latency_ms(scale_at, window_end);
-        let done = r
-            .migration_done()
-            .map(|t| t as f64 / 1e6 - scale_at as f64 / 1e6);
+    let batches = [1usize, 4, 16, 64];
+    let rows = parallel_map(batches.to_vec(), |batch| {
+        go("Megaphone", MechanismConfig::megaphone(batch))
+    });
+    for (batch, row) in batches.iter().zip(&rows) {
         println!(
-            "megaphone batch={batch:<3}                peak {peak:>8.0} ms  avg {avg:>7.0} ms  migration {:>6.1} s",
-            done.unwrap_or(f64::NAN)
+            "megaphone batch={batch:<3}                peak {:>8.0} ms  avg {:>7.0} ms  migration {:>6.1} s",
+            row.peak, row.avg, row.migration_s
         );
     }
 
@@ -113,10 +138,11 @@ fn main() {
     // on Q7: same total window, slide = size (tumbling) vs 500 ms slides.
     println!("\n=== Ablation D: sliding vs tumbling windows under scaling (Q7) ===");
     use workloads::nexmark::{nexmark_engine_config, q7, Q7Params};
-    for (label, slide) in [
+    let windows: [(&str, SimTime); 2] = [
         ("sliding 500ms (paper)", ms(500)),
         ("tumbling (slide=size)", secs(10)),
-    ] {
+    ];
+    let rows = parallel_map(windows.to_vec(), |(_, slide)| {
         let p = Q7Params {
             tps: if quick() { 10_000.0 } else { 20_000.0 },
             slide,
@@ -132,7 +158,9 @@ fn main() {
             12,
             horizon,
         );
-        let (peak, avg) = r.latency_ms(scale_at, window_end);
+        r.latency_ms(scale_at, window_end)
+    });
+    for ((label, _), (peak, avg)) in windows.iter().zip(&rows) {
         println!("{label:<34} peak {peak:>8.0} ms  avg {avg:>7.0} ms");
     }
 

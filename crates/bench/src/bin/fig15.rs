@@ -7,16 +7,85 @@
 //! 25 → 30 instances (migrating 229 key-groups), throughput collected over
 //! a 10-minute window (latency is unreliable under heavy skew backlogs).
 //!
+//! The grid's cells are mutually independent simulations, so they run on a
+//! thread pool (`bench::parallel_map`, one single-threaded deterministic
+//! sim per thread) and are joined back in canonical configuration order —
+//! output bytes never depend on which cell finishes first.
+//!
 //! Paper shape: deviation grows with rate/state/skew; DRRS dominates every
 //! cell and is up to 89% better at <20K tps, 30 GB>; Megaphone and Meces
 //! show skew anomalies (incomplete migrations / fetch instability).
 
 use baselines::{megaphone, MecesPlugin};
-use bench::{quick, run};
+use bench::{parallel_map, quick, run};
 use drrs_core::FlexScaler;
 use simcore::time::secs;
 use streamflow::ScalePlugin;
 use workloads::custom::{cluster_engine_config, custom, CustomParams};
+
+/// One grid cell's configuration, in canonical order.
+#[derive(Clone, Copy)]
+struct Cell {
+    mech: &'static str,
+    skew: f64,
+    gb: u64,
+    tps: f64,
+}
+
+/// One grid cell's results: throughput deviation and the fraction of the
+/// planned migration that actually settled.
+struct CellResult {
+    deviation: f64,
+    settled_pct: usize,
+}
+
+fn run_cell(cell: Cell, scale_at: u64, measure: u64, horizon: u64) -> CellResult {
+    let p = CustomParams {
+        tps: cell.tps,
+        total_state_bytes: cell.gb * 1_000_000_000,
+        skew: cell.skew,
+        ..Default::default()
+    };
+    let (w, op) = custom(cluster_engine_config(15), &p);
+    let plugin: Box<dyn ScalePlugin> = match cell.mech {
+        "DRRS" => Box::new(FlexScaler::drrs()),
+        "Megaphone" => Box::new(megaphone(4)),
+        _ => Box::new(MecesPlugin::new()),
+    };
+    let r = run(cell.mech, w, op, plugin, scale_at, 30, horizon);
+    let lo = scale_at / 1_000_000;
+    let hi = (scale_at + measure) / 1_000_000;
+    let measured = r.sim.world.metrics.mean_throughput(lo, hi);
+    let deviation = (cell.tps - measured).max(0.0);
+    // The paper's Megaphone anomaly: low deviation can mean the migration
+    // never finished in the window — report the completed fraction
+    // alongside.
+    let planned = r
+        .sim
+        .world
+        .scale
+        .plan
+        .as_ref()
+        .map(|p| p.moves.len())
+        .unwrap_or(0);
+    let settled = r
+        .sim
+        .world
+        .scale
+        .plan
+        .as_ref()
+        .map(|plan| {
+            plan.moves
+                .iter()
+                .filter(|m| r.sim.world.insts[m.to.0 as usize].state.holds_group(m.kg))
+                .count()
+        })
+        .unwrap_or(0);
+    CellResult {
+        deviation,
+        settled_pct: (settled * 100).checked_div(planned).unwrap_or(100),
+    }
+}
 
 fn main() {
     let (rates, sizes_gb, skews): (Vec<f64>, Vec<u64>, Vec<f64>) = if quick() {
@@ -36,12 +105,32 @@ fn main() {
     let horizon = scale_at + measure + secs(10);
     let mechs = ["DRRS", "Megaphone", "Meces"];
 
+    // Canonical cell order: mech, then skew, then GB, then tps — exactly
+    // the print order below, so results are joined by a running index.
+    let mut cells: Vec<Cell> = Vec::new();
+    for mech in mechs {
+        for &skew in &skews {
+            for &gb in &sizes_gb {
+                for &tps in &rates {
+                    cells.push(Cell {
+                        mech,
+                        skew,
+                        gb,
+                        tps,
+                    });
+                }
+            }
+        }
+    }
+    let results = parallel_map(cells, |cell| run_cell(cell, scale_at, measure, horizon));
+
     println!("=== Fig. 15: throughput deviation (input rate - measured, rec/s) ===");
     println!(
         "25 -> 30 instances, 256 key-groups (229 migrated), {}s window\n",
         measure / 1_000_000
     );
 
+    let mut idx = 0;
     for mech in mechs {
         println!("--- {mech} ---");
         for &skew in &skews {
@@ -53,52 +142,10 @@ fn main() {
             println!("   (deviation rec/s | migration completed %)");
             for &gb in &sizes_gb {
                 print!("{gb:>8}");
-                for &tps in &rates {
-                    let p = CustomParams {
-                        tps,
-                        total_state_bytes: gb * 1_000_000_000,
-                        skew,
-                        ..Default::default()
-                    };
-                    let (w, op) = custom(cluster_engine_config(15), &p);
-                    let plugin: Box<dyn ScalePlugin> = match mech {
-                        "DRRS" => Box::new(FlexScaler::drrs()),
-                        "Megaphone" => Box::new(megaphone(4)),
-                        _ => Box::new(MecesPlugin::new()),
-                    };
-                    let r = run(mech, w, op, plugin, scale_at, 30, horizon);
-                    let lo = scale_at / 1_000_000;
-                    let hi = (scale_at + measure) / 1_000_000;
-                    let measured = r.sim.world.metrics.mean_throughput(lo, hi);
-                    let deviation = (tps - measured).max(0.0);
-                    // The paper's Megaphone anomaly: low deviation can mean
-                    // the migration never finished in the window — report
-                    // the completed fraction alongside.
-                    let planned = r
-                        .sim
-                        .world
-                        .scale
-                        .plan
-                        .as_ref()
-                        .map(|p| p.moves.len())
-                        .unwrap_or(0);
-                    let settled = r
-                        .sim
-                        .world
-                        .scale
-                        .plan
-                        .as_ref()
-                        .map(|plan| {
-                            plan.moves
-                                .iter()
-                                .filter(|m| {
-                                    r.sim.world.insts[m.to.0 as usize].state.holds_group(m.kg)
-                                })
-                                .count()
-                        })
-                        .unwrap_or(0);
-                    let pct = (settled * 100).checked_div(planned).unwrap_or(100);
-                    print!(" {deviation:>7.0}/{pct:>3}%");
+                for _ in &rates {
+                    let r = &results[idx];
+                    idx += 1;
+                    print!(" {:>7.0}/{:>3}%", r.deviation, r.settled_pct);
                 }
                 println!();
             }

@@ -11,25 +11,47 @@
 //!   perf change),
 //! * a peak-RSS proxy (`VmHWM` from `/proc/self/status`, 0 where absent).
 //!
-//! Usage: `perf_report [--out FILE] [--baseline FILE] [--quick]`
+//! Usage: `perf_report [--out FILE] [--baseline FILE] [--quick]
+//!                     [--backend heap|calendar|both] [--reps N]`
+//!
+//! By default every scenario runs on **both** future-event-list backends,
+//! interleaved (heap, calendar, heap, calendar, …) so machine-load drift
+//! hits both sides equally, and the process **hard-fails** if any scenario's
+//! digest differs between backends — the calendar queue is required to be a
+//! behavior-preserving rewrite, proven by digests, not assumed.
+//! `--reps N` repeats each (scenario, backend) run N times and reports the
+//! median events/sec (used for the recorded `BENCH_PR3.json` A/B).
+//! `--backend` restricts the matrix to one backend (used by CI's
+//! per-backend digest-stability job).
 //!
 //! With `--baseline`, the report embeds the baseline's events/sec and the
-//! relative improvement, so `BENCH_PR1.json` carries the before/after pair
+//! relative improvement, so `BENCH_PRn.json` carries the before/after pair
 //! measured on the same machine.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use simcore::time::secs;
+use simcore::SchedulerBackend;
 use streamflow::world::tests_support::tiny_job;
 use streamflow::world::Sim;
 use streamflow::{EngineConfig, NoScale, ScalePlugin};
 
+/// One timed run of one scenario on one backend.
+struct RunSample {
+    events: u64,
+    wall_secs: f64,
+    sink_records: u64,
+    digest: u64,
+}
+
+/// Aggregated per-scenario result: medians per backend, shared digest.
 struct ScenarioResult {
     name: &'static str,
     events: u64,
-    wall_secs: f64,
-    events_per_sec: f64,
+    /// Median wall seconds per backend, keyed like `backends()`.
+    wall_secs: Vec<f64>,
+    events_per_sec: Vec<f64>,
     sink_records: u64,
     digest: u64,
 }
@@ -46,63 +68,144 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn run_scenario(name: &'static str, horizon_secs: u64, build: impl Fn() -> Sim) -> ScenarioResult {
-    // One warmup run (page in code, warm the allocator), then the timed run.
-    {
-        let mut sim = build();
-        sim.run_until(secs(1));
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len();
+    if n.is_multiple_of(2) {
+        // True midpoint for even lengths: picking one middle element
+        // would let wall_secs and events_per_sec medians come from
+        // different runs and stop multiplying out.
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    } else {
+        v[n / 2]
     }
-    let mut sim = build();
+}
+
+fn time_run(
+    horizon_secs: u64,
+    build: &dyn Fn(SchedulerBackend) -> Sim,
+    backend: SchedulerBackend,
+) -> RunSample {
+    let mut sim = build(backend);
     let start = Instant::now();
     sim.run_until(secs(horizon_secs));
     let wall = start.elapsed().as_secs_f64();
-    let events = sim.world.q.processed();
-    ScenarioResult {
-        name,
-        events,
+    RunSample {
+        events: sim.world.q.processed(),
         wall_secs: wall,
-        events_per_sec: events as f64 / wall.max(1e-9),
         sink_records: sim.world.metrics.sink_records,
         digest: sim.world.metrics_digest(),
     }
 }
 
-fn scenario_matrix(quick: bool) -> Vec<ScenarioResult> {
+/// Run one scenario `reps` times per backend, interleaved across backends.
+/// Hard-fails the process on any digest divergence (across backends or
+/// across repetitions — either breaks the determinism contract).
+fn run_scenario(
+    name: &'static str,
+    horizon_secs: u64,
+    backends: &[SchedulerBackend],
+    reps: usize,
+    build: impl Fn(SchedulerBackend) -> Sim,
+) -> ScenarioResult {
+    // One warmup run per backend (page in code, warm the allocator).
+    for &b in backends {
+        let mut sim = build(b);
+        sim.run_until(secs(1));
+    }
+    let mut samples: Vec<Vec<RunSample>> = backends.iter().map(|_| Vec::new()).collect();
+    for _rep in 0..reps {
+        for (i, &b) in backends.iter().enumerate() {
+            samples[i].push(time_run(horizon_secs, &build, b));
+        }
+    }
+    let reference = &samples[0][0];
+    for (i, &b) in backends.iter().enumerate() {
+        for s in &samples[i] {
+            if s.digest != reference.digest || s.events != reference.events {
+                eprintln!(
+                    "perf_report: FATAL: scenario {name} digest mismatch: \
+                     {} run gave 0x{:016x} ({} events) vs reference 0x{:016x} ({} events)",
+                    b.name(),
+                    s.digest,
+                    s.events,
+                    reference.digest,
+                    reference.events
+                );
+                eprintln!(
+                    "perf_report: the scheduler backends are required to be \
+                     behavior-identical — this is a correctness bug, not noise"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    ScenarioResult {
+        name,
+        events: reference.events,
+        wall_secs: samples
+            .iter()
+            .map(|runs| median(&runs.iter().map(|s| s.wall_secs).collect::<Vec<_>>()))
+            .collect(),
+        events_per_sec: samples
+            .iter()
+            .map(|runs| {
+                median(
+                    &runs
+                        .iter()
+                        .map(|s| s.events as f64 / s.wall_secs.max(1e-9))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect(),
+        sink_records: reference.sink_records,
+        digest: reference.digest,
+    }
+}
+
+fn scenario_matrix(quick: bool, backends: &[SchedulerBackend], reps: usize) -> Vec<ScenarioResult> {
     let horizon = if quick { 4 } else { 10 };
     let mut cfg = EngineConfig::test();
     cfg.max_key_groups = 128;
     cfg.check_semantics = false;
 
+    let with_backend = |cfg: &EngineConfig, b: SchedulerBackend| {
+        let mut c = cfg.clone();
+        c.scheduler = b;
+        c
+    };
+
     let steady_cfg = cfg.clone();
-    let steady = run_scenario("steady_50k", horizon, move || {
-        let (w, _) = tiny_job(steady_cfg.clone(), 50_000.0, 4_096, 4);
+    let steady = run_scenario("steady_50k", horizon, backends, reps, |b| {
+        let (w, _) = tiny_job(with_backend(&steady_cfg, b), 50_000.0, 4_096, 4);
         Sim::new(w, Box::new(NoScale))
     });
 
     let drrs_cfg = cfg.clone();
-    let drrs = run_scenario("drrs_rescale_4_to_6", horizon, move || {
-        let (mut w, agg) = tiny_job(drrs_cfg.clone(), 50_000.0, 4_096, 4);
+    let drrs = run_scenario("drrs_rescale_4_to_6", horizon, backends, reps, |b| {
+        let (mut w, agg) = tiny_job(with_backend(&drrs_cfg, b), 50_000.0, 4_096, 4);
         w.schedule_scale(secs(2), agg, 6);
         Sim::new(w, drrs_plugin())
     });
 
     let mega_cfg = cfg.clone();
-    let megaphone = run_scenario("megaphone_rescale_4_to_6", horizon, move || {
-        let (mut w, agg) = tiny_job(mega_cfg.clone(), 50_000.0, 4_096, 4);
+    let megaphone = run_scenario("megaphone_rescale_4_to_6", horizon, backends, reps, |b| {
+        let (mut w, agg) = tiny_job(with_backend(&mega_cfg, b), 50_000.0, 4_096, 4);
         w.schedule_scale(secs(2), agg, 6);
         Sim::new(w, megaphone_plugin())
     });
 
     let scalein_cfg = cfg.clone();
-    let scale_in = run_scenario("drrs_scale_in_6_to_3", horizon, move || {
-        let (mut w, agg) = tiny_job(scalein_cfg.clone(), 30_000.0, 4_096, 6);
+    let scale_in = run_scenario("drrs_scale_in_6_to_3", horizon, backends, reps, |b| {
+        let (mut w, agg) = tiny_job(with_backend(&scalein_cfg, b), 30_000.0, 4_096, 6);
         w.schedule_scale(secs(2), agg, 3);
         Sim::new(w, drrs_plugin())
     });
 
     let overload_cfg = cfg;
-    let overload = run_scenario("overload_backpressure", horizon, move || {
-        let (w, _) = tiny_job(overload_cfg.clone(), 120_000.0, 1_024, 2);
+    let overload = run_scenario("overload_backpressure", horizon, backends, reps, |b| {
+        let (w, _) = tiny_job(with_backend(&overload_cfg, b), 120_000.0, 1_024, 2);
         Sim::new(w, Box::new(NoScale))
     });
 
@@ -168,16 +271,55 @@ fn main() {
     let flag = |name: &str| args.iter().position(|a| a == name);
     let out_path = flag("--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+        // Deliberately NOT a BENCH_PRn.json name: a bare run must never
+        // overwrite the committed perf-trajectory artifacts.
+        .unwrap_or_else(|| "perf_report.json".to_string());
     let baseline_path = flag("--baseline").and_then(|i| args.get(i + 1).cloned());
     let quick = flag("--quick").is_some() || bench::quick();
+    let reps = flag("--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1usize)
+        .max(1);
+    let backend_arg = flag("--backend").and_then(|i| args.get(i + 1).cloned());
+    let backends: Vec<SchedulerBackend> = match backend_arg.as_deref() {
+        None | Some("both") => vec![SchedulerBackend::BinaryHeap, SchedulerBackend::Calendar],
+        Some(s) => match SchedulerBackend::parse(s) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("perf_report: unknown --backend {s} (want heap|calendar|both)");
+                std::process::exit(2);
+            }
+        },
+    };
+    // The report's headline numbers come from the engine's default backend
+    // (the calendar queue) when it's in the mix, else the single backend.
+    let headline = backends
+        .iter()
+        .position(|&b| b == SchedulerBackend::default())
+        .unwrap_or(0);
+    let ab = backends.len() == 2;
 
-    eprintln!("perf_report: running scenario matrix (quick={quick})...");
-    let results = scenario_matrix(quick);
+    eprintln!(
+        "perf_report: running scenario matrix (quick={quick}, reps={reps}, backends={})...",
+        backends
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let results = scenario_matrix(quick, &backends, reps);
 
     let total_events: u64 = results.iter().map(|r| r.events).sum();
-    let total_wall: f64 = results.iter().map(|r| r.wall_secs).sum();
+    let total_wall: f64 = results.iter().map(|r| r.wall_secs[headline]).sum();
     let aggregate = total_events as f64 / total_wall.max(1e-9);
+    // Aggregate for the non-headline (reference) backend in A/B mode.
+    let heap_idx = backends
+        .iter()
+        .position(|&b| b == SchedulerBackend::BinaryHeap)
+        .unwrap_or(0);
+    let total_wall_heap: f64 = results.iter().map(|r| r.wall_secs[heap_idx]).sum();
+    let aggregate_heap = total_events as f64 / total_wall_heap.max(1e-9);
 
     let baseline = baseline_path.as_deref().and_then(|p| {
         let Ok(text) = std::fs::read_to_string(p) else {
@@ -196,7 +338,24 @@ fn main() {
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"report\": \"drrs-repro perf trajectory\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"scheduler\": \"{}\",", backends[headline].name());
     let _ = writeln!(json, "  \"aggregate_events_per_sec\": {aggregate:.0},");
+    if ab {
+        let gain = aggregate / aggregate_heap.max(1e-9) - 1.0;
+        let _ = writeln!(
+            json,
+            "  \"aggregate_events_per_sec_heap\": {aggregate_heap:.0},"
+        );
+        let _ = writeln!(json, "  \"calendar_vs_heap_improvement\": {gain:.4},");
+        let _ = writeln!(json, "  \"cross_backend_digests_match\": true,");
+        eprintln!(
+            "perf_report: scheduler A/B: calendar {:.0} ev/s vs heap {:.0} ev/s ({:+.1}%), digests identical",
+            aggregate,
+            aggregate_heap,
+            gain * 100.0
+        );
+    }
     let _ = writeln!(json, "  \"total_simulated_events\": {total_events},");
     let _ = writeln!(json, "  \"total_wall_secs\": {total_wall:.3},");
     let _ = writeln!(json, "  \"peak_rss_kb\": {},", peak_rss_kb());
@@ -230,18 +389,37 @@ fn main() {
     let _ = writeln!(json, "  \"scenarios\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
+        let eps = r.events_per_sec[headline];
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
         let _ = writeln!(json, "      \"events\": {},", r.events);
-        let _ = writeln!(json, "      \"wall_secs\": {:.4},", r.wall_secs);
-        let _ = writeln!(json, "      \"events_per_sec\": {:.0},", r.events_per_sec);
+        let _ = writeln!(json, "      \"wall_secs\": {:.4},", r.wall_secs[headline]);
+        let _ = writeln!(json, "      \"events_per_sec\": {eps:.0},");
+        if ab {
+            let heap_eps = r.events_per_sec[heap_idx];
+            let gain = eps / heap_eps.max(1e-9) - 1.0;
+            let _ = writeln!(json, "      \"events_per_sec_heap\": {heap_eps:.0},");
+            let _ = writeln!(json, "      \"calendar_vs_heap\": {gain:.4},");
+        }
         let _ = writeln!(json, "      \"sink_records\": {},", r.sink_records);
         let _ = writeln!(json, "      \"digest\": \"0x{:016x}\"", r.digest);
         let _ = writeln!(json, "    }}{comma}");
-        eprintln!(
-            "  {:<26} {:>12} events  {:>8.3}s  {:>12.0} ev/s  digest 0x{:016x}",
-            r.name, r.events, r.wall_secs, r.events_per_sec, r.digest
-        );
+        if ab {
+            eprintln!(
+                "  {:<26} {:>12} events  cal {:>12.0} ev/s  heap {:>12.0} ev/s ({:+5.1}%)  digest 0x{:016x}",
+                r.name,
+                r.events,
+                eps,
+                r.events_per_sec[heap_idx],
+                (eps / r.events_per_sec[heap_idx].max(1e-9) - 1.0) * 100.0,
+                r.digest
+            );
+        } else {
+            eprintln!(
+                "  {:<26} {:>12} events  {:>8.3}s  {:>12.0} ev/s  digest 0x{:016x}",
+                r.name, r.events, r.wall_secs[headline], eps, r.digest
+            );
+        }
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");

@@ -94,6 +94,69 @@ pub fn quick() -> bool {
     std::env::var("QUICK").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Run `f` over `items` on a pool of OS threads (one simulation per
+/// thread; each simulation stays single-threaded and deterministic) and
+/// return the results **in input order** — figure output must not depend
+/// on which configuration finishes first.
+///
+/// Workers pull the next unstarted item from a shared cursor, so uneven
+/// per-cell runtimes (high-skew cells run much longer) still load-balance.
+/// The worker count follows `available_parallelism`, capped by the item
+/// count and overridable with `SWEEP_THREADS` (set `SWEEP_THREADS=1` to
+/// reproduce the old sequential behavior).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::env::var("SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .min(n);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("unpoisoned")
+                    .take()
+                    .expect("taken once");
+                let r = f(item);
+                *results[i].lock().expect("unpoisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("unpoisoned")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
 /// Run one mechanism on a prepared world.
 pub fn run(
     name: &str,
@@ -140,6 +203,18 @@ pub fn pm(samples: &[f64]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let out = parallel_map((0..256u64).collect::<Vec<_>>(), |i| i * 2);
+        assert_eq!(out, (0..256u64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert!(parallel_map(Vec::<u8>::new(), |x| x).is_empty());
+        assert_eq!(parallel_map(vec![7u8], |x| x + 1), vec![8]);
+    }
 
     #[test]
     fn pm_formats_single_and_multi() {

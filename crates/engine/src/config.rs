@@ -2,6 +2,7 @@
 //! deployment settings (network, buffers, key-groups, deploy delay).
 
 use simcore::time::{ms, SimTime};
+use simcore::SchedulerBackend;
 
 /// Engine configuration. Defaults model the paper's single-machine Docker
 /// deployment: sub-millisecond network, 1 Gbps migration bandwidth, Flink's
@@ -50,6 +51,11 @@ pub struct EngineConfig {
     /// Track per-key execution-order semantics (costs memory; on for tests,
     /// off for the big sensitivity grid).
     pub check_semantics: bool,
+    /// Future-event-list backend. Behavior-neutral by contract (both
+    /// backends pop identical sequences — `perf_report` digest-verifies
+    /// this); the calendar queue is the fast default, the binary heap the
+    /// A/B reference.
+    pub scheduler: SchedulerBackend,
     /// RNG seed for the run.
     pub seed: u64,
 }
@@ -79,6 +85,7 @@ impl Default for EngineConfig {
             snapshot_us_per_mb: 200,
             sample_interval: ms(500),
             check_semantics: false,
+            scheduler: SchedulerBackend::default(),
             seed: 0xD225,
         }
     }
@@ -117,5 +124,13 @@ mod tests {
     #[test]
     fn test_profile_checks_semantics() {
         assert!(EngineConfig::test().check_semantics);
+    }
+
+    #[test]
+    fn default_scheduler_is_the_calendar_queue() {
+        assert_eq!(
+            EngineConfig::default().scheduler,
+            SchedulerBackend::Calendar
+        );
     }
 }

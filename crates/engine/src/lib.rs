@@ -64,4 +64,5 @@ pub use graph::{EdgeKind, JobBuilder};
 pub use ids::{InstId, Key, KeyGroup, OpId, SubscaleId};
 pub use record::{Record, ScaleSignal, SignalKind, StreamElement};
 pub use scaling::{NoScale, ScalePlan, ScalePlugin, Selection};
+pub use simcore::SchedulerBackend;
 pub use world::{Sim, World};

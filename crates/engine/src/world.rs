@@ -215,8 +215,9 @@ impl World {
 
         // Pre-size the future-event list: in steady state it holds at most
         // a few events per instance (ticks, quanta) plus in-flight elements
-        // bounded by per-channel credits.
-        let mut q = EventQueue::with_capacity(insts.len() * 8 + chans.len() * 4 + 64);
+        // bounded by per-channel credits. The backend comes from config;
+        // both pop identical sequences, so this is a pure perf knob.
+        let mut q = EventQueue::with_backend(cfg.scheduler, insts.len() * 8 + chans.len() * 4 + 64);
         // Arm source ticks (jittered so they do not all fire in lockstep).
         for inst in insts.iter() {
             if inst.source.is_some() {
@@ -1626,11 +1627,7 @@ impl Sim {
 
     /// Run until simulated time `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(next) = self.world.q.peek_time() {
-            if next > t {
-                break;
-            }
-            let (_, ev) = self.world.q.pop().expect("peeked");
+        while let Some((_, ev)) = self.world.q.pop_at_most(t) {
             self.world.dispatch(self.plugin.as_mut(), ev);
         }
     }

@@ -3,8 +3,10 @@
 //! This crate provides the building blocks the `streamflow` engine runs on:
 //!
 //! * [`SimTime`] / [`time`] — simulated time in microseconds with helpers,
-//! * [`EventQueue`] — a monotonic future-event list with stable FIFO ordering
-//!   among same-timestamp events,
+//! * [`FutureEventList`] (alias [`EventQueue`]) — a monotonic future-event
+//!   list with stable FIFO ordering among same-timestamp events and a
+//!   pluggable backend ([`SchedulerBackend`]): the reference binary heap or
+//!   the O(1) hierarchical [`calendar`] queue (the default),
 //! * [`rng`] — a seedable deterministic random source plus a Zipf sampler
 //!   (used by workload generators; `rand_distr` is not vendored offline, so
 //!   the Zipf sampler is implemented here),
@@ -15,6 +17,7 @@
 //! is what makes the paper's latency/suspension measurements reproducible
 //! down to the microsecond.
 
+pub mod calendar;
 pub mod hash;
 pub mod queue;
 pub mod rng;
@@ -22,8 +25,9 @@ pub mod slab;
 pub mod stats;
 pub mod time;
 
+pub use calendar::CalendarQueue;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, FutureEventList, SchedulerBackend};
 pub use rng::{DetRng, Zipf};
 pub use slab::{Slab, SlabRef};
 pub use stats::{Histogram, Summary, TimeSeries};

@@ -1,19 +1,48 @@
 //! The future-event list.
 //!
-//! A binary-heap based event queue with a monotonic clock and a stable
-//! tie-break: events scheduled for the same instant pop in the order they
-//! were scheduled. That stability is essential for determinism — two runs
-//! with the same seed must interleave identically.
+//! [`FutureEventList`] is the simulator's scheduler subsystem: it owns the
+//! monotonic clock, the schedule-order sequence numbers and the past-clamp
+//! semantics, and delegates the priority-queue mechanics to one of two
+//! pluggable backends selected by [`SchedulerBackend`]:
+//!
+//! * **`BinaryHeap`** — the classic O(log n) heap, kept as the reference
+//!   implementation and the A/B baseline,
+//! * **`Calendar`** — a hierarchical calendar queue
+//!   ([`CalendarQueue`](crate::calendar::CalendarQueue)) with O(1) amortized
+//!   schedule/pop for the short-horizon events that dominate this simulator.
+//!
+//! Both backends honour the same contract and two lists fed the same
+//! `schedule`/`schedule_at` sequence pop the same `(time, event)` sequence:
+//!
+//! 1. events pop in non-decreasing timestamp order,
+//! 2. events scheduled for the same instant pop in the order they were
+//!    scheduled (FIFO by sequence number) — that stability is essential for
+//!    determinism: two runs with the same seed must interleave identically,
+//! 3. scheduling in the past clamps to "now" — the clock never goes
+//!    backwards.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::calendar::CalendarQueue;
 use crate::time::SimTime;
 
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+/// A timestamped event with its schedule-order sequence number. Ordered by
+/// `(at, seq)` so same-instant events keep FIFO order. Shared by both
+/// scheduler backends; [`FutureEventList`] mints these (the `seq` values
+/// must be unique per list).
+///
+/// Equality and ordering deliberately compare the `(at, seq)` key only and
+/// **ignore the payload**: `seq` is unique per list, so the key identifies
+/// the entry, and `E` need not be `Eq`/`Ord`. Don't use `==` to compare
+/// payloads.
+pub struct Scheduled<E> {
+    /// Absolute firing time.
+    pub at: SimTime,
+    /// Schedule-order sequence number (unique per list).
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -33,37 +62,100 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A deterministic future-event list.
+/// Which priority-queue implementation backs a [`FutureEventList`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerBackend {
+    /// `std::collections::BinaryHeap` — O(log n) schedule/pop. The
+    /// reference backend every rewrite is digest-verified against.
+    BinaryHeap,
+    /// Hierarchical calendar queue — O(1) amortized schedule/pop for
+    /// short-horizon events, with an overflow tier for far-future timers.
+    /// The default.
+    #[default]
+    Calendar,
+}
+
+impl SchedulerBackend {
+    /// Parse a backend name as used by CLI flags (`heap` / `calendar`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "heap" | "binary-heap" | "binaryheap" => Some(Self::BinaryHeap),
+            "calendar" | "calendar-queue" | "cq" => Some(Self::Calendar),
+            _ => None,
+        }
+    }
+
+    /// The flag-style name (`heap` / `calendar`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::BinaryHeap => "heap",
+            Self::Calendar => "calendar",
+        }
+    }
+}
+
+enum Backend<E> {
+    Heap(BinaryHeap<Reverse<Scheduled<E>>>),
+    Calendar(CalendarQueue<E>),
+}
+
+/// A deterministic future-event list with a pluggable backend.
 ///
-/// `E` is the simulation's event type; the queue never inspects it.
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+/// `E` is the simulation's event type; the list never inspects it. The
+/// clock (`now`), the FIFO tie-break sequence and the past-clamp live here,
+/// shared by every backend — a backend only ever sees fully-formed
+/// `(at, seq, event)` triples and must return them in `(at, seq)` order.
+pub struct FutureEventList<E> {
+    backend: Backend<E>,
     now: SimTime,
     seq: u64,
     processed: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+/// The historical name of the future-event list, kept as an alias so call
+/// sites and docs that grew up with `EventQueue` keep reading naturally.
+pub type EventQueue<E> = FutureEventList<E>;
+
+impl<E> Default for FutureEventList<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
-    /// Create an empty queue with the clock at zero.
+impl<E> FutureEventList<E> {
+    /// Create an empty list with the clock at zero, on the default backend.
     pub fn new() -> Self {
         Self::with_capacity(0)
     }
 
-    /// Create an empty queue with pre-allocated heap storage. Sized from
-    /// the world's entity counts at build time, this keeps the future-event
-    /// list from re-allocating during the simulation's warm-up ramp.
+    /// Create an empty list with pre-allocated storage, on the default
+    /// backend. Sized from the world's entity counts at build time, this
+    /// keeps the future-event list from re-allocating during the
+    /// simulation's warm-up ramp.
     pub fn with_capacity(cap: usize) -> Self {
+        Self::with_backend(SchedulerBackend::default(), cap)
+    }
+
+    /// Create an empty list on an explicit backend with pre-allocated
+    /// storage for about `cap` pending events.
+    pub fn with_backend(kind: SchedulerBackend, cap: usize) -> Self {
+        let backend = match kind {
+            SchedulerBackend::BinaryHeap => Backend::Heap(BinaryHeap::with_capacity(cap)),
+            SchedulerBackend::Calendar => Backend::Calendar(CalendarQueue::with_capacity(cap)),
+        };
         Self {
-            heap: BinaryHeap::with_capacity(cap),
+            backend,
             now: 0,
             seq: 0,
             processed: 0,
+        }
+    }
+
+    /// Which backend this list runs on.
+    pub fn backend(&self) -> SchedulerBackend {
+        match &self.backend {
+            Backend::Heap(_) => SchedulerBackend::BinaryHeap,
+            Backend::Calendar(_) => SchedulerBackend::Calendar,
         }
     }
 
@@ -83,13 +175,16 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(h) => h.len(),
+            Backend::Calendar(c) => c.len(),
+        }
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedule `event` to fire `delay` after the current time.
@@ -105,12 +200,32 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(Reverse(Scheduled { at, seq, event })),
+            Backend::Calendar(c) => c.push(Scheduled { at, seq, event }),
+        }
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(s) = self.heap.pop()?;
+        self.pop_at_most(SimTime::MAX)
+    }
+
+    /// Pop the next event only if it is due at or before `t`, advancing
+    /// the clock to its timestamp. Events beyond `t` stay queued. This is
+    /// the dispatch loop's horizon check fused with the pop, so the
+    /// calendar backend positions its scan cursor once per event instead
+    /// of once for the peek and again for the pop.
+    pub fn pop_at_most(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        let s = match &mut self.backend {
+            Backend::Heap(h) => {
+                if h.peek().is_none_or(|Reverse(s)| s.at > t) {
+                    return None;
+                }
+                h.pop().map(|Reverse(s)| s).expect("peeked")
+            }
+            Backend::Calendar(c) => c.pop_at_most(t)?,
+        };
         debug_assert!(s.at >= self.now, "event queue time went backwards");
         self.now = s.at;
         self.processed += 1;
@@ -118,8 +233,15 @@ impl<E> EventQueue<E> {
     }
 
     /// Timestamp of the next pending event without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.at)
+    ///
+    /// Takes `&mut self` because the calendar backend advances its bucket
+    /// scan cursor while peeking (the work is then reused by the next
+    /// `pop`); the logical state is unchanged.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.backend {
+            Backend::Heap(h) => h.peek().map(|Reverse(s)| s.at),
+            Backend::Calendar(c) => c.peek_time(),
+        }
     }
 }
 
@@ -127,57 +249,176 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    const BACKENDS: [SchedulerBackend; 2] =
+        [SchedulerBackend::BinaryHeap, SchedulerBackend::Calendar];
+
+    fn with_each(f: impl Fn(FutureEventList<&'static str>)) {
+        for b in BACKENDS {
+            f(FutureEventList::with_backend(b, 0));
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(30, "c");
-        q.schedule(10, "a");
-        q.schedule(20, "b");
-        assert_eq!(q.pop(), Some((10, "a")));
-        assert_eq!(q.pop(), Some((20, "b")));
-        assert_eq!(q.pop(), Some((30, "c")));
-        assert_eq!(q.pop(), None);
+        with_each(|mut q| {
+            q.schedule(30, "c");
+            q.schedule(10, "a");
+            q.schedule(20, "b");
+            assert_eq!(q.pop(), Some((10, "a")));
+            assert_eq!(q.pop(), Some((20, "b")));
+            assert_eq!(q.pop(), Some((30, "c")));
+            assert_eq!(q.pop(), None);
+        });
     }
 
     #[test]
     fn ties_break_in_schedule_order() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule(5, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((5, i)));
+        for b in BACKENDS {
+            let mut q = FutureEventList::with_backend(b, 0);
+            for i in 0..100 {
+                q.schedule(5, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((5, i)), "backend {b:?}");
+            }
         }
     }
 
     #[test]
     fn clock_is_monotonic_and_past_is_clamped() {
-        let mut q = EventQueue::new();
-        q.schedule(100, "later");
-        assert_eq!(q.pop(), Some((100, "later")));
-        // Scheduling "in the past" clamps to now.
-        q.schedule_at(50, "past");
-        assert_eq!(q.pop(), Some((100, "past")));
-        assert_eq!(q.now(), 100);
+        with_each(|mut q| {
+            q.schedule(100, "later");
+            assert_eq!(q.pop(), Some((100, "later")));
+            // Scheduling "in the past" clamps to now.
+            q.schedule_at(50, "past");
+            assert_eq!(q.pop(), Some((100, "past")));
+            assert_eq!(q.now(), 100);
+        });
     }
 
     #[test]
     fn relative_schedule_uses_current_clock() {
-        let mut q = EventQueue::new();
-        q.schedule(10, 1);
-        q.pop();
-        q.schedule(5, 2);
-        assert_eq!(q.pop(), Some((15, 2)));
+        for b in BACKENDS {
+            let mut q = FutureEventList::with_backend(b, 0);
+            q.schedule(10, 1);
+            q.pop();
+            q.schedule(5, 2);
+            assert_eq!(q.pop(), Some((15, 2)));
+        }
     }
 
     #[test]
     fn counts_processed() {
-        let mut q = EventQueue::new();
-        q.schedule(1, ());
-        q.schedule(2, ());
-        q.pop();
-        q.pop();
-        assert_eq!(q.processed(), 2);
-        assert!(q.is_empty());
+        for b in BACKENDS {
+            let mut q = FutureEventList::with_backend(b, 0);
+            q.schedule(1, ());
+            q.schedule(2, ());
+            q.pop();
+            q.pop();
+            assert_eq!(q.processed(), 2);
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_at_most_respects_horizon() {
+        for b in BACKENDS {
+            let mut q = FutureEventList::with_backend(b, 0);
+            q.schedule(10, "a");
+            q.schedule(30, "b");
+            assert_eq!(q.pop_at_most(5), None);
+            assert_eq!(q.pop_at_most(10), Some((10, "a")));
+            assert_eq!(q.pop_at_most(29), None);
+            assert_eq!(q.len(), 1, "unpopped event must stay queued");
+            assert_eq!(q.pop_at_most(SimTime::MAX), Some((30, "b")));
+        }
+    }
+
+    #[test]
+    fn default_backend_is_calendar() {
+        let q: FutureEventList<()> = FutureEventList::new();
+        assert_eq!(q.backend(), SchedulerBackend::Calendar);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in BACKENDS {
+            assert_eq!(SchedulerBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(SchedulerBackend::parse("nope"), None);
+    }
+
+    #[test]
+    fn peek_matches_pop_interleaved() {
+        for b in BACKENDS {
+            let mut q = FutureEventList::with_backend(b, 0);
+            for i in 0..200u64 {
+                q.schedule((i * 37) % 101, i);
+            }
+            while let Some(t) = q.peek_time() {
+                // Scheduling after a peek, behind the peeked time but at or
+                // after now, must not be lost or reordered — the next peek
+                // must see it.
+                if q.processed() == 50 {
+                    q.schedule_at(q.now(), 10_000);
+                    let t2 = q.peek_time().expect("just scheduled");
+                    assert!(t2 <= t, "backend {b:?}");
+                    let (at, _) = q.pop().expect("peeked");
+                    assert_eq!(at, t2, "backend {b:?}");
+                    continue;
+                }
+                let (at, _) = q.pop().expect("peeked");
+                assert_eq!(at, t, "backend {b:?}");
+            }
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn backends_pop_identical_sequences() {
+        let mut heap = FutureEventList::with_backend(SchedulerBackend::BinaryHeap, 0);
+        let mut cal = FutureEventList::with_backend(SchedulerBackend::Calendar, 0);
+        // A mixed schedule: short-horizon bursts, massed ties, far-future
+        // timers, and interleaved pops (which clamp later schedules).
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..5_000u64 {
+            match step() % 5 {
+                0 => {
+                    let d = step() % 50;
+                    heap.schedule(d, i);
+                    cal.schedule(d, i);
+                }
+                1 => {
+                    heap.schedule(7, i);
+                    cal.schedule(7, i);
+                }
+                2 => {
+                    let at = step() % 1_000_000;
+                    heap.schedule_at(at, i);
+                    cal.schedule_at(at, i);
+                }
+                3 => {
+                    let d = 500_000 + step() % 3_000_000;
+                    heap.schedule(d, i);
+                    cal.schedule(d, i);
+                }
+                _ => {
+                    assert_eq!(heap.pop(), cal.pop(), "diverged at op {i}");
+                }
+            }
+        }
+        loop {
+            let (h, c) = (heap.pop(), cal.pop());
+            assert_eq!(h, c);
+            if h.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -111,6 +111,32 @@ fn arena_slots_are_reclaimed_in_steady_state() {
 }
 
 #[test]
+fn scheduler_backends_produce_identical_digests() {
+    // The future-event list's backend is a pure perf knob: the calendar
+    // queue and the binary heap must pop identical (time, event) sequences
+    // (FIFO seq tie-break included), so a full simulation — including a
+    // mid-run scale, which schedules far-future deploy timers through the
+    // calendar's overflow tier — must digest identically under both.
+    use drrs_repro::sim::SchedulerBackend;
+    let digest = |backend: SchedulerBackend| {
+        let mut cfg = EngineConfig::test();
+        cfg.seed = 0xD225;
+        cfg.scheduler = backend;
+        let (mut w, agg) = tiny_job(cfg, 5_000.0, 256, 2);
+        w.schedule_scale(secs(1), agg, 4);
+        let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
+        sim.run_until(secs(6));
+        sim.world.metrics_digest()
+    };
+    assert_eq!(
+        digest(SchedulerBackend::BinaryHeap),
+        digest(SchedulerBackend::Calendar),
+        "scheduler backends diverged — the calendar queue broke the FIFO \
+         tie-break or dropped/reordered an event"
+    );
+}
+
+#[test]
 fn different_seeds_differ() {
     // Digest sanity: the digest must actually observe the run (two seeds
     // colliding would make the equality tests above vacuous).

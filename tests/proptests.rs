@@ -12,7 +12,7 @@ use drrs_repro::engine::world::tests_support::tiny_job;
 use drrs_repro::engine::world::Sim;
 use drrs_repro::engine::EngineConfig;
 use drrs_repro::sim::time::secs;
-use drrs_repro::sim::{DetRng, Zipf};
+use drrs_repro::sim::{DetRng, FutureEventList, SchedulerBackend, Zipf};
 use proptest::prelude::*;
 
 proptest! {
@@ -142,6 +142,81 @@ proptest! {
         let mut rng = DetRng::seed(seed);
         for _ in 0..100 {
             prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn scheduler_backends_pop_identical_sequences(
+        // Random interleavings of schedule / schedule_at / pop /
+        // peek_time / pop_at_most. Ops are (kind, value) pairs; the value
+        // steers the delay or absolute time, deliberately covering
+        // past-clamped times (kind 2 draws absolute times that often land
+        // before "now"), massed same-timestamp ties (kind 1 always uses
+        // the same short delay), and cursor-advancing peeks and
+        // horizon-limited pops (kinds 4-5 — these walk the calendar's
+        // scan cursor ahead without popping, the precondition for its
+        // pull-back and overflow-migration edge cases).
+        ops in proptest::collection::vec((0u8..6, 0u64..5_000), 1..400),
+        heap_cap in 0usize..300,
+        cal_cap in 0usize..300,
+    ) {
+        let mut heap: FutureEventList<u64> =
+            FutureEventList::with_backend(SchedulerBackend::BinaryHeap, heap_cap);
+        let mut cal: FutureEventList<u64> =
+            FutureEventList::with_backend(SchedulerBackend::Calendar, cal_cap);
+        for (i, &(kind, v)) in ops.iter().enumerate() {
+            let id = i as u64;
+            match kind {
+                0 => {
+                    // Mixed horizons: mostly short, occasionally far future
+                    // (exercises the calendar's overflow tier).
+                    let delay = if v % 7 == 0 { v * 997 } else { v % 800 };
+                    heap.schedule(delay, id);
+                    cal.schedule(delay, id);
+                }
+                1 => {
+                    // Massed ties at one instant: FIFO seq order must hold.
+                    heap.schedule(13, id);
+                    cal.schedule(13, id);
+                }
+                2 => {
+                    // Absolute times, frequently in the past (clamped to
+                    // "now" — both lists must clamp identically).
+                    heap.schedule_at(v, id);
+                    cal.schedule_at(v, id);
+                }
+                3 => {
+                    prop_assert_eq!(heap.pop(), cal.pop(), "pop diverged at op {}", i);
+                    prop_assert_eq!(heap.now(), cal.now());
+                }
+                4 => {
+                    prop_assert_eq!(
+                        heap.peek_time(),
+                        cal.peek_time(),
+                        "peek diverged at op {}",
+                        i
+                    );
+                }
+                _ => {
+                    let horizon = heap.now().saturating_add(v);
+                    prop_assert_eq!(
+                        heap.pop_at_most(horizon),
+                        cal.pop_at_most(horizon),
+                        "pop_at_most diverged at op {}",
+                        i
+                    );
+                    prop_assert_eq!(heap.now(), cal.now());
+                }
+            }
+            prop_assert_eq!(heap.len(), cal.len(), "len diverged at op {}", i);
+        }
+        // Drain: the full remaining sequences must match, element by element.
+        loop {
+            let (h, c) = (heap.pop(), cal.pop());
+            prop_assert_eq!(h, c, "drain diverged");
+            if h.is_none() {
+                break;
+            }
         }
     }
 }
