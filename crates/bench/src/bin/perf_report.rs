@@ -12,17 +12,19 @@
 //! * a peak-RSS proxy (`VmHWM` from `/proc/self/status`, 0 where absent).
 //!
 //! Usage: `perf_report [--out FILE] [--baseline FILE] [--quick]
-//!                     [--backend heap|calendar|both] [--reps N]`
+//!                     [--backend heap|calendar|both]
+//!                     [--dispatch single|batch|both] [--reps N]`
 //!
-//! By default every scenario runs on **both** future-event-list backends,
-//! interleaved (heap, calendar, heap, calendar, …) so machine-load drift
-//! hits both sides equally, and the process **hard-fails** if any scenario's
-//! digest differs between backends — the calendar queue is required to be a
-//! behavior-preserving rewrite, proven by digests, not assumed.
-//! `--reps N` repeats each (scenario, backend) run N times and reports the
-//! median events/sec (used for the recorded `BENCH_PR3.json` A/B).
-//! `--backend` restricts the matrix to one backend (used by CI's
-//! per-backend digest-stability job).
+//! By default every scenario runs on the full {scheduler backend} ×
+//! {dispatch mode} grid — binary heap and calendar queue, single-pop and
+//! batch drain — interleaved (so machine-load drift hits every cell
+//! equally), and the process **hard-fails** if any scenario's digest
+//! differs between any two cells: both the calendar queue and batch
+//! dispatch are required to be behavior-preserving rewrites, proven by
+//! digests, not assumed. `--reps N` repeats each cell N times and reports
+//! the median events/sec (used for the recorded `BENCH_PRn.json` A/Bs).
+//! `--backend` / `--dispatch` restrict the grid to one axis value (used by
+//! CI's per-cell digest-stability job).
 //!
 //! With `--baseline`, the report embeds the baseline's events/sec and the
 //! relative improvement, so `BENCH_PRn.json` carries the before/after pair
@@ -35,9 +37,22 @@ use simcore::time::secs;
 use simcore::SchedulerBackend;
 use streamflow::world::tests_support::tiny_job;
 use streamflow::world::Sim;
-use streamflow::{EngineConfig, NoScale, ScalePlugin};
+use streamflow::{DispatchMode, EngineConfig, NoScale, ScalePlugin};
 
-/// One timed run of one scenario on one backend.
+/// One cell of the measurement grid.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Cell {
+    backend: SchedulerBackend,
+    dispatch: DispatchMode,
+}
+
+impl Cell {
+    fn label(self) -> String {
+        format!("{}/{}", self.backend.name(), self.dispatch.name())
+    }
+}
+
+/// One timed run of one scenario on one cell.
 struct RunSample {
     events: u64,
     wall_secs: f64,
@@ -45,11 +60,11 @@ struct RunSample {
     digest: u64,
 }
 
-/// Aggregated per-scenario result: medians per backend, shared digest.
+/// Aggregated per-scenario result: medians per cell, shared digest.
 struct ScenarioResult {
     name: &'static str,
     events: u64,
-    /// Median wall seconds per backend, keyed like `backends()`.
+    /// Median wall seconds per cell, keyed like the `cells` slice.
     wall_secs: Vec<f64>,
     events_per_sec: Vec<f64>,
     sink_records: u64,
@@ -82,12 +97,8 @@ fn median(xs: &[f64]) -> f64 {
     }
 }
 
-fn time_run(
-    horizon_secs: u64,
-    build: &dyn Fn(SchedulerBackend) -> Sim,
-    backend: SchedulerBackend,
-) -> RunSample {
-    let mut sim = build(backend);
+fn time_run(horizon_secs: u64, build: &dyn Fn(SchedulerBackend) -> Sim, cell: Cell) -> RunSample {
+    let mut sim = build(cell.backend).with_dispatch_mode(cell.dispatch);
     let start = Instant::now();
     sim.run_until(secs(horizon_secs));
     let wall = start.elapsed().as_secs_f64();
@@ -99,43 +110,43 @@ fn time_run(
     }
 }
 
-/// Run one scenario `reps` times per backend, interleaved across backends.
-/// Hard-fails the process on any digest divergence (across backends or
-/// across repetitions — either breaks the determinism contract).
+/// Run one scenario `reps` times per grid cell, interleaved across cells.
+/// Hard-fails the process on any digest divergence (across cells or across
+/// repetitions — either breaks the determinism contract).
 fn run_scenario(
     name: &'static str,
     horizon_secs: u64,
-    backends: &[SchedulerBackend],
+    cells: &[Cell],
     reps: usize,
     build: impl Fn(SchedulerBackend) -> Sim,
 ) -> ScenarioResult {
-    // One warmup run per backend (page in code, warm the allocator).
-    for &b in backends {
-        let mut sim = build(b);
+    // One warmup run per cell (page in code, warm the allocator).
+    for &c in cells {
+        let mut sim = build(c.backend).with_dispatch_mode(c.dispatch);
         sim.run_until(secs(1));
     }
-    let mut samples: Vec<Vec<RunSample>> = backends.iter().map(|_| Vec::new()).collect();
+    let mut samples: Vec<Vec<RunSample>> = cells.iter().map(|_| Vec::new()).collect();
     for _rep in 0..reps {
-        for (i, &b) in backends.iter().enumerate() {
-            samples[i].push(time_run(horizon_secs, &build, b));
+        for (i, &c) in cells.iter().enumerate() {
+            samples[i].push(time_run(horizon_secs, &build, c));
         }
     }
     let reference = &samples[0][0];
-    for (i, &b) in backends.iter().enumerate() {
+    for (i, &c) in cells.iter().enumerate() {
         for s in &samples[i] {
             if s.digest != reference.digest || s.events != reference.events {
                 eprintln!(
                     "perf_report: FATAL: scenario {name} digest mismatch: \
                      {} run gave 0x{:016x} ({} events) vs reference 0x{:016x} ({} events)",
-                    b.name(),
+                    c.label(),
                     s.digest,
                     s.events,
                     reference.digest,
                     reference.events
                 );
                 eprintln!(
-                    "perf_report: the scheduler backends are required to be \
-                     behavior-identical — this is a correctness bug, not noise"
+                    "perf_report: scheduler backends and dispatch modes are required \
+                     to be behavior-identical — this is a correctness bug, not noise"
                 );
                 std::process::exit(1);
             }
@@ -164,7 +175,7 @@ fn run_scenario(
     }
 }
 
-fn scenario_matrix(quick: bool, backends: &[SchedulerBackend], reps: usize) -> Vec<ScenarioResult> {
+fn scenario_matrix(quick: bool, cells: &[Cell], reps: usize) -> Vec<ScenarioResult> {
     let horizon = if quick { 4 } else { 10 };
     let mut cfg = EngineConfig::test();
     cfg.max_key_groups = 128;
@@ -177,34 +188,34 @@ fn scenario_matrix(quick: bool, backends: &[SchedulerBackend], reps: usize) -> V
     };
 
     let steady_cfg = cfg.clone();
-    let steady = run_scenario("steady_50k", horizon, backends, reps, |b| {
+    let steady = run_scenario("steady_50k", horizon, cells, reps, |b| {
         let (w, _) = tiny_job(with_backend(&steady_cfg, b), 50_000.0, 4_096, 4);
         Sim::new(w, Box::new(NoScale))
     });
 
     let drrs_cfg = cfg.clone();
-    let drrs = run_scenario("drrs_rescale_4_to_6", horizon, backends, reps, |b| {
+    let drrs = run_scenario("drrs_rescale_4_to_6", horizon, cells, reps, |b| {
         let (mut w, agg) = tiny_job(with_backend(&drrs_cfg, b), 50_000.0, 4_096, 4);
         w.schedule_scale(secs(2), agg, 6);
         Sim::new(w, drrs_plugin())
     });
 
     let mega_cfg = cfg.clone();
-    let megaphone = run_scenario("megaphone_rescale_4_to_6", horizon, backends, reps, |b| {
+    let megaphone = run_scenario("megaphone_rescale_4_to_6", horizon, cells, reps, |b| {
         let (mut w, agg) = tiny_job(with_backend(&mega_cfg, b), 50_000.0, 4_096, 4);
         w.schedule_scale(secs(2), agg, 6);
         Sim::new(w, megaphone_plugin())
     });
 
     let scalein_cfg = cfg.clone();
-    let scale_in = run_scenario("drrs_scale_in_6_to_3", horizon, backends, reps, |b| {
+    let scale_in = run_scenario("drrs_scale_in_6_to_3", horizon, cells, reps, |b| {
         let (mut w, agg) = tiny_job(with_backend(&scalein_cfg, b), 30_000.0, 4_096, 6);
         w.schedule_scale(secs(2), agg, 3);
         Sim::new(w, drrs_plugin())
     });
 
     let overload_cfg = cfg;
-    let overload = run_scenario("overload_backpressure", horizon, backends, reps, |b| {
+    let overload = run_scenario("overload_backpressure", horizon, cells, reps, |b| {
         let (w, _) = tiny_job(with_backend(&overload_cfg, b), 120_000.0, 1_024, 2);
         Sim::new(w, Box::new(NoScale))
     });
@@ -292,34 +303,68 @@ fn main() {
             }
         },
     };
-    // The report's headline numbers come from the engine's default backend
-    // (the calendar queue) when it's in the mix, else the single backend.
-    let headline = backends
+    let dispatch_arg = flag("--dispatch").and_then(|i| args.get(i + 1).cloned());
+    let dispatches: Vec<DispatchMode> = match dispatch_arg.as_deref() {
+        None | Some("both") => vec![DispatchMode::SinglePop, DispatchMode::Batch],
+        Some(s) => match DispatchMode::parse(s) {
+            Some(m) => vec![m],
+            None => {
+                eprintln!("perf_report: unknown --dispatch {s} (want single|batch|both)");
+                std::process::exit(2);
+            }
+        },
+    };
+    // The grid, backend-major so repetitions interleave across backends
+    // first (the historically noisier axis).
+    let cells: Vec<Cell> = backends
         .iter()
-        .position(|&b| b == SchedulerBackend::default())
+        .flat_map(|&backend| {
+            dispatches
+                .iter()
+                .map(move |&dispatch| Cell { backend, dispatch })
+        })
+        .collect();
+    // The report's headline numbers come from the engine's defaults
+    // (calendar queue, batch dispatch) when they're in the grid; on a
+    // restricted grid, from the cell closest to the defaults — a
+    // `--backend heap` run must still headline batch dispatch (and emit
+    // the batch-vs-single A/B), not silently fall back to the first cell.
+    let find = |b: SchedulerBackend, d: DispatchMode| {
+        cells.iter().position(|c| c.backend == b && c.dispatch == d)
+    };
+    let headline = find(SchedulerBackend::default(), DispatchMode::default())
+        .or_else(|| {
+            cells
+                .iter()
+                .position(|c| c.dispatch == DispatchMode::default())
+        })
+        .or_else(|| {
+            cells
+                .iter()
+                .position(|c| c.backend == SchedulerBackend::default())
+        })
         .unwrap_or(0);
-    let ab = backends.len() == 2;
+    // Reference cells for the two A/B axes, when present.
+    let heap_ref = find(SchedulerBackend::BinaryHeap, cells[headline].dispatch);
+    let single_ref = find(cells[headline].backend, DispatchMode::SinglePop)
+        .filter(|_| cells[headline].dispatch == DispatchMode::Batch);
 
     eprintln!(
-        "perf_report: running scenario matrix (quick={quick}, reps={reps}, backends={})...",
-        backends
+        "perf_report: running scenario matrix (quick={quick}, reps={reps}, cells={})...",
+        cells
             .iter()
-            .map(|b| b.name())
+            .map(|c| c.label())
             .collect::<Vec<_>>()
             .join(",")
     );
-    let results = scenario_matrix(quick, &backends, reps);
+    let results = scenario_matrix(quick, &cells, reps);
 
     let total_events: u64 = results.iter().map(|r| r.events).sum();
-    let total_wall: f64 = results.iter().map(|r| r.wall_secs[headline]).sum();
-    let aggregate = total_events as f64 / total_wall.max(1e-9);
-    // Aggregate for the non-headline (reference) backend in A/B mode.
-    let heap_idx = backends
-        .iter()
-        .position(|&b| b == SchedulerBackend::BinaryHeap)
-        .unwrap_or(0);
-    let total_wall_heap: f64 = results.iter().map(|r| r.wall_secs[heap_idx]).sum();
-    let aggregate_heap = total_events as f64 / total_wall_heap.max(1e-9);
+    let aggregate_for = |cell_idx: usize| {
+        let wall: f64 = results.iter().map(|r| r.wall_secs[cell_idx]).sum();
+        total_events as f64 / wall.max(1e-9)
+    };
+    let aggregate = aggregate_for(headline);
 
     let baseline = baseline_path.as_deref().and_then(|p| {
         let Ok(text) = std::fs::read_to_string(p) else {
@@ -339,25 +384,55 @@ fn main() {
     let _ = writeln!(json, "  \"report\": \"drrs-repro perf trajectory\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"reps\": {reps},");
-    let _ = writeln!(json, "  \"scheduler\": \"{}\",", backends[headline].name());
+    let _ = writeln!(
+        json,
+        "  \"scheduler\": \"{}\",",
+        cells[headline].backend.name()
+    );
+    let _ = writeln!(
+        json,
+        "  \"dispatch\": \"{}\",",
+        cells[headline].dispatch.name()
+    );
     let _ = writeln!(json, "  \"aggregate_events_per_sec\": {aggregate:.0},");
-    if ab {
-        let gain = aggregate / aggregate_heap.max(1e-9) - 1.0;
-        let _ = writeln!(
-            json,
-            "  \"aggregate_events_per_sec_heap\": {aggregate_heap:.0},"
-        );
+    if let Some(h) = heap_ref.filter(|&h| h != headline) {
+        let agg_heap = aggregate_for(h);
+        let gain = aggregate / agg_heap.max(1e-9) - 1.0;
+        let _ = writeln!(json, "  \"aggregate_events_per_sec_heap\": {agg_heap:.0},");
         let _ = writeln!(json, "  \"calendar_vs_heap_improvement\": {gain:.4},");
-        let _ = writeln!(json, "  \"cross_backend_digests_match\": true,");
         eprintln!(
-            "perf_report: scheduler A/B: calendar {:.0} ev/s vs heap {:.0} ev/s ({:+.1}%), digests identical",
+            "perf_report: scheduler A/B ({} dispatch): calendar {:.0} ev/s vs heap {:.0} ev/s ({:+.1}%), digests identical",
+            cells[headline].dispatch.name(),
             aggregate,
-            aggregate_heap,
+            agg_heap,
             gain * 100.0
         );
     }
+    if let Some(s) = single_ref {
+        let agg_single = aggregate_for(s);
+        let gain = aggregate / agg_single.max(1e-9) - 1.0;
+        let _ = writeln!(
+            json,
+            "  \"aggregate_events_per_sec_single_pop\": {agg_single:.0},"
+        );
+        let _ = writeln!(json, "  \"batch_dispatch_improvement\": {gain:.4},");
+        eprintln!(
+            "perf_report: dispatch A/B ({} backend): batch {:.0} ev/s vs single-pop {:.0} ev/s ({:+.1}%), digests identical",
+            cells[headline].backend.name(),
+            aggregate,
+            agg_single,
+            gain * 100.0
+        );
+    }
+    if cells.len() > 1 {
+        let _ = writeln!(json, "  \"cross_cell_digests_match\": true,");
+    }
     let _ = writeln!(json, "  \"total_simulated_events\": {total_events},");
-    let _ = writeln!(json, "  \"total_wall_secs\": {total_wall:.3},");
+    let _ = writeln!(
+        json,
+        "  \"total_wall_secs\": {:.3},",
+        results.iter().map(|r| r.wall_secs[headline]).sum::<f64>()
+    );
     let _ = writeln!(json, "  \"peak_rss_kb\": {},", peak_rss_kb());
     if let Some(b) = &baseline {
         let improvement = if b.total_events_per_sec > 0.0 {
@@ -395,31 +470,30 @@ fn main() {
         let _ = writeln!(json, "      \"events\": {},", r.events);
         let _ = writeln!(json, "      \"wall_secs\": {:.4},", r.wall_secs[headline]);
         let _ = writeln!(json, "      \"events_per_sec\": {eps:.0},");
-        if ab {
-            let heap_eps = r.events_per_sec[heap_idx];
+        if let Some(h) = heap_ref.filter(|&h| h != headline) {
+            let heap_eps = r.events_per_sec[h];
             let gain = eps / heap_eps.max(1e-9) - 1.0;
             let _ = writeln!(json, "      \"events_per_sec_heap\": {heap_eps:.0},");
             let _ = writeln!(json, "      \"calendar_vs_heap\": {gain:.4},");
         }
+        if let Some(s) = single_ref {
+            let single_eps = r.events_per_sec[s];
+            let gain = eps / single_eps.max(1e-9) - 1.0;
+            let _ = writeln!(
+                json,
+                "      \"events_per_sec_single_pop\": {single_eps:.0},"
+            );
+            let _ = writeln!(json, "      \"batch_vs_single\": {gain:.4},");
+        }
         let _ = writeln!(json, "      \"sink_records\": {},", r.sink_records);
         let _ = writeln!(json, "      \"digest\": \"0x{:016x}\"", r.digest);
         let _ = writeln!(json, "    }}{comma}");
-        if ab {
-            eprintln!(
-                "  {:<26} {:>12} events  cal {:>12.0} ev/s  heap {:>12.0} ev/s ({:+5.1}%)  digest 0x{:016x}",
-                r.name,
-                r.events,
-                eps,
-                r.events_per_sec[heap_idx],
-                (eps / r.events_per_sec[heap_idx].max(1e-9) - 1.0) * 100.0,
-                r.digest
-            );
-        } else {
-            eprintln!(
-                "  {:<26} {:>12} events  {:>8.3}s  {:>12.0} ev/s  digest 0x{:016x}",
-                r.name, r.events, r.wall_secs[headline], eps, r.digest
-            );
+        let mut line = format!("  {:<26} {:>12} events ", r.name, r.events);
+        for (ci, c) in cells.iter().enumerate() {
+            let _ = write!(line, " {} {:>11.0} ev/s ", c.label(), r.events_per_sec[ci]);
         }
+        let _ = write!(line, " digest 0x{:016x}", r.digest);
+        eprintln!("{line}");
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");

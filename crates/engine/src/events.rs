@@ -65,6 +65,18 @@ pub enum ControlMsg {
 }
 
 /// Every event the simulator can dispatch.
+///
+/// # Size discipline
+///
+/// `Ev` is what every scheduler-backend bucket move, heap sift and batch
+/// buffer copies, millions of times per run — its size is a hot-path
+/// constant. The dominant traffic (`Deliver`, `ProcDone`, `SourceTick`,
+/// `Wake`) carries at most 16 bytes inline; the rare, large control-plane
+/// payloads (`PriorityMsg` with its boxed state chunks and re-routed
+/// record vectors, `ControlMsg` with its embedded `ScalePlan`) are boxed
+/// so they can't inflate the enum. `events::ev_fits_in_16_bytes` pins
+/// `size_of::<Ev>() <= 16`; use [`Ev::priority`] / [`Ev::control`] to
+/// construct the boxed variants.
 #[derive(Debug)]
 pub enum Ev {
     /// Rate-controlled generation tick for a source instance.
@@ -88,12 +100,14 @@ pub enum Ev {
         /// let uncredited barriers steal credits from in-flight data.
         credited: bool,
     },
-    /// An out-of-band message arriving at an instance.
+    /// An out-of-band message arriving at an instance. Boxed: priority
+    /// messages are control-plane-rare and their payloads (state chunks,
+    /// re-routed record vectors) are far larger than the hot variants.
     Priority {
         /// Destination instance.
         to: InstId,
         /// The message.
-        msg: PriorityMsg,
+        msg: Box<PriorityMsg>,
     },
     /// An instance finished its current processing quantum.
     ProcDone {
@@ -107,8 +121,9 @@ pub enum Ev {
         /// Sending instance.
         from: InstId,
     },
-    /// Control-plane command.
-    Control(ControlMsg),
+    /// Control-plane command. Boxed: `StartScale` embeds a whole
+    /// `ScalePlan`, and control events are a vanishing fraction of traffic.
+    Control(Box<ControlMsg>),
     /// Periodic metric sampling.
     Sample,
     /// Re-examine an instance (generic wake-up; used after unblocking).
@@ -116,4 +131,40 @@ pub enum Ev {
         /// The instance to re-examine.
         inst: InstId,
     },
+}
+
+impl Ev {
+    /// A priority-message event (boxes the message).
+    #[inline]
+    pub fn priority(to: InstId, msg: PriorityMsg) -> Self {
+        Ev::Priority {
+            to,
+            msg: Box::new(msg),
+        }
+    }
+
+    /// A control-plane event (boxes the command).
+    #[inline]
+    pub fn control(cmd: ControlMsg) -> Self {
+        Ev::Control(Box::new(cmd))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ev_fits_in_16_bytes() {
+        // The scheduler moves `Ev` through every bucket append, heap sift
+        // and batch-drain copy; the rare large control payloads are boxed
+        // precisely so the enum stays at the size of its hot `Deliver`
+        // variant. A regression here is a silent tax on the whole
+        // simulator — treat it like a perf bug, not a style nit.
+        assert!(
+            std::mem::size_of::<Ev>() <= 16,
+            "Ev grew to {} bytes — box the offending variant",
+            std::mem::size_of::<Ev>()
+        );
+    }
 }

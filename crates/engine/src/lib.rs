@@ -65,4 +65,4 @@ pub use ids::{InstId, Key, KeyGroup, OpId, SubscaleId};
 pub use record::{Record, ScaleSignal, SignalKind, StreamElement};
 pub use scaling::{NoScale, ScalePlan, ScalePlugin, Selection};
 pub use simcore::SchedulerBackend;
-pub use world::{Sim, World};
+pub use world::{DispatchMode, Sim, World};

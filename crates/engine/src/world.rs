@@ -226,7 +226,7 @@ impl World {
         }
         q.schedule(cfg.sample_interval, Ev::Sample);
         if let Some(iv) = cfg.checkpoint_interval {
-            q.schedule(iv, Ev::Control(ControlMsg::CheckpointTick));
+            q.schedule(iv, Ev::control(ControlMsg::CheckpointTick));
         }
 
         let n = insts.len();
@@ -279,7 +279,7 @@ impl World {
 
     /// Schedule a plugin timer.
     pub fn schedule_plugin(&mut self, delay: SimTime, tag: u64) {
-        self.q.schedule(delay, Ev::Control(ControlMsg::Plugin(tag)));
+        self.q.schedule(delay, Ev::control(ControlMsg::Plugin(tag)));
     }
 
     /// Schedule a generic instance wake-up.
@@ -309,7 +309,7 @@ impl World {
         let old = self.ops[op.0 as usize].instances.len();
         self.q.schedule_at(
             at,
-            Ev::Control(ControlMsg::StartScale(ScalePlan {
+            Ev::control(ControlMsg::StartScale(ScalePlan {
                 op,
                 old_parallelism: old,
                 new_parallelism,
@@ -368,7 +368,7 @@ impl World {
     /// Send a priority message out-of-band to an instance.
     pub fn send_priority(&mut self, to: InstId, msg: PriorityMsg) {
         let lat = self.cfg.ctrl_latency;
-        self.q.schedule(lat, Ev::Priority { to, msg });
+        self.q.schedule(lat, Ev::priority(to, msg));
     }
 
     /// Move backlog elements onto the wire while credit allows, and unblock
@@ -830,10 +830,10 @@ impl World {
                 let to = c.to;
                 self.try_start(plugin, to);
             }
-            Ev::Priority { to, msg } => self.on_priority(plugin, to, msg),
+            Ev::Priority { to, msg } => self.on_priority(plugin, to, *msg),
             Ev::ProcDone { inst, gen } => self.on_proc_done(plugin, inst, gen),
             Ev::LinkSendDone { from } => self.on_link_done(plugin, from),
-            Ev::Control(cmd) => self.on_control(plugin, cmd),
+            Ev::Control(cmd) => self.on_control(plugin, *cmd),
             Ev::Sample => self.on_sample(),
             Ev::Wake { inst } => self.try_start(plugin, inst),
         }
@@ -871,14 +871,14 @@ impl World {
         let lat = self.cfg.net_latency;
         self.q.schedule(
             lat,
-            Ev::Priority {
+            Ev::priority(
                 to,
-                msg: PriorityMsg::Chunk {
+                PriorityMsg::Chunk {
                     unit: Box::new(unit),
                     subscale: ss,
                     from,
                 },
-            },
+            ),
         );
         self.link_start(from);
         let _ = plugin;
@@ -901,7 +901,7 @@ impl World {
                 if self.scale.in_progress {
                     self.q.schedule(
                         MICROS_PER_SEC_DEFER,
-                        Ev::Control(ControlMsg::CheckpointTick),
+                        Ev::control(ControlMsg::CheckpointTick),
                     );
                     return;
                 }
@@ -921,7 +921,7 @@ impl World {
                     }
                 }
                 if let Some(iv) = self.cfg.checkpoint_interval {
-                    self.q.schedule(iv, Ev::Control(ControlMsg::CheckpointTick));
+                    self.q.schedule(iv, Ev::control(ControlMsg::CheckpointTick));
                 }
             }
         }
@@ -935,7 +935,7 @@ impl World {
         if self.scale.in_progress {
             self.q.schedule(
                 MICROS_PER_SEC_DEFER / 2,
-                Ev::Control(ControlMsg::StartScale(plan)),
+                Ev::control(ControlMsg::StartScale(plan)),
             );
             return;
         }
@@ -1069,7 +1069,7 @@ impl World {
         }
         let delay = self.cfg.deploy_delay;
         self.q
-            .schedule(delay, Ev::Control(ControlMsg::DeployDone { epoch }));
+            .schedule(delay, Ev::control(ControlMsg::DeployDone { epoch }));
     }
 
     fn on_sample(&mut self) {
@@ -1611,25 +1611,118 @@ impl World {
     }
 }
 
+/// How the driver pulls events off the future-event list.
+///
+/// The two modes are required to be **behavior-identical** — same event
+/// order, same clock at every dispatch, same digests ([`perf_report`
+/// A/Bs them and hard-fails on divergence]). Batch is a pure perf knob:
+/// same-instant runs are drained with one cursor walk and one clock
+/// update instead of one per event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// One `pop_at_most` per dispatched event — the reference loop every
+    /// batching change is digest-verified against.
+    SinglePop,
+    /// Drain each same-instant run in one `pop_run_at_most` call and
+    /// dispatch it from the driver's reused scratch buffer. The default.
+    #[default]
+    Batch,
+}
+
+impl DispatchMode {
+    /// Parse a mode name as used by CLI flags (`single` / `batch`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "single" | "single-pop" | "singlepop" => Some(Self::SinglePop),
+            "batch" => Some(Self::Batch),
+            _ => None,
+        }
+    }
+
+    /// The flag-style name (`single` / `batch`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SinglePop => "single",
+            Self::Batch => "batch",
+        }
+    }
+}
+
 /// The simulation driver: a world plus the rescaling mechanism under test.
 pub struct Sim {
     /// The world.
     pub world: World,
     /// The mechanism.
     pub plugin: Box<dyn ScalePlugin>,
+    /// Single-pop vs batch dispatch (see [`DispatchMode`]).
+    mode: DispatchMode,
+    /// Scratch buffer for batch dispatch. Owned by the driver — the
+    /// future-event list only ever borrows it per `pop_run_at_most` call —
+    /// and reused across runs, so the dispatch loop allocates nothing in
+    /// steady state (the buffer grows to the largest same-instant run and
+    /// stays there).
+    batch: Vec<Ev>,
 }
 
 impl Sim {
     /// Pair a world with a mechanism.
     pub fn new(world: World, plugin: Box<dyn ScalePlugin>) -> Self {
-        Self { world, plugin }
+        Self {
+            world,
+            plugin,
+            mode: DispatchMode::default(),
+            batch: Vec::new(),
+        }
     }
 
-    /// Run until simulated time `t`.
+    /// Select the dispatch mode (builder-style; default [`DispatchMode::Batch`]).
+    pub fn with_dispatch_mode(mut self, mode: DispatchMode) -> Self {
+        self.set_dispatch_mode(mode);
+        self
+    }
+
+    /// Select the dispatch mode.
+    pub fn set_dispatch_mode(&mut self, mode: DispatchMode) {
+        self.mode = mode;
+    }
+
+    /// The current dispatch mode.
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// Run until simulated time `t`. On return the clock is *at* `t`: the
+    /// simulation has observed that nothing else happens in `(last event,
+    /// t]`, so anything the caller schedules relative to `now()` afterwards
+    /// is relative to the horizon, not to whenever the queue happened to
+    /// drain (scheduling against a stale clock used to land in the past
+    /// and get past-clamped).
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some((_, ev)) = self.world.q.pop_at_most(t) {
-            self.world.dispatch(self.plugin.as_mut(), ev);
+        // Hoisted out of the dispatch loop: one plugin re-borrow per run
+        // (not per event), and — in batch mode — one clock update and one
+        // scheduler cursor walk per same-instant run.
+        let plugin = &mut *self.plugin;
+        match self.mode {
+            DispatchMode::SinglePop => {
+                while let Some((_, ev)) = self.world.q.pop_at_most(t) {
+                    self.world.dispatch(plugin, ev);
+                }
+            }
+            DispatchMode::Batch => {
+                let buf = &mut self.batch;
+                // Events scheduled while a run is being dispatched (at the
+                // run's own instant or later) are never part of the drained
+                // buffer: they pop as a later run, exactly where single-pop
+                // dispatch would put them, because their sequence numbers
+                // are larger than everything already drained.
+                while self.world.q.pop_run_at_most(t, buf).is_some() {
+                    for ev in buf.drain(..) {
+                        self.world.dispatch(plugin, ev);
+                    }
+                }
+            }
         }
+        self.world.q.advance_clock_to(t);
     }
 }
 
@@ -1984,5 +2077,60 @@ mod tests {
         for m in &plan_moves {
             assert!(!sim.world.insts[m.from.0 as usize].state.holds_group(m.kg));
         }
+    }
+
+    #[test]
+    fn run_until_leaves_the_clock_at_the_horizon() {
+        // Regression: `run_until(t)` used to leave the clock at the last
+        // dispatched event. With a 10 ms source-tick granularity, an
+        // off-grid horizon almost always falls in an event gap, so
+        // `now()` came back short of `t` — and anything the caller then
+        // scheduled relative to `now()` (a follow-up scale, a plugin
+        // timer) landed before the horizon it had just run to, or in the
+        // past outright once the queue had drained. The driver now
+        // advances the clock to the exhausted horizon.
+        let horizon = secs(1) + 4_321; // deliberately off every event grid
+        let (w, agg) = tiny_job(EngineConfig::test(), 2_000.0, 64, 2);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(horizon);
+        assert_eq!(
+            sim.world.now(),
+            horizon,
+            "run_until must advance the clock to the horizon it exhausted"
+        );
+        // The original symptom: relative scheduling after the call is now
+        // anchored at the horizon.
+        let delay = 2_500;
+        sim.world.schedule_scale(sim.world.now() + delay, agg, 3);
+        sim.run_until(horizon + delay);
+        assert!(
+            sim.world.scale.in_progress || sim.world.scale.epoch > 0,
+            "scale scheduled relative to now() after run_until never fired"
+        );
+        // Repeated runs to the same horizon are idempotent on the clock.
+        sim.run_until(horizon + delay);
+        assert_eq!(sim.world.now(), horizon + delay);
+    }
+
+    #[test]
+    fn batch_and_single_dispatch_produce_identical_digests() {
+        // The dispatch mode is a pure perf knob: draining a same-instant
+        // run in one scheduler call must not change the event
+        // interleaving. A mid-run scale keeps the control plane (boxed
+        // priority/control events) in the mix.
+        let digest = |mode: DispatchMode| {
+            let mut cfg = EngineConfig::test();
+            cfg.seed = 0xBA7C;
+            let (mut w, agg) = tiny_job(cfg, 8_000.0, 256, 2);
+            w.schedule_scale(secs(1), agg, 4);
+            let mut sim = Sim::new(w, Box::new(NoScale)).with_dispatch_mode(mode);
+            sim.run_until(secs(4));
+            (sim.world.metrics_digest(), sim.world.q.processed())
+        };
+        assert_eq!(
+            digest(DispatchMode::SinglePop),
+            digest(DispatchMode::Batch),
+            "batch dispatch changed the event interleaving"
+        );
     }
 }

@@ -282,6 +282,45 @@ impl<E> CalendarQueue<E> {
         let s = self.buckets[b].q.pop_front().expect("positioned");
         self.in_buckets -= 1;
         self.ops_since_resize += 1;
+        self.maybe_decay_peak();
+        Some(s)
+    }
+
+    /// Drain the whole run of events due exactly at the earliest pending
+    /// instant (if that instant is ≤ `t`) into `out`, appending payloads in
+    /// `(at, seq)` order, and return `(instant, count)`. The batch
+    /// counterpart of [`pop_at_most`](Self::pop_at_most): the cursor is
+    /// positioned once (overflow migration included) and the run is the
+    /// sorted prefix of the current day's bucket — same-instant events can
+    /// never live anywhere else, because an instant maps to exactly one day
+    /// and [`position_cursor`](Self::position_cursor) has already migrated
+    /// every overflow event whose day entered the window, sorted the
+    /// bucket, and proven its front the global minimum.
+    pub fn pop_run_at_most(&mut self, t: SimTime, out: &mut Vec<E>) -> Option<(SimTime, usize)> {
+        let at = self.position_cursor()?;
+        if at > t {
+            return None;
+        }
+        let b = (self.cur_day & self.mask) as usize;
+        let bucket = &mut self.buckets[b];
+        let mut n = 0usize;
+        while bucket.q.front().is_some_and(|e| e.at == at) {
+            out.push(bucket.q.pop_front().expect("checked front").event);
+            n += 1;
+        }
+        debug_assert!(n > 0, "positioned cursor must yield at least one event");
+        self.in_buckets -= n;
+        self.ops_since_resize += n as u64;
+        self.maybe_decay_peak();
+        Some((at, n))
+    }
+
+    /// Close the peak-observation window if it is over, and shrink if the
+    /// whole window stayed sparse. Called after every pop (single or
+    /// batch); pushes don't need it because a growing population can't
+    /// satisfy the shrink rule.
+    #[inline]
+    fn maybe_decay_peak(&mut self) {
         if self.ops_since_resize >= self.peak_reset_at {
             // Judge shrinking on the completed window's peak, not the
             // instantaneous length: a bursty population (500 pending at a
@@ -298,7 +337,6 @@ impl<E> CalendarQueue<E> {
                 self.resize(self.nbuckets() / 2, false);
             }
         }
-        Some(s)
     }
 
     /// Timestamp of the earliest pending event. Advances the scan cursor
@@ -709,6 +747,143 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_differential_fuzz_with_batch_drains_and_dry_jumps() {
+        // Differential check against a sorted-Vec reference over an op mix
+        // weighted toward the edge cases that have historically broken the
+        // geometry: dry-jump probes (horizon pops/batch-pops that return
+        // nothing but advance the cursor and migrate overflow), pushes at
+        // earlier-but-still-future instants right after a dry jump, massed
+        // same-instant runs, and enough population swing to cross grow and
+        // shrink resizes repeatedly.
+        for seed in 1u64..=8 {
+            let mut q = CalendarQueue::with_capacity(0);
+            let mut reference: Vec<(SimTime, u64)> = Vec::new();
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut step = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let mut now: SimTime = 0;
+            let mut seq = 0u64;
+            let mut batch: Vec<u64> = Vec::new();
+            for _ in 0..60_000u64 {
+                match step() % 10 {
+                    0 | 1 => {
+                        // Single pop.
+                        if let Some(s) = q.pop() {
+                            reference.sort_unstable();
+                            assert_eq!((s.at, s.seq), reference.remove(0), "seed {seed}");
+                            now = s.at;
+                        }
+                    }
+                    2 | 3 => {
+                        // Batch drain of the earliest run, full horizon.
+                        match q.pop_run_at_most(SimTime::MAX, &mut batch) {
+                            Some((at, n)) => {
+                                reference.sort_unstable();
+                                assert_eq!(n, batch.len());
+                                assert!(n >= 1);
+                                let run: Vec<(SimTime, u64)> = reference.drain(..n).collect();
+                                assert!(
+                                    run.iter().all(|&(t, _)| t == at),
+                                    "seed {seed}: drained run crosses instants: {run:?}"
+                                );
+                                assert_eq!(
+                                    batch,
+                                    run.iter().map(|&(_, s)| s).collect::<Vec<_>>(),
+                                    "seed {seed}: run out of FIFO order"
+                                );
+                                assert!(
+                                    reference.first().map(|&(t, _)| t) != Some(at),
+                                    "seed {seed}: drain left same-instant events behind"
+                                );
+                                now = at;
+                            }
+                            None => assert!(reference.is_empty(), "seed {seed}"),
+                        }
+                        batch.clear();
+                    }
+                    4 => {
+                        // Dry-or-not horizon probe (single).
+                        let horizon = now + step() % 3_000;
+                        reference.sort_unstable();
+                        match q.pop_at_most(horizon) {
+                            Some(s) => {
+                                assert!(s.at <= horizon);
+                                assert_eq!((s.at, s.seq), reference.remove(0));
+                                now = s.at;
+                            }
+                            None => {
+                                assert!(
+                                    reference.first().is_none_or(|&(t, _)| t > horizon),
+                                    "seed {seed}: dry probe hid a due event"
+                                );
+                            }
+                        }
+                    }
+                    5 => {
+                        // Dry-or-not horizon probe (batch).
+                        let horizon = now + step() % 3_000;
+                        reference.sort_unstable();
+                        match q.pop_run_at_most(horizon, &mut batch) {
+                            Some((at, n)) => {
+                                assert!(at <= horizon);
+                                let run: Vec<(SimTime, u64)> = reference.drain(..n).collect();
+                                assert!(run.iter().all(|&(t, _)| t == at));
+                                assert_eq!(batch, run.iter().map(|&(_, s)| s).collect::<Vec<_>>());
+                                now = at;
+                            }
+                            None => {
+                                assert!(
+                                    reference.first().is_none_or(|&(t, _)| t > horizon),
+                                    "seed {seed}: dry batch probe hid a due event"
+                                );
+                            }
+                        }
+                        batch.clear();
+                    }
+                    6 => {
+                        // Push at an earlier-but-still-future instant: lands
+                        // behind wherever the last dry jump left the cursor.
+                        let at = now + 1 + step() % 64;
+                        push(&mut q, at, seq);
+                        reference.push((at, seq));
+                        seq += 1;
+                    }
+                    7 => {
+                        // Massed tie burst at one future instant.
+                        let at = now + step() % 2_000;
+                        let burst = 1 + step() % 40;
+                        for _ in 0..burst {
+                            push(&mut q, at, seq);
+                            reference.push((at, seq));
+                            seq += 1;
+                        }
+                    }
+                    _ => {
+                        // Mixed-horizon pushes (short / mid / overflow-far).
+                        let at = now
+                            + match step() % 10 {
+                                0..=6 => step() % 500,
+                                7 | 8 => step() % 30_000,
+                                _ => 600_000 + step() % 5_000_000,
+                            };
+                        push(&mut q, at, seq);
+                        reference.push((at, seq));
+                        seq += 1;
+                    }
+                }
+                assert_eq!(q.len(), reference.len(), "seed {seed}: length diverged");
+            }
+            reference.sort_unstable();
+            let drained = drain(&mut q);
+            assert_eq!(drained, reference, "seed {seed}: final drain diverged");
+        }
+    }
+
+    #[test]
     fn timestamps_near_u64_max_terminate() {
         // Regression: day_end computed with checked_shl wrapped for days
         // near u64::MAX (shl only guards the shift amount, not value
@@ -720,6 +895,78 @@ mod tests {
         assert_eq!(
             drain(&mut q),
             vec![(100, 2), (SimTime::MAX - 3, 0), (SimTime::MAX, 1)]
+        );
+    }
+
+    #[test]
+    fn resize_mid_window_reanchors_the_peak_decay_point() {
+        // The shrink rule works in observation windows of 16 × nbuckets
+        // ops, anchored at the last resize: `ops_since_resize` restarts at
+        // 0 and `peak_reset_at` must be re-derived from the *new* bucket
+        // count. A resize landing mid-window must not leave the old
+        // window's anchor in place (decay firing at a stale op count —
+        // too early for a grow, or pinned beyond reach so a collapsed
+        // population never shrinks). This drives a grow mid-window and
+        // pins the exact op count of the next decay.
+        let mut q: CalendarQueue<u64> = CalendarQueue::with_capacity(0);
+        assert_eq!(q.nbuckets(), MIN_BUCKETS);
+        assert_eq!(q.peak_reset_at, 16 * MIN_BUCKETS as u64);
+        // Burn ~a third of the first observation window without resizing:
+        // push/pop pairs at a tiny population.
+        let mut seq = 0u64;
+        let mut at = 100u64;
+        while q.ops_since_resize < (16 * MIN_BUCKETS as u64) / 3 {
+            push(&mut q, at, seq);
+            seq += 1;
+            at = q.pop().expect("just pushed").at + 3;
+        }
+        assert_eq!(q.nbuckets(), MIN_BUCKETS, "no resize yet");
+        // Now force a grow mid-window: distinct instants so the population
+        // exceeds 2 × nbuckets.
+        while q.nbuckets() == MIN_BUCKETS {
+            push(&mut q, at + seq * 5, seq);
+            seq += 1;
+        }
+        let nb = q.nbuckets();
+        assert_eq!(nb, 2 * MIN_BUCKETS, "exactly one grow");
+        // The decay window must be re-anchored at the resize: a full
+        // 16 × new_nbuckets ops measured from ops_since_resize == 0, not
+        // the stale pre-resize anchor.
+        assert_eq!(q.ops_since_resize, 0, "resize re-anchors the op counter");
+        assert_eq!(
+            q.peak_reset_at,
+            16 * nb as u64,
+            "resize must re-anchor the peak-decay point to the new window"
+        );
+        // And the decay really fires exactly when the re-anchored window
+        // closes: drain to a tiny population (peak_len stays at the burst
+        // high-water until the window ends), then churn pop/push pairs and
+        // watch peak_len decay at precisely ops_since_resize ==
+        // peak_reset_at.
+        let high_water = q.peak_len;
+        assert!(high_water > 2 * MIN_BUCKETS);
+        while q.len() > 2 {
+            q.pop().expect("draining");
+        }
+        let target = q.peak_reset_at;
+        while q.ops_since_resize < target - 1 {
+            assert_eq!(
+                q.peak_len, high_water,
+                "peak decayed early, at op {} of {}",
+                q.ops_since_resize, target
+            );
+            let next_at = at + 1_000_000 + q.ops_since_resize * 7;
+            push(&mut q, next_at, seq);
+            seq += 1;
+            q.pop().expect("churn population");
+        }
+        // The next op crosses the anchor: the window closes and the peak
+        // collapses to the current (tiny) population.
+        q.pop().expect("non-empty");
+        assert!(
+            q.peak_len <= 3,
+            "window close must decay peak_len to the live population, got {}",
+            q.peak_len
         );
     }
 

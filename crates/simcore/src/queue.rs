@@ -232,6 +232,79 @@ impl<E> FutureEventList<E> {
         Some((s.at, s.event))
     }
 
+    /// Drain the entire run of events sharing the earliest pending instant
+    /// (if that instant is at or before `t`) into `buf`, in schedule (FIFO)
+    /// order, and advance the clock to that instant — once for the whole
+    /// run. Returns the run's instant, or `None` (leaving `buf` empty) if
+    /// nothing is due by `t`.
+    ///
+    /// This is the batch form of [`pop_at_most`](Self::pop_at_most) for the
+    /// engine's bursty pending sets (hundreds of deliveries massed at a
+    /// handful of instants): both backends locate the minimum once and then
+    /// drain its whole same-instant run — the calendar queue positions its
+    /// scan cursor a single time and takes the sorted bucket prefix, the
+    /// heap pops while the root's timestamp is unchanged — so the driver
+    /// pays one horizon check, one clock update and one cursor walk per
+    /// *instant* instead of per *event*.
+    ///
+    /// Contract notes (see also the batch-drain section of `CHANGES.md`):
+    /// `buf` is cleared first — the caller owns the buffer and is expected
+    /// to reuse it across calls to keep the loop allocation-free; events
+    /// scheduled *while the caller processes the run* (including more
+    /// events at the same instant — the clock makes them clamp to it) are
+    /// never part of the already-drained run, they form a later run exactly
+    /// as they would pop after the run under single-event popping, because
+    /// their sequence numbers are larger.
+    pub fn pop_run_at_most(&mut self, t: SimTime, buf: &mut Vec<E>) -> Option<SimTime> {
+        buf.clear();
+        let (at, n) = match &mut self.backend {
+            Backend::Heap(h) => {
+                if h.peek().is_none_or(|Reverse(s)| s.at > t) {
+                    return None;
+                }
+                let Reverse(first) = h.pop().expect("peeked");
+                let at = first.at;
+                buf.push(first.event);
+                // FIFO within the run comes from the heap's (at, seq)
+                // ordering: equal-`at` entries surface in seq order.
+                while h.peek().is_some_and(|Reverse(s)| s.at == at) {
+                    let Reverse(s) = h.pop().expect("peeked");
+                    buf.push(s.event);
+                }
+                (at, buf.len())
+            }
+            Backend::Calendar(c) => c.pop_run_at_most(t, buf)?,
+        };
+        debug_assert!(at >= self.now, "event queue time went backwards");
+        debug_assert_eq!(n, buf.len());
+        self.now = at;
+        self.processed += n as u64;
+        Some(at)
+    }
+
+    /// Advance the clock to `t` without dispatching anything (no-op if the
+    /// clock is already at or past `t`). Drivers call this when a
+    /// `run_until(t)` horizon is exhausted: the simulation has observed
+    /// that no event happens in `(now, t]`, so time *has* passed — leaving
+    /// the clock at the last dispatched event would make anything later
+    /// scheduled relative to `now()` land in the past and get past-clamped.
+    ///
+    /// The advance is clamped to the earliest still-pending event: the
+    /// clock can never jump over an undispatched event (which would make
+    /// the next pop move time backwards). In the driver's exhausted-horizon
+    /// case everything pending is beyond `t`, so the clamp is a no-op
+    /// there; it exists to make direct misuse fail safe instead of
+    /// silently breaking monotonicity.
+    pub fn advance_clock_to(&mut self, t: SimTime) {
+        let t = match self.peek_time() {
+            Some(at) => t.min(at),
+            None => t,
+        };
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
     /// Timestamp of the next pending event without popping it.
     ///
     /// Takes `&mut self` because the calendar backend advances its bucket
@@ -331,6 +404,134 @@ mod tests {
             assert_eq!(q.pop_at_most(29), None);
             assert_eq!(q.len(), 1, "unpopped event must stay queued");
             assert_eq!(q.pop_at_most(SimTime::MAX), Some((30, "b")));
+        }
+    }
+
+    #[test]
+    fn pop_run_drains_exactly_the_earliest_instant_run_in_fifo_order() {
+        for b in BACKENDS {
+            let mut q = FutureEventList::with_backend(b, 0);
+            // Two massed runs plus a straggler between them.
+            for i in 0..300u64 {
+                q.schedule_at(50, i);
+            }
+            q.schedule_at(75, 1_000);
+            for i in 0..10u64 {
+                q.schedule_at(90, 2_000 + i);
+            }
+            let mut buf = Vec::new();
+            assert_eq!(q.pop_run_at_most(SimTime::MAX, &mut buf), Some(50));
+            assert_eq!(buf, (0..300).collect::<Vec<_>>(), "backend {b:?}");
+            assert_eq!(q.now(), 50);
+            assert_eq!(q.processed(), 300);
+            assert_eq!(q.len(), 11, "later instants must stay queued");
+            assert_eq!(q.pop_run_at_most(SimTime::MAX, &mut buf), Some(75));
+            assert_eq!(buf, vec![1_000]);
+            assert_eq!(q.pop_run_at_most(SimTime::MAX, &mut buf), Some(90));
+            assert_eq!(buf, (2_000..2_010).collect::<Vec<_>>());
+            assert_eq!(q.pop_run_at_most(SimTime::MAX, &mut buf), None);
+            assert!(buf.is_empty(), "a dry drain must leave the buffer empty");
+        }
+    }
+
+    #[test]
+    fn pop_run_respects_horizon_and_clears_stale_buffer() {
+        for b in BACKENDS {
+            let mut q = FutureEventList::with_backend(b, 0);
+            q.schedule_at(40, "early");
+            q.schedule_at(80, "late");
+            let mut buf = vec!["stale"];
+            assert_eq!(q.pop_run_at_most(30, &mut buf), None);
+            assert!(buf.is_empty(), "dry horizon probe must clear the buffer");
+            assert_eq!(q.pop_run_at_most(40, &mut buf), Some(40));
+            assert_eq!(buf, vec!["early"]);
+            assert_eq!(q.pop_run_at_most(79, &mut buf), None);
+            assert_eq!(q.len(), 1, "beyond-horizon event must stay queued");
+            assert_eq!(q.pop_run_at_most(80, &mut buf), Some(80));
+            assert_eq!(buf, vec!["late"]);
+        }
+    }
+
+    #[test]
+    fn pop_run_matches_single_pop_sequence() {
+        // Batch drains must yield exactly the single-pop event sequence,
+        // run boundaries included — the contract the engine's batch
+        // dispatch rides on.
+        let mut x = 0x0005_DEEC_E66D_1531_u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut schedules: Vec<(SimTime, u64)> = Vec::new();
+        for i in 0..2_000u64 {
+            // Heavy massing: few distinct instants.
+            schedules.push((step() % 97, i));
+        }
+        for b in BACKENDS {
+            let mut single = FutureEventList::with_backend(b, 0);
+            let mut batch = FutureEventList::with_backend(b, 0);
+            for &(at, id) in &schedules {
+                single.schedule_at(at, id);
+                batch.schedule_at(at, id);
+            }
+            let mut got_single = Vec::new();
+            while let Some((at, id)) = single.pop() {
+                got_single.push((at, id));
+            }
+            let mut got_batch = Vec::new();
+            let mut buf = Vec::new();
+            while let Some(at) = batch.pop_run_at_most(SimTime::MAX, &mut buf) {
+                for &id in &buf {
+                    got_batch.push((at, id));
+                }
+            }
+            assert_eq!(got_single, got_batch, "backend {b:?}");
+            assert_eq!(single.processed(), batch.processed());
+            assert_eq!(single.now(), batch.now());
+        }
+    }
+
+    #[test]
+    fn advance_clock_to_reaches_horizon_after_queue_drains() {
+        // Regression: `run_until(t)` used to leave the clock at the last
+        // dispatched event when the queue drained before `t`, so anything
+        // scheduled relative to `now()` afterwards landed in the past and
+        // got past-clamped. The driver now advances the clock to the
+        // exhausted horizon via `advance_clock_to`.
+        for b in BACKENDS {
+            let mut q = FutureEventList::with_backend(b, 0);
+            q.schedule_at(10, "only");
+            while q.pop_at_most(100).is_some() {}
+            // Pre-fix behavior, preserved at the pop level: the clock sits
+            // at the last event.
+            assert_eq!(q.now(), 10);
+            q.advance_clock_to(100);
+            assert_eq!(q.now(), 100);
+            // Relative scheduling is now relative to the horizon...
+            q.schedule(5, "after");
+            assert_eq!(q.pop(), Some((105, "after")), "backend {b:?}");
+            // ...and the clock never moves backwards.
+            q.advance_clock_to(50);
+            assert_eq!(q.now(), 105);
+        }
+    }
+
+    #[test]
+    fn advance_clock_to_cannot_jump_over_pending_events() {
+        // Misuse guard: advancing past a still-pending event would make
+        // the next pop move simulated time backwards (silently, in release
+        // builds). The advance clamps to the earliest pending instant.
+        for b in BACKENDS {
+            let mut q = FutureEventList::with_backend(b, 0);
+            q.schedule_at(50, "pending");
+            q.advance_clock_to(100);
+            assert_eq!(q.now(), 50, "backend {b:?}: clock jumped a pending event");
+            assert_eq!(q.pop(), Some((50, "pending")));
+            assert_eq!(q.now(), 50);
+            q.advance_clock_to(100);
+            assert_eq!(q.now(), 100, "empty queue: advance reaches the horizon");
         }
     }
 

@@ -137,6 +137,47 @@ fn scheduler_backends_produce_identical_digests() {
 }
 
 #[test]
+fn massed_same_instant_runs_digest_identically_across_backends_and_dispatch_modes() {
+    // The batch-drain stress shape: at 50K records/s the 10 ms source-tick
+    // granularity emits ~500 records per tick, all `send`s share the same
+    // channel latency, so hundreds of `Deliver` events mass at single
+    // instants — exactly the runs `pop_run_at_most` drains in one cursor
+    // walk. Draining a run as a batch instead of popping its events one by
+    // one must not change the interleaving: all four {backend} × {dispatch
+    // mode} combinations are required to produce byte-identical digests
+    // (and event counts), on a run that also crosses a mid-flight rescale
+    // so boxed control/priority events ride inside the massed traffic.
+    use drrs_repro::engine::DispatchMode;
+    use drrs_repro::sim::SchedulerBackend;
+    let run = |backend: SchedulerBackend, mode: DispatchMode| {
+        let mut cfg = EngineConfig::test();
+        cfg.seed = 0x5EED;
+        cfg.scheduler = backend;
+        let (mut w, agg) = tiny_job(cfg, 50_000.0, 1_024, 4);
+        w.schedule_scale(secs(2), agg, 6);
+        let mut sim = Sim::new(w, Box::new(FlexScaler::drrs())).with_dispatch_mode(mode);
+        sim.run_until(secs(4));
+        (sim.world.metrics_digest(), sim.world.q.processed())
+    };
+    let reference = run(SchedulerBackend::BinaryHeap, DispatchMode::SinglePop);
+    assert!(
+        reference.1 > 100_000,
+        "scenario too small to mass deliveries"
+    );
+    for backend in [SchedulerBackend::BinaryHeap, SchedulerBackend::Calendar] {
+        for mode in [DispatchMode::SinglePop, DispatchMode::Batch] {
+            assert_eq!(
+                run(backend, mode),
+                reference,
+                "{} × {} diverged from heap × single",
+                backend.name(),
+                mode.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seeds_differ() {
     // Digest sanity: the digest must actually observe the run (two seeds
     // colliding would make the equality tests above vacuous).

@@ -156,7 +156,7 @@ proptest! {
         // horizon-limited pops (kinds 4-5 — these walk the calendar's
         // scan cursor ahead without popping, the precondition for its
         // pull-back and overflow-migration edge cases).
-        ops in proptest::collection::vec((0u8..6, 0u64..5_000), 1..400),
+        ops in proptest::collection::vec((0u8..7, 0u64..5_000), 1..400),
         heap_cap in 0usize..300,
         cal_cap in 0usize..300,
     ) {
@@ -164,6 +164,8 @@ proptest! {
             FutureEventList::with_backend(SchedulerBackend::BinaryHeap, heap_cap);
         let mut cal: FutureEventList<u64> =
             FutureEventList::with_backend(SchedulerBackend::Calendar, cal_cap);
+        let mut heap_buf: Vec<u64> = Vec::new();
+        let mut cal_buf: Vec<u64> = Vec::new();
         for (i, &(kind, v)) in ops.iter().enumerate() {
             let id = i as u64;
             match kind {
@@ -197,7 +199,7 @@ proptest! {
                         i
                     );
                 }
-                _ => {
+                5 => {
                     let horizon = heap.now().saturating_add(v);
                     prop_assert_eq!(
                         heap.pop_at_most(horizon),
@@ -206,6 +208,18 @@ proptest! {
                         i
                     );
                     prop_assert_eq!(heap.now(), cal.now());
+                }
+                _ => {
+                    // Batch drain of the earliest same-instant run — both
+                    // backends must return the same instant and the same
+                    // FIFO-ordered payload run (dry probes included).
+                    let horizon = heap.now().saturating_add(v % 2_500);
+                    let h = heap.pop_run_at_most(horizon, &mut heap_buf);
+                    let c = cal.pop_run_at_most(horizon, &mut cal_buf);
+                    prop_assert_eq!(h, c, "pop_run_at_most diverged at op {}", i);
+                    prop_assert_eq!(&heap_buf, &cal_buf, "batch run diverged at op {}", i);
+                    prop_assert_eq!(heap.now(), cal.now());
+                    prop_assert_eq!(heap.processed(), cal.processed());
                 }
             }
             prop_assert_eq!(heap.len(), cal.len(), "len diverged at op {}", i);
@@ -218,6 +232,96 @@ proptest! {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn dry_jump_then_earlier_schedule_pops_in_order(
+        // The calendar's horizon probes (`pop_at_most`/`pop_run_at_most`
+        // returning `None`) are not read-only: they advance the scan
+        // cursor and migrate overflow events into the rolling window. A
+        // schedule_at for an *earlier but still future* instant right
+        // after such a dry jump lands behind the mutated cursor state —
+        // the exact precondition of the PR 3 pull-back bugs. Property:
+        // after any prefix of (pending set, dry jump, earlier schedule),
+        // both backends drain the identical sequence, globally sorted by
+        // time with FIFO order among ties.
+        pending in proptest::collection::vec((1u64..100_000, 0u64..4), 1..60),
+        probes in proptest::collection::vec((0u64..120_000, 1u64..50_000, any::<bool>()), 1..12),
+    ) {
+        let mut heap: FutureEventList<u64> =
+            FutureEventList::with_backend(SchedulerBackend::BinaryHeap, 0);
+        let mut cal: FutureEventList<u64> =
+            FutureEventList::with_backend(SchedulerBackend::Calendar, 0);
+        // `expected` mirrors the FEL contract: (clamped at, schedule order).
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        let mut id = 0u64;
+        let sched = |heap: &mut FutureEventList<u64>,
+                         cal: &mut FutureEventList<u64>,
+                         expected: &mut Vec<(u64, u64)>,
+                         id: &mut u64,
+                         at: u64| {
+            let clamped = at.max(heap.now());
+            heap.schedule_at(at, *id);
+            cal.schedule_at(at, *id);
+            expected.push((clamped, *id));
+            *id += 1;
+        };
+        for &(at, extra_ties) in &pending {
+            // Seed a mixed pending set, some instants massed.
+            for _ in 0..=extra_ties {
+                sched(&mut heap, &mut cal, &mut expected, &mut id, at);
+            }
+        }
+        for &(probe_offset, earlier_gap, batch) in &probes {
+            // A horizon probe that may or may not be dry; dry probes walk
+            // the calendar cursor ahead (and can jump it to the overflow
+            // head's day) without popping.
+            let horizon = heap.now().saturating_add(probe_offset % 3_000);
+            if batch {
+                let mut hb = Vec::new();
+                let mut cb = Vec::new();
+                let h = heap.pop_run_at_most(horizon, &mut hb);
+                prop_assert_eq!(h, cal.pop_run_at_most(horizon, &mut cb));
+                prop_assert_eq!(&hb, &cb);
+                for &e in &hb {
+                    let min = expected.iter().enumerate().min_by_key(|(_, &(t, s))| (t, s))
+                        .map(|(i, _)| i).expect("popped from non-empty");
+                    let (t, s) = expected.remove(min);
+                    prop_assert_eq!((t, s), (h.expect("popped"), e), "batch run out of order");
+                }
+            } else {
+                let got = heap.pop_at_most(horizon);
+                prop_assert_eq!(got, cal.pop_at_most(horizon));
+                if let Some((t, e)) = got {
+                    let min = expected.iter().enumerate().min_by_key(|(_, &(t, s))| (t, s))
+                        .map(|(i, _)| i).expect("popped from non-empty");
+                    prop_assert_eq!(expected.remove(min), (t, e), "pop out of order");
+                }
+            }
+            prop_assert_eq!(heap.now(), cal.now());
+            // Now schedule an *earlier but still future* instant than the
+            // current pending minimum: strictly behind wherever the dry
+            // jump left the cursor, but at or after "now".
+            let min_pending = expected.iter().map(|&(t, _)| t).min();
+            let target = match min_pending {
+                Some(m) if m > heap.now() => heap.now() + (m - heap.now()).min(earlier_gap),
+                _ => heap.now() + earlier_gap,
+            };
+            sched(&mut heap, &mut cal, &mut expected, &mut id, target);
+        }
+        // Full drain must come out globally (at, seq)-sorted and identical
+        // across backends.
+        expected.sort_unstable();
+        let mut got = Vec::new();
+        loop {
+            let (h, c) = (heap.pop(), cal.pop());
+            prop_assert_eq!(h, c, "backends diverged during drain");
+            match h {
+                Some(p) => got.push(p),
+                None => break,
+            }
+        }
+        prop_assert_eq!(got, expected, "drain not in (at, seq) order");
     }
 }
 
