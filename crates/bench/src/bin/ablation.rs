@@ -7,161 +7,59 @@
 //! * **Re-route Manager strategy** (§IV-A B4: capacity- vs timeout-based
 //!   flushing).
 //!
-//! Run on the Twitch workload under the fig-14 protocol. Every ablation row
-//! is an independent simulation, so each section's rows run on a thread
-//! pool (`bench::parallel_map`, one single-threaded deterministic sim per
-//! thread) and print in canonical row order regardless of finish order.
+//! Run on the Twitch workload under the fig-14 protocol. The rows are the
+//! `ablation/` group of `bench::scenario::registry` (one named
+//! `ScenarioSpec` per cell, grouped into sections); each section's rows run
+//! on the scenario `Runner`'s thread pool and print in canonical row order
+//! regardless of finish order.
 
-use bench::{parallel_map, quick, run};
-use drrs_core::{FlexScaler, MechanismConfig};
-use simcore::time::{ms, secs, SimTime};
-use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
-
-/// One ablation row's measurements.
-struct Row {
-    peak: f64,
-    avg: f64,
-    migration_s: f64,
-    susp_ms: f64,
-}
+use bench::quick;
+use bench::scenario::registry::ablation_plan;
+use bench::scenario::{RunReport, Runner};
 
 fn main() {
-    let (scale_at, window_end) = if quick() {
-        (secs(60), secs(140))
-    } else {
-        (secs(300), secs(475))
-    };
-    let horizon = window_end + secs(40);
-    let params = if quick() {
-        TwitchParams {
-            events: 1_200_000,
-            duration_s: 300,
-            ..Default::default()
-        }
-    } else {
-        TwitchParams::default()
-    };
+    let plan = ablation_plan(quick());
+    let (scale_at, window_end) = (plan.scale_at, plan.window_end);
 
-    let go = |mech: &'static str, cfg: MechanismConfig| -> Row {
-        let (w, op) = twitch(twitch_engine_config(99), &params);
-        let r = run(
-            mech,
-            w,
-            op,
-            Box::new(FlexScaler::new(cfg)),
-            scale_at,
-            12,
-            horizon,
-        );
+    let print_row = |label: &str, r: &RunReport| {
         let (peak, avg) = r.latency_ms(scale_at, window_end);
-        let done = r
-            .migration_done()
-            .map(|t| t as f64 / 1e6 - scale_at as f64 / 1e6);
-        Row {
-            peak,
-            avg,
-            migration_s: done.unwrap_or(f64::NAN),
-            susp_ms: r.suspension_ms(),
+        println!(
+            "{label:<34} peak {peak:>8.0} ms  avg {avg:>7.0} ms  migration {:>6.1} s  susp {:>8.0} ms",
+            r.migration_secs(),
+            r.suspension_ms
+        );
+    };
+
+    let runner = Runner::in_process();
+    for section in &plan.sections {
+        println!("{}", section.title);
+        let rows = runner.run(&section.specs);
+        match section.key {
+            "megaphone_batch" => {
+                for (label, r) in section.labels.iter().zip(&rows) {
+                    let (peak, avg) = r.latency_ms(scale_at, window_end);
+                    println!(
+                        "{label:<34} peak {peak:>8.0} ms  avg {avg:>7.0} ms  migration {:>6.1} s",
+                        r.migration_secs()
+                    );
+                }
+            }
+            // §V-A: the paper swaps Tumbling for Sliding windows because
+            // tumbling windows' periodic state accumulation destabilizes
+            // scaling (reproduced on Q7: same total window, slide = size vs
+            // 500 ms slides).
+            "window" => {
+                for (label, r) in section.labels.iter().zip(&rows) {
+                    let (peak, avg) = r.latency_ms(scale_at, window_end);
+                    println!("{label:<34} peak {peak:>8.0} ms  avg {avg:>7.0} ms");
+                }
+            }
+            _ => {
+                for (label, r) in section.labels.iter().zip(&rows) {
+                    print_row(label, r);
+                }
+            }
         }
-    };
-    let print_row = |label: &str, row: &Row| {
-        println!(
-            "{label:<34} peak {:>8.0} ms  avg {:>7.0} ms  migration {:>6.1} s  susp {:>8.0} ms",
-            row.peak, row.avg, row.migration_s, row.susp_ms
-        );
-    };
-
-    println!("=== Ablation A: subscale count (concurrency 2) ===");
-    let subscales = [1usize, 2, 4, 8, 16, 32];
-    let rows = parallel_map(subscales.to_vec(), |n| {
-        go(
-            "DRRS",
-            MechanismConfig {
-                subscale_count: n,
-                ..MechanismConfig::drrs()
-            },
-        )
-    });
-    for (n, row) in subscales.iter().zip(&rows) {
-        print_row(&format!("subscales={n}"), row);
-    }
-
-    println!("\n=== Ablation B: concurrency threshold (8 subscales) ===");
-    let limits = [1usize, 2, 4, 64];
-    let rows = parallel_map(limits.to_vec(), |limit| {
-        go(
-            "DRRS",
-            MechanismConfig {
-                concurrency_limit: limit,
-                ..MechanismConfig::drrs()
-            },
-        )
-    });
-    for (limit, row) in limits.iter().zip(&rows) {
-        print_row(&format!("concurrency={limit}"), row);
-    }
-
-    println!("\n=== Ablation C: Re-route Manager strategy ===");
-    let strategies: [(&str, usize, SimTime); 3] = [
-        ("capacity=1 (immediate)", 1, ms(50)),
-        ("capacity=32, timeout=5ms (default)", 32, ms(5)),
-        ("capacity=256, timeout=50ms (lazy)", 256, ms(50)),
-    ];
-    let rows = parallel_map(strategies.to_vec(), |(_, batch, timeout)| {
-        go(
-            "DRRS",
-            MechanismConfig {
-                reroute_batch: batch,
-                reroute_timeout: timeout,
-                ..MechanismConfig::drrs()
-            },
-        )
-    });
-    for ((label, _, _), row) in strategies.iter().zip(&rows) {
-        print_row(label, row);
-    }
-
-    println!("\n=== Ablation E: Megaphone batch size (naive-division granularity) ===");
-    let batches = [1usize, 4, 16, 64];
-    let rows = parallel_map(batches.to_vec(), |batch| {
-        go("Megaphone", MechanismConfig::megaphone(batch))
-    });
-    for (batch, row) in batches.iter().zip(&rows) {
-        println!(
-            "megaphone batch={batch:<3}                peak {:>8.0} ms  avg {:>7.0} ms  migration {:>6.1} s",
-            row.peak, row.avg, row.migration_s
-        );
-    }
-
-    // §V-A: the paper swaps Tumbling for Sliding windows because tumbling
-    // windows' periodic state accumulation destabilizes scaling. Reproduce
-    // on Q7: same total window, slide = size (tumbling) vs 500 ms slides.
-    println!("\n=== Ablation D: sliding vs tumbling windows under scaling (Q7) ===");
-    use workloads::nexmark::{nexmark_engine_config, q7, Q7Params};
-    let windows: [(&str, SimTime); 2] = [
-        ("sliding 500ms (paper)", ms(500)),
-        ("tumbling (slide=size)", secs(10)),
-    ];
-    let rows = parallel_map(windows.to_vec(), |(_, slide)| {
-        let p = Q7Params {
-            tps: if quick() { 10_000.0 } else { 20_000.0 },
-            slide,
-            ..Default::default()
-        };
-        let (w, op) = q7(nexmark_engine_config(77), &p);
-        let r = run(
-            "DRRS",
-            w,
-            op,
-            Box::new(FlexScaler::drrs()),
-            scale_at,
-            12,
-            horizon,
-        );
-        r.latency_ms(scale_at, window_end)
-    });
-    for ((label, _), (peak, avg)) in windows.iter().zip(&rows) {
-        println!("{label:<34} peak {peak:>8.0} ms  avg {avg:>7.0} ms");
     }
 
     println!("\nFindings: subscale division is floored by (source,destination) pairing —");

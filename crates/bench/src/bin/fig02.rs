@@ -3,33 +3,22 @@
 //! scaling with fluid migration) and **No Scale** on the Twitch workload
 //! under a fixed input rate, scaling during [250, 450] s.
 //!
+//! The rows are the `fig02/` group of `bench::scenario::registry`, executed
+//! through the scenario `Runner` (the No-Scale row is simply a spec without
+//! a scale plan).
+//!
 //! Paper reference values (ms): peak — OTFS 18682, Unbound 4448, No Scale
 //! 3893; average — OTFS 4399, Unbound 1583, No Scale 1266. The claim to
 //! reproduce: Unbound ≈ No Scale ≪ OTFS, confirming `L = Lp + Ls + Ld + Lo`
 //! is dominated by the three mechanism-addressable terms.
 
-use baselines::{otfs_fluid, UnboundPlugin};
-use bench::{print_series, quick, run};
-use simcore::time::secs;
-use streamflow::NoScale;
-use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
+use bench::scenario::registry::fig02_plan;
+use bench::scenario::Runner;
+use bench::{print_series, quick};
 
 fn main() {
-    let (scale_at, end) = if quick() {
-        (secs(60), secs(140))
-    } else {
-        (secs(250), secs(450))
-    };
-    let horizon = end + secs(30);
-    let params = if quick() {
-        TwitchParams {
-            events: 800_000,
-            duration_s: 200,
-            ..TwitchParams::default()
-        }
-    } else {
-        TwitchParams::default()
-    };
+    let plan = fig02_plan(quick());
+    let (scale_at, end) = (plan.scale_at, plan.end);
 
     println!("=== Fig. 2: Unbound vs OTFS vs No Scale (Twitch, fixed rate) ===");
     println!(
@@ -38,28 +27,20 @@ fn main() {
         end / 1_000_000
     );
 
+    let reports = Runner::in_process().run(&plan.specs);
     let mut rows = Vec::new();
-    for (name, mk) in [("Unbound", 0usize), ("OTFS", 1), ("No Scale", 2)] {
-        let mut cfg = twitch_engine_config(42);
-        cfg.check_semantics = true; // order violations are part of this figure's story
-        let (w, op) = twitch(cfg, &params);
-        let plugin: Box<dyn streamflow::ScalePlugin> = match mk {
-            0 => Box::new(UnboundPlugin::new()),
-            1 => Box::new(otfs_fluid()),
-            _ => Box::new(NoScale),
-        };
-        let new_par = if mk == 2 { 0 } else { 12 };
-        let r = run(name, w, op, plugin, scale_at, new_par, horizon);
+    for r in &reports {
+        let name = r.mechanism.clone();
         let (peak, avg) = r.latency_ms(scale_at, end);
         println!("-- {name}");
         print_series(
             "latency",
-            &bench::latency_series_ms(&r),
+            &r.latency_series_ms(),
             if quick() { 10 } else { 20 },
             "ms",
         );
-        println!("  order violations: {}", r.violations());
-        rows.push((name, peak, avg, r.violations()));
+        println!("  order violations: {}", r.violations);
+        rows.push((name, peak, avg, r.violations));
         println!();
     }
 

@@ -7,116 +7,39 @@
 //! re-partitioning), then a stabilization period. The scaling period ends
 //! when latency stays within 110% of the pre-scaling level for 100 s.
 //!
+//! The rows are the `fig10_11/` group of `bench::scenario::registry`
+//! (workload × mechanism × seed, each a named `ScenarioSpec`); they run on
+//! the scenario `Runner` and all statistics come from the typed
+//! `RunReport` — the latency/throughput series, the per-run scaling-period
+//! end, and the order-violation counter.
+//!
 //! Paper reference (Fig. 10): on Q7 DRRS peak 15.8 s / avg 1.7 s vs Meces
 //! 80.2 s / 29.4 s vs Megaphone 83.5 s / 37.8 s; Twitch shows Megaphone
 //! with competitive latency but a 5.6× longer scaling period.
 
-use baselines::{megaphone, MecesPlugin};
-use bench::{pm, print_series, quick, run};
-use drrs_core::FlexScaler;
-use simcore::time::{secs, SimTime};
-use streamflow::{OpId, ScalePlugin, World};
-use workloads::nexmark::{nexmark_engine_config, q7, q8, Q7Params, Q8Params};
-use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
-
-fn mechanisms() -> Vec<&'static str> {
-    vec!["DRRS", "Meces", "Megaphone"]
-}
-
-fn plugin_for(name: &str) -> Box<dyn ScalePlugin> {
-    match name {
-        "DRRS" => Box::new(FlexScaler::drrs()),
-        "Meces" => Box::new(MecesPlugin::new()),
-        "Megaphone" => Box::new(megaphone(1)),
-        _ => unreachable!(),
-    }
-}
-
-struct Workload {
-    name: &'static str,
-    build: Box<dyn Fn(u64) -> (World, OpId)>,
-    horizon: SimTime,
-}
-
-fn workloads_under_test() -> Vec<Workload> {
-    if quick() {
-        vec![
-            Workload {
-                name: "Q7",
-                build: Box::new(|seed| {
-                    q7(
-                        nexmark_engine_config(seed),
-                        &Q7Params {
-                            tps: 10_000.0,
-                            ..Default::default()
-                        },
-                    )
-                }),
-                horizon: secs(200),
-            },
-            Workload {
-                name: "Twitch",
-                build: Box::new(|seed| {
-                    twitch(
-                        twitch_engine_config(seed),
-                        &TwitchParams {
-                            events: 1_200_000,
-                            duration_s: 300,
-                            ..Default::default()
-                        },
-                    )
-                }),
-                horizon: secs(200),
-            },
-        ]
-    } else {
-        vec![
-            Workload {
-                name: "Q7",
-                build: Box::new(|seed| q7(nexmark_engine_config(seed), &Q7Params::default())),
-                horizon: secs(620),
-            },
-            Workload {
-                name: "Q8",
-                build: Box::new(|seed| q8(nexmark_engine_config(seed), &Q8Params::default())),
-                horizon: secs(900),
-            },
-            Workload {
-                name: "Twitch",
-                build: Box::new(|seed| {
-                    twitch(twitch_engine_config(seed), &TwitchParams::default())
-                }),
-                horizon: secs(650),
-            },
-        ]
-    }
-}
+use bench::scenario::registry::fig10_11_plan;
+use bench::scenario::{RunReport, Runner};
+use bench::{pm, print_series, quick};
+use simcore::time::secs;
 
 fn main() {
-    let scale_at = if quick() { secs(60) } else { secs(300) };
-    let seeds: Vec<u64> = if quick() { vec![1] } else { vec![1, 2] };
+    let plan = fig10_11_plan(quick());
+    let scale_at = plan.scale_at;
+    let per_workload = plan.mechs.len() * plan.seeds.len();
+    let all_reports = Runner::in_process().run(&plan.specs);
 
-    for wl in workloads_under_test() {
+    for (wi, &(wname, horizon)) in plan.workloads.iter().enumerate() {
         println!(
             "=== {} (scale at {} s, 8 -> 12 instances) ===",
-            wl.name,
+            wname,
             scale_at / 1_000_000
         );
-        // First pass: run everything and find the longest scaling period —
-        // the paper uses "the longest observed scaling period among all
+        // The paper uses "the longest observed scaling period among all
         // three methods as the statistical basis".
-        let mut runs: Vec<(String, Vec<bench::RunResult>)> = Vec::new();
+        let reports = &all_reports[wi * per_workload..(wi + 1) * per_workload];
         let mut longest_end = scale_at + secs(30);
-        for mech in mechanisms() {
-            let mut per_seed = Vec::new();
-            for &seed in &seeds {
-                let (w, op) = (wl.build)(seed);
-                let r = run(mech, w, op, plugin_for(mech), scale_at, 12, wl.horizon);
-                let end = r.scaling_period_end().unwrap_or(wl.horizon);
-                longest_end = longest_end.max(end);
-                per_seed.push(r);
-            }
-            runs.push((mech.to_string(), per_seed));
+        for r in reports {
+            longest_end = longest_end.max(r.scaling_period_end.unwrap_or(horizon));
         }
         println!(
             "statistical window: [{}, {}] s (longest scaling period)\n",
@@ -125,39 +48,48 @@ fn main() {
         );
         #[allow(clippy::type_complexity)]
         let mut table: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
-        for (mech, per_seed) in &runs {
+        for (mi, mech) in plan.mechs.iter().enumerate() {
+            let per_seed: &[RunReport] =
+                &reports[mi * plan.seeds.len()..(mi + 1) * plan.seeds.len()];
             let mut peaks = Vec::new();
             let mut avgs = Vec::new();
             let mut periods = Vec::new();
             for (si, r) in per_seed.iter().enumerate() {
-                let end = r.scaling_period_end().unwrap_or(wl.horizon);
+                // The slice arithmetic above must agree with the registry's
+                // loop nesting — fail loudly if the grid order ever drifts.
+                assert_eq!(
+                    r.scenario,
+                    format!("fig10_11/{wname}/{mech}/seed{}", plan.seeds[si]),
+                    "registry grid order drifted from the figure layout"
+                );
+                let end = r.scaling_period_end.unwrap_or(horizon);
                 let (peak, avg) = r.latency_ms(scale_at, longest_end);
                 peaks.push(peak);
                 avgs.push(avg);
                 periods.push((end.saturating_sub(scale_at)) as f64 / 1_000_000.0);
                 if si == 0 {
-                    println!("-- {mech} (seed {})", seeds[0]);
+                    println!("-- {mech} (seed {})", plan.seeds[0]);
                     print_series(
                         "Fig.10 latency",
-                        &bench::latency_series_ms(r),
+                        &r.latency_series_ms(),
                         if quick() { 10 } else { 25 },
                         "ms",
                     );
                     print_series(
                         "Fig.11 throughput",
-                        &r.sim.world.metrics.throughput(),
+                        &r.throughput,
                         if quick() { 10 } else { 25 },
                         "rec/s",
                     );
                     println!(
                         "  migration done: {:?} s, stabilized at: {:?} s, order violations: {}",
-                        r.migration_done().map(|t| t / 1_000_000),
-                        r.scaling_period_end().map(|t| t / 1_000_000),
-                        r.violations()
+                        r.migration_done.map(|t| t / 1_000_000),
+                        r.scaling_period_end.map(|t| t / 1_000_000),
+                        r.violations
                     );
                 }
             }
-            table.push((mech.clone(), peaks, avgs, periods));
+            table.push((mech.to_string(), peaks, avgs, periods));
         }
         println!("\nIn scaling window          Peak(ms)           Average(ms)    Period(s)");
         for (m, p, a, d) in &table {

@@ -6,103 +6,63 @@
 //!   units of injection → migration),
 //! * Fig. 13 — cumulative suspension time `Ls` over time.
 //!
+//! The rows are the `fig12_13/` group of `bench::scenario::registry`; every
+//! statistic below (Lp, Ld, the suspension series, migration churn) is a
+//! typed `RunReport` field.
+//!
 //! Paper shape: Megaphone ≫ others on Lp and Ld (strict linear dependency
 //! between migration units); Meces lowest Lp (single synchronization) but
 //! highest suspension growth (fetch conflicts); DRRS low on all three.
 
-use baselines::{megaphone, MecesPlugin};
-use bench::{print_series, quick, run};
-use drrs_core::FlexScaler;
-use simcore::time::secs;
-use streamflow::ScalePlugin;
-use workloads::nexmark::{nexmark_engine_config, q7, q8, Q7Params, Q8Params};
-use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
+use bench::scenario::registry::fig12_13_plan;
+use bench::scenario::Runner;
+use bench::{print_series, quick};
 
 fn main() {
-    let scale_at = if quick() { secs(60) } else { secs(300) };
-    let names = ["DRRS", "Meces", "Megaphone"];
+    let plan = fig12_13_plan(quick());
+    let reports = Runner::in_process().run(&plan.specs);
 
-    let wls: Vec<(&str, u64)> = if quick() {
-        vec![("Q7", 150), ("Twitch", 150)]
-    } else {
-        vec![("Q7", 620), ("Q8", 900), ("Twitch", 650)]
-    };
-
+    let nmech = plan.mechs.len();
     let mut lp_rows: Vec<(String, Vec<f64>)> =
-        names.iter().map(|n| (n.to_string(), vec![])).collect();
+        plan.mechs.iter().map(|n| (n.to_string(), vec![])).collect();
     let mut ld_rows = lp_rows.clone();
     let mut churn_rows: Vec<(String, Vec<(f64, u32)>)> =
-        names.iter().map(|n| (n.to_string(), vec![])).collect();
+        plan.mechs.iter().map(|n| (n.to_string(), vec![])).collect();
 
-    for (wname, horizon_s) in &wls {
+    for (wi, (wname, _)) in plan.workloads.iter().enumerate() {
         println!("=== {wname} ===");
-        for (mi, mech) in names.iter().enumerate() {
-            let (w, op) = match *wname {
-                "Q7" => {
-                    let p = if quick() {
-                        Q7Params {
-                            tps: 10_000.0,
-                            ..Default::default()
-                        }
-                    } else {
-                        Q7Params::default()
-                    };
-                    q7(nexmark_engine_config(7), &p)
-                }
-                "Q8" => q8(nexmark_engine_config(7), &Q8Params::default()),
-                _ => {
-                    let p = if quick() {
-                        TwitchParams {
-                            events: 1_200_000,
-                            duration_s: 300,
-                            ..Default::default()
-                        }
-                    } else {
-                        TwitchParams::default()
-                    };
-                    twitch(twitch_engine_config(7), &p)
-                }
-            };
-            let plugin: Box<dyn ScalePlugin> = match *mech {
-                "DRRS" => Box::new(FlexScaler::drrs()),
-                "Meces" => Box::new(MecesPlugin::new()),
-                _ => Box::new(megaphone(1)),
-            };
-            let r = run(mech, w, op, plugin, scale_at, 12, secs(*horizon_s));
+        for (mi, mech) in plan.mechs.iter().enumerate() {
+            let r = &reports[wi * nmech + mi];
+            // The index arithmetic must agree with the registry's loop
+            // nesting — fail loudly if the grid order ever drifts.
+            assert_eq!(
+                r.scenario,
+                format!("fig12_13/{wname}/{mech}"),
+                "registry grid order drifted from the figure layout"
+            );
             println!(
                 "-- {mech}: Lp={:.0} ms, Ld={:.0} ms, final suspension={:.0} ms, migration done at {:?} s",
-                r.lp_ms(),
-                r.ld_ms(),
-                r.suspension_ms(),
-                r.migration_done().map(|t| t / 1_000_000)
+                r.lp_ms,
+                r.ld_ms,
+                r.suspension_ms,
+                r.migration_done.map(|t| t / 1_000_000)
             );
-            let susp: Vec<(u64, f64)> = r
-                .sim
-                .world
-                .metrics
-                .suspension
-                .points()
-                .iter()
-                .map(|&(t, v)| (t / 1_000_000, v / 1_000.0))
-                .collect();
             print_series(
                 "Fig.13 cumulative suspension",
-                &susp,
+                &r.suspension_series_ms(),
                 if quick() { 10 } else { 25 },
                 "ms",
             );
-            lp_rows[mi].1.push(r.lp_ms());
-            ld_rows[mi].1.push(r.ld_ms());
-            churn_rows[mi]
-                .1
-                .push(r.sim.world.scale.metrics.migration_churn());
+            lp_rows[mi].1.push(r.lp_ms);
+            ld_rows[mi].1.push(r.ld_ms);
+            churn_rows[mi].1.push((r.churn_avg, r.churn_max));
         }
         println!();
     }
 
     println!("=== Fig. 12a: cumulative propagation delay (ms) ===");
     print!("{:<10}", "");
-    for (w, _) in &wls {
+    for (w, _) in &plan.workloads {
         print!(" {w:>12}");
     }
     println!();
@@ -124,7 +84,7 @@ fn main() {
     println!("\n=== Meces back-and-forth (paper §V-B: Q7 avg 6.25x, max 46x) ===");
     for (m, vals) in &churn_rows {
         if m == "Meces" {
-            for ((w, _), (avg, max)) in wls.iter().zip(vals) {
+            for ((w, _), (avg, max)) in plan.workloads.iter().zip(vals) {
                 println!("  {w}: avg {avg:.2} migrations/unit, max {max}");
             }
         }

@@ -4,62 +4,36 @@
 //! Re-routing (**DR**), Record Scheduling (**Schedule**), Subscale Division
 //! (**Subscale**).
 //!
+//! The variants are the `fig14/` group of `bench::scenario::registry`,
+//! executed through the scenario `Runner`.
+//!
 //! Paper reference (during 300–475 s, ms): peaks DRRS 20008 / DR 25963 /
 //! Schedule 23625 / Subscale 24652; averages 7187 / 8779 / 8234 / 8511.
 //! Shape: full DRRS lowest on both; every single-mechanism variant is
 //! 15–30% worse; Subscale shows the largest fluctuations (synchronization
 //! interference).
 
-use bench::{print_series, quick, run};
-use drrs_core::{FlexScaler, MechanismConfig};
-use simcore::time::secs;
-use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
+use bench::scenario::registry::fig14_plan;
+use bench::scenario::Runner;
+use bench::{print_series, quick};
 
 fn main() {
-    let (scale_at, window_end) = if quick() {
-        (secs(60), secs(140))
-    } else {
-        (secs(300), secs(475))
-    };
-    let horizon = window_end + secs(60);
-    let params = if quick() {
-        TwitchParams {
-            events: 1_200_000,
-            duration_s: 300,
-            ..Default::default()
-        }
-    } else {
-        TwitchParams::default()
-    };
+    let plan = fig14_plan(quick());
+    let (scale_at, window_end) = (plan.scale_at, plan.window_end);
 
     println!("=== Fig. 14: DRRS mechanism ablation (Twitch) ===\n");
-    let variants = [
-        MechanismConfig::drrs(),
-        MechanismConfig::dr_only(),
-        MechanismConfig::schedule_only(),
-        MechanismConfig::subscale_only(),
-    ];
+    let reports = Runner::in_process().run(&plan.specs);
     let mut rows = Vec::new();
-    for cfg in variants {
-        let name = cfg.name;
-        let (w, op) = twitch(twitch_engine_config(14), &params);
-        let r = run(
-            name,
-            w,
-            op,
-            Box::new(FlexScaler::new(cfg)),
-            scale_at,
-            12,
-            horizon,
-        );
+    for r in &reports {
+        let name = r.mechanism.clone();
         let (peak, avg) = r.latency_ms(scale_at, window_end);
         println!(
             "-- {name}: peak {peak:.0} ms, avg {avg:.0} ms, violations {}",
-            r.violations()
+            r.violations
         );
         print_series(
             "latency",
-            &bench::latency_series_ms(&r),
+            &r.latency_series_ms(),
             if quick() { 10 } else { 20 },
             "ms",
         );
@@ -76,7 +50,7 @@ fn main() {
     for (n, p, a) in &rows {
         println!("{n:<10} {p:>10.0} {a:>10.0}");
     }
-    let full = rows[0];
+    let full = rows[0].clone();
     println!("---------------------");
     for (n, p, a) in rows.iter().skip(1) {
         println!(

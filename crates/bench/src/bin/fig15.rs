@@ -7,145 +7,56 @@
 //! 25 → 30 instances (migrating 229 key-groups), throughput collected over
 //! a 10-minute window (latency is unreliable under heavy skew backlogs).
 //!
-//! The grid's cells are mutually independent simulations, so they run on a
-//! thread pool (`bench::parallel_map`, one single-threaded deterministic
-//! sim per thread) and are joined back in canonical configuration order —
-//! output bytes never depend on which cell finishes first.
+//! The grid is `bench::scenario::registry::fig15_plan` — every cell a named
+//! `ScenarioSpec` — and runs through the scenario `Runner`:
+//!
+//! * `fig15` — run every cell in-process (thread pool, canonical-order
+//!   join) and render the figure;
+//! * `fig15 --shard K/N --emit FILE` — run only grid indices ≡ K mod N and
+//!   write their `RunReport`s as JSON (cluster sharding: each process takes
+//!   one stripe);
+//! * `fig15 --merge FILE...` — recombine shard files, verify they cover the
+//!   grid exactly once, and render **byte-identically** to the unsharded
+//!   run (reports round-trip losslessly; CI enforces the equality).
 //!
 //! Paper shape: deviation grows with rate/state/skew; DRRS dominates every
 //! cell and is up to 89% better at <20K tps, 30 GB>; Megaphone and Meces
 //! show skew anomalies (incomplete migrations / fetch instability).
 
-use baselines::{megaphone, MecesPlugin};
-use bench::{parallel_map, quick, run};
-use drrs_core::FlexScaler;
-use simcore::time::secs;
-use streamflow::ScalePlugin;
-use workloads::custom::{cluster_engine_config, custom, CustomParams};
+use bench::quick;
+use bench::scenario::registry::{fig15_plan, Fig15Plan};
+use bench::scenario::{runner, RunReport, Runner, SweepMode};
 
-/// One grid cell's configuration, in canonical order.
-#[derive(Clone, Copy)]
-struct Cell {
-    mech: &'static str,
-    skew: f64,
-    gb: u64,
-    tps: f64,
-}
-
-/// One grid cell's results: throughput deviation and the fraction of the
-/// planned migration that actually settled.
-struct CellResult {
-    deviation: f64,
-    settled_pct: usize,
-}
-
-fn run_cell(cell: Cell, scale_at: u64, measure: u64, horizon: u64) -> CellResult {
-    let p = CustomParams {
-        tps: cell.tps,
-        total_state_bytes: cell.gb * 1_000_000_000,
-        skew: cell.skew,
-        ..Default::default()
-    };
-    let (w, op) = custom(cluster_engine_config(15), &p);
-    let plugin: Box<dyn ScalePlugin> = match cell.mech {
-        "DRRS" => Box::new(FlexScaler::drrs()),
-        "Megaphone" => Box::new(megaphone(4)),
-        _ => Box::new(MecesPlugin::new()),
-    };
-    let r = run(cell.mech, w, op, plugin, scale_at, 30, horizon);
-    let lo = scale_at / 1_000_000;
-    let hi = (scale_at + measure) / 1_000_000;
-    let measured = r.sim.world.metrics.mean_throughput(lo, hi);
-    let deviation = (cell.tps - measured).max(0.0);
-    // The paper's Megaphone anomaly: low deviation can mean the migration
-    // never finished in the window — report the completed fraction
-    // alongside.
-    let planned = r
-        .sim
-        .world
-        .scale
-        .plan
-        .as_ref()
-        .map(|p| p.moves.len())
-        .unwrap_or(0);
-    let settled = r
-        .sim
-        .world
-        .scale
-        .plan
-        .as_ref()
-        .map(|plan| {
-            plan.moves
-                .iter()
-                .filter(|m| r.sim.world.insts[m.to.0 as usize].state.holds_group(m.kg))
-                .count()
-        })
-        .unwrap_or(0);
-    CellResult {
-        deviation,
-        settled_pct: (settled * 100).checked_div(planned).unwrap_or(100),
-    }
-}
-
-fn main() {
-    let (rates, sizes_gb, skews): (Vec<f64>, Vec<u64>, Vec<f64>) = if quick() {
-        (vec![5_000.0, 20_000.0], vec![5, 30], vec![0.0, 1.5])
-    } else {
-        (
-            vec![5_000.0, 10_000.0, 15_000.0, 20_000.0],
-            vec![5, 10, 20, 30],
-            vec![0.0, 0.5, 1.0, 1.5],
-        )
-    };
-    let (scale_at, measure) = if quick() {
-        (secs(40), secs(120))
-    } else {
-        (secs(120), secs(600)) // 10-minute collection window
-    };
-    let horizon = scale_at + measure + secs(10);
-    let mechs = ["DRRS", "Megaphone", "Meces"];
-
-    // Canonical cell order: mech, then skew, then GB, then tps — exactly
-    // the print order below, so results are joined by a running index.
-    let mut cells: Vec<Cell> = Vec::new();
-    for mech in mechs {
-        for &skew in &skews {
-            for &gb in &sizes_gb {
-                for &tps in &rates {
-                    cells.push(Cell {
-                        mech,
-                        skew,
-                        gb,
-                        tps,
-                    });
-                }
-            }
-        }
-    }
-    let results = parallel_map(cells, |cell| run_cell(cell, scale_at, measure, horizon));
-
+/// Render the full figure from canonically ordered cell reports.
+fn render(plan: &Fig15Plan, results: &[RunReport]) {
     println!("=== Fig. 15: throughput deviation (input rate - measured, rec/s) ===");
     println!(
         "25 -> 30 instances, 256 key-groups (229 migrated), {}s window\n",
-        measure / 1_000_000
+        plan.measure / 1_000_000
     );
 
+    let lo = plan.scale_at / 1_000_000;
+    let hi = (plan.scale_at + plan.measure) / 1_000_000;
     let mut idx = 0;
-    for mech in mechs {
+    for mech in &plan.mechs {
         println!("--- {mech} ---");
-        for &skew in &skews {
+        for &skew in &plan.skews {
             println!("Skewness {skew}:");
             print!("{:>8}", "GB\\tps");
-            for r in &rates {
+            for r in &plan.rates {
                 print!(" {:>12}", *r as u64);
             }
             println!("   (deviation rec/s | migration completed %)");
-            for &gb in &sizes_gb {
+            for &gb in &plan.sizes_gb {
                 print!("{gb:>8}");
-                for _ in &rates {
+                for &tps in &plan.rates {
                     let r = &results[idx];
                     idx += 1;
-                    print!(" {:>7.0}/{:>3}%", r.deviation, r.settled_pct);
+                    let deviation = (tps - r.mean_throughput(lo, hi)).max(0.0);
+                    // The paper's Megaphone anomaly: low deviation can mean
+                    // the migration never finished in the window — report
+                    // the completed fraction alongside.
+                    print!(" {:>7.0}/{:>3}%", deviation, r.settled_pct());
                 }
                 println!();
             }
@@ -154,4 +65,30 @@ fn main() {
     }
     println!("paper shape: purple (low deviation) everywhere for DRRS; degradation grows");
     println!("with rate/state/skew; baselines show anomalies at high skew.");
+}
+
+fn main() {
+    let plan = fig15_plan(quick());
+    match runner::sweep_mode_from_args("fig15") {
+        SweepMode::Full => {
+            let results = Runner::in_process().run(&plan.specs);
+            render(&plan, &results);
+        }
+        SweepMode::Shard { shard, emit } => {
+            let runs = Runner::sharded(shard).run_indexed(&plan.specs);
+            runner::write_shard(emit.as_ref(), "fig15", plan.specs.len(), shard, &runs)
+                .unwrap_or_else(|e| panic!("writing {emit}: {e}"));
+            eprintln!(
+                "fig15: shard {} ran {} of {} cells -> {emit}",
+                shard.label(),
+                runs.len(),
+                plan.specs.len()
+            );
+        }
+        SweepMode::Merge { inputs } => {
+            let results = runner::merge_shards("fig15", &plan.specs, &inputs)
+                .unwrap_or_else(|e| panic!("merge failed: {e}"));
+            render(&plan, &results);
+        }
+    }
 }

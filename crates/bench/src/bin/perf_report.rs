@@ -13,7 +13,15 @@
 //!
 //! Usage: `perf_report [--out FILE] [--baseline FILE] [--quick]
 //!                     [--backend heap|calendar|both]
-//!                     [--dispatch single|batch|both] [--reps N]`
+//!                     [--dispatch single|batch|both] [--reps N]
+//!                     [--require-digest-match]`
+//!
+//! The scenario matrix is not private to this binary: it is the `perf/`
+//! group of `bench::scenario::registry`, the same named specs the digest
+//! tests consume — this binary only owns the timing/A-B logic on top.
+//! `--require-digest-match` turns the baseline digest comparison into a
+//! hard failure (exit 1), which CI uses to pin the current build's
+//! scenario digests to the recorded `BENCH_PRn.json` trajectory.
 //!
 //! By default every scenario runs on the full {scheduler backend} ×
 //! {dispatch mode} grid — binary heap and calendar queue, single-pop and
@@ -33,11 +41,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use bench::scenario::{registry, ScenarioSpec};
 use simcore::time::secs;
 use simcore::SchedulerBackend;
-use streamflow::world::tests_support::tiny_job;
-use streamflow::world::Sim;
-use streamflow::{DispatchMode, EngineConfig, NoScale, ScalePlugin};
+use streamflow::DispatchMode;
 
 /// One cell of the measurement grid.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -62,7 +69,7 @@ struct RunSample {
 
 /// Aggregated per-scenario result: medians per cell, shared digest.
 struct ScenarioResult {
-    name: &'static str,
+    name: String,
     events: u64,
     /// Median wall seconds per cell, keyed like the `cells` slice.
     wall_secs: Vec<f64>,
@@ -97,10 +104,13 @@ fn median(xs: &[f64]) -> f64 {
     }
 }
 
-fn time_run(horizon_secs: u64, build: &dyn Fn(SchedulerBackend) -> Sim, cell: Cell) -> RunSample {
-    let mut sim = build(cell.backend).with_dispatch_mode(cell.dispatch);
+fn time_run(spec: &ScenarioSpec, cell: Cell) -> RunSample {
+    let (mut sim, _) = spec
+        .clone()
+        .with_cell(cell.backend, cell.dispatch)
+        .build_sim();
     let start = Instant::now();
-    sim.run_until(secs(horizon_secs));
+    sim.run_until(spec.horizon);
     let wall = start.elapsed().as_secs_f64();
     RunSample {
         events: sim.world.q.processed(),
@@ -113,22 +123,17 @@ fn time_run(horizon_secs: u64, build: &dyn Fn(SchedulerBackend) -> Sim, cell: Ce
 /// Run one scenario `reps` times per grid cell, interleaved across cells.
 /// Hard-fails the process on any digest divergence (across cells or across
 /// repetitions — either breaks the determinism contract).
-fn run_scenario(
-    name: &'static str,
-    horizon_secs: u64,
-    cells: &[Cell],
-    reps: usize,
-    build: impl Fn(SchedulerBackend) -> Sim,
-) -> ScenarioResult {
+fn run_scenario(spec: &ScenarioSpec, cells: &[Cell], reps: usize) -> ScenarioResult {
+    let name = spec.short_name();
     // One warmup run per cell (page in code, warm the allocator).
     for &c in cells {
-        let mut sim = build(c.backend).with_dispatch_mode(c.dispatch);
+        let (mut sim, _) = spec.clone().with_cell(c.backend, c.dispatch).build_sim();
         sim.run_until(secs(1));
     }
     let mut samples: Vec<Vec<RunSample>> = cells.iter().map(|_| Vec::new()).collect();
     for _rep in 0..reps {
         for (i, &c) in cells.iter().enumerate() {
-            samples[i].push(time_run(horizon_secs, &build, c));
+            samples[i].push(time_run(spec, c));
         }
     }
     let reference = &samples[0][0];
@@ -153,7 +158,7 @@ fn run_scenario(
         }
     }
     ScenarioResult {
-        name,
+        name: name.to_string(),
         events: reference.events,
         wall_secs: samples
             .iter()
@@ -176,59 +181,10 @@ fn run_scenario(
 }
 
 fn scenario_matrix(quick: bool, cells: &[Cell], reps: usize) -> Vec<ScenarioResult> {
-    let horizon = if quick { 4 } else { 10 };
-    let mut cfg = EngineConfig::test();
-    cfg.max_key_groups = 128;
-    cfg.check_semantics = false;
-
-    let with_backend = |cfg: &EngineConfig, b: SchedulerBackend| {
-        let mut c = cfg.clone();
-        c.scheduler = b;
-        c
-    };
-
-    let steady_cfg = cfg.clone();
-    let steady = run_scenario("steady_50k", horizon, cells, reps, |b| {
-        let (w, _) = tiny_job(with_backend(&steady_cfg, b), 50_000.0, 4_096, 4);
-        Sim::new(w, Box::new(NoScale))
-    });
-
-    let drrs_cfg = cfg.clone();
-    let drrs = run_scenario("drrs_rescale_4_to_6", horizon, cells, reps, |b| {
-        let (mut w, agg) = tiny_job(with_backend(&drrs_cfg, b), 50_000.0, 4_096, 4);
-        w.schedule_scale(secs(2), agg, 6);
-        Sim::new(w, drrs_plugin())
-    });
-
-    let mega_cfg = cfg.clone();
-    let megaphone = run_scenario("megaphone_rescale_4_to_6", horizon, cells, reps, |b| {
-        let (mut w, agg) = tiny_job(with_backend(&mega_cfg, b), 50_000.0, 4_096, 4);
-        w.schedule_scale(secs(2), agg, 6);
-        Sim::new(w, megaphone_plugin())
-    });
-
-    let scalein_cfg = cfg.clone();
-    let scale_in = run_scenario("drrs_scale_in_6_to_3", horizon, cells, reps, |b| {
-        let (mut w, agg) = tiny_job(with_backend(&scalein_cfg, b), 30_000.0, 4_096, 6);
-        w.schedule_scale(secs(2), agg, 3);
-        Sim::new(w, drrs_plugin())
-    });
-
-    let overload_cfg = cfg;
-    let overload = run_scenario("overload_backpressure", horizon, cells, reps, |b| {
-        let (w, _) = tiny_job(with_backend(&overload_cfg, b), 120_000.0, 1_024, 2);
-        Sim::new(w, Box::new(NoScale))
-    });
-
-    vec![steady, drrs, megaphone, scale_in, overload]
-}
-
-fn drrs_plugin() -> Box<dyn ScalePlugin> {
-    Box::new(drrs_core::FlexScaler::drrs())
-}
-
-fn megaphone_plugin() -> Box<dyn ScalePlugin> {
-    Box::new(baselines::megaphone(8))
+    registry::perf_scenarios(quick)
+        .iter()
+        .map(|spec| run_scenario(spec, cells, reps))
+        .collect()
 }
 
 #[derive(Default)]
@@ -292,6 +248,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1usize)
         .max(1);
+    let require_digest_match = flag("--require-digest-match").is_some();
     let backend_arg = flag("--backend").and_then(|i| args.get(i + 1).cloned());
     let backends: Vec<SchedulerBackend> = match backend_arg.as_deref() {
         None | Some("both") => vec![SchedulerBackend::BinaryHeap, SchedulerBackend::Calendar],
@@ -443,7 +400,7 @@ fn main() {
         let digest_match = results.iter().all(|r| {
             b.digests
                 .iter()
-                .find(|(n, _)| n == r.name)
+                .find(|(n, _)| *n == r.name)
                 .is_none_or(|(_, d)| *d == r.digest)
         });
         let _ = writeln!(
@@ -500,4 +457,42 @@ fn main() {
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("perf_report: wrote {out_path}");
+
+    if require_digest_match {
+        // Strict mode for CI: every scenario must be present in the
+        // baseline AND digest-equal — the port/refactor under test is
+        // required to be behavior-preserving against the recorded
+        // trajectory, proven, not assumed.
+        let Some(b) = &baseline else {
+            eprintln!("perf_report: FATAL: --require-digest-match needs a readable --baseline");
+            std::process::exit(1);
+        };
+        let mut ok = true;
+        for r in &results {
+            match b.digests.iter().find(|(n, _)| *n == r.name) {
+                Some((_, d)) if *d == r.digest => {}
+                Some((_, d)) => {
+                    eprintln!(
+                        "perf_report: FATAL: scenario {} digest 0x{:016x} != baseline 0x{d:016x}",
+                        r.name, r.digest
+                    );
+                    ok = false;
+                }
+                None => {
+                    eprintln!(
+                        "perf_report: FATAL: scenario {} missing from the baseline",
+                        r.name
+                    );
+                    ok = false;
+                }
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf_report: all {} scenario digests byte-identical to the baseline",
+            results.len()
+        );
+    }
 }

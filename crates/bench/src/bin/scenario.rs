@@ -1,0 +1,78 @@
+//! `scenario` — the registry/runner CLI: list, run, and digest-check named
+//! scenarios without going through a figure binary.
+//!
+//! ```bash
+//! scenario --list                      # every registered name
+//! scenario --run perf/steady_50k       # one run; prints a digest line
+//! scenario --run NAME --emit report.json   # also write the RunReport JSON
+//! scenario --group perf                # run a whole group, one line each
+//! ```
+//!
+//! The digest lines on stdout are fully deterministic (`name digest events
+//! sink_records`), so `scenario --group perf` run twice and diffed is a
+//! process-level determinism smoke — CI's `digest-stability` job uses
+//! exactly that. `QUICK=1` compresses the grids as everywhere else.
+
+use bench::quick;
+use bench::scenario::registry;
+use bench::scenario::Runner;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario --list | --run NAME [--emit FILE] | --group PREFIX\n\
+         (QUICK=1 in the environment compresses timelines)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().position(|a| a == name);
+    let value = |name: &str| flag(name).and_then(|i| args.get(i + 1).cloned());
+
+    if flag("--list").is_some() {
+        for s in registry::all(quick()) {
+            println!("{}", s.name);
+        }
+        return;
+    }
+
+    if let Some(name) = value("--run") {
+        let Some(spec) = registry::find(&name, quick()) else {
+            eprintln!("scenario: unknown scenario {name:?} (see --list)");
+            std::process::exit(2);
+        };
+        let report = spec.run();
+        if let Some(path) = value("--emit") {
+            std::fs::write(&path, report.to_json(""))
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("scenario: wrote {path}");
+        }
+        println!(
+            "{} digest 0x{:016x} events {} sink_records {}",
+            report.scenario, report.digest, report.events, report.sink_records
+        );
+        return;
+    }
+
+    if let Some(prefix) = value("--group") {
+        let specs: Vec<_> = registry::all(quick())
+            .into_iter()
+            .filter(|s| s.name.starts_with(&prefix))
+            .collect();
+        if specs.is_empty() {
+            eprintln!("scenario: no scenarios match prefix {prefix:?} (see --list)");
+            std::process::exit(2);
+        }
+        let reports = Runner::in_process().run(&specs);
+        for r in &reports {
+            println!(
+                "{} digest 0x{:016x} events {} sink_records {}",
+                r.scenario, r.digest, r.events, r.sink_records
+            );
+        }
+        return;
+    }
+
+    usage()
+}

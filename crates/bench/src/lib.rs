@@ -10,88 +10,27 @@
 //! | `fig14`    | Fig. 14 — mechanism ablation on Twitch |
 //! | `fig15`    | Fig. 15 — sensitivity grid (rate × state × skew) |
 //!
+//! Every run any binary performs is a named [`scenario::ScenarioSpec`]
+//! pulled from [`scenario::registry`] and executed by the
+//! [`scenario::Runner`] into a typed [`scenario::RunReport`] — see the
+//! [`scenario`] module docs for the spec → registry → runner → report
+//! lifecycle, the determinism contract, and the `--shard K/N` /
+//! `--emit` / `--merge` process-sharding protocol grid binaries speak.
+//!
 //! Set `QUICK=1` in the environment for compressed timelines (CI-friendly);
 //! the default timelines follow the paper (scale at 300 s, etc.).
 
-use simcore::time::{as_ms, secs, SimTime};
-use streamflow::world::Sim;
-use streamflow::{OpId, ScalePlugin, World};
+pub mod scenario;
 
-/// Everything a single run produces, for report rendering.
-pub struct RunResult {
-    /// Mechanism name.
-    pub name: String,
-    /// The finished simulation (metrics inside).
-    pub sim: Sim,
-    /// The scaling operator.
-    pub op: OpId,
-    /// When the scale was requested.
-    pub scale_at: SimTime,
-}
-
-impl RunResult {
-    /// Peak/mean latency (ms) over `[lo, hi)`.
-    pub fn latency_ms(&self, lo: SimTime, hi: SimTime) -> (f64, f64) {
-        self.sim.world.metrics.latency_stats_ms(lo, hi)
-    }
-
-    /// The paper's scaling-period end (within 110% of pre-scale mean for
-    /// 100 s), if the system re-stabilized.
-    pub fn scaling_period_end(&self) -> Option<SimTime> {
-        let hold = if quick() { secs(20) } else { secs(100) };
-        self.sim
-            .world
-            .metrics
-            .scaling_period_end(self.scale_at, secs(50), 1.10, hold)
-    }
-
-    /// Cumulative propagation delay (ms).
-    pub fn lp_ms(&self) -> f64 {
-        as_ms(self.sim.world.scale.metrics.cumulative_propagation_delay())
-    }
-
-    /// Average dependency overhead (ms).
-    pub fn ld_ms(&self) -> f64 {
-        self.sim.world.scale.metrics.avg_dependency_overhead() / 1_000.0
-    }
-
-    /// Total suspension across scaled-operator instances (ms).
-    pub fn suspension_ms(&self) -> f64 {
-        let w = &self.sim.world;
-        let total: u64 = w.ops[self.op.0 as usize]
-            .instances
-            .iter()
-            .map(|&i| w.insts[i.0 as usize].suspension_as_of(w.now()))
-            .sum();
-        as_ms(total)
-    }
-
-    /// Execution-order violations observed.
-    pub fn violations(&self) -> u64 {
-        self.sim.world.semantics.violations()
-    }
-
-    /// Migration completion time, if reached.
-    pub fn migration_done(&self) -> Option<SimTime> {
-        self.sim.world.scale.metrics.migration_done
-    }
-}
-
-/// The latency series converted to (second, ms) for printing.
-pub fn latency_series_ms(r: &RunResult) -> Vec<(u64, f64)> {
-    r.sim
-        .world
-        .metrics
-        .latency
-        .per_second_mean()
-        .into_iter()
-        .map(|(s, v)| (s, v / 1_000.0))
-        .collect()
-}
-
-/// Is quick mode (compressed timelines) enabled?
+/// Is quick mode (compressed timelines) enabled? The `QUICK` env var is
+/// read **once** and latched for the process lifetime: scenario grids,
+/// horizons and stabilization holds must all agree on the same mode, and a
+/// mid-run env change (e.g. from a test harness) must not produce a
+/// half-quick, half-full timeline.
 pub fn quick() -> bool {
-    std::env::var("QUICK").map(|v| v == "1").unwrap_or(false)
+    use std::sync::OnceLock;
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var("QUICK").map(|v| v == "1").unwrap_or(false))
 }
 
 /// Run `f` over `items` on a pool of OS threads (one simulation per
@@ -157,29 +96,6 @@ where
         .collect()
 }
 
-/// Run one mechanism on a prepared world.
-pub fn run(
-    name: &str,
-    mut world: World,
-    op: OpId,
-    plugin: Box<dyn ScalePlugin>,
-    scale_at: SimTime,
-    new_parallelism: usize,
-    horizon: SimTime,
-) -> RunResult {
-    if new_parallelism > 0 {
-        world.schedule_scale(scale_at, op, new_parallelism);
-    }
-    let mut sim = Sim::new(world, plugin);
-    sim.run_until(horizon);
-    RunResult {
-        name: name.to_string(),
-        sim,
-        op,
-        scale_at,
-    }
-}
-
 /// Render a per-second series as a sparse text table (every `step` seconds).
 pub fn print_series(label: &str, series: &[(u64, f64)], step: u64, unit: &str) {
     println!("  {label} (every {step}s, {unit}):");
@@ -225,19 +141,26 @@ mod tests {
 
     #[test]
     fn harness_runs_end_to_end() {
-        use streamflow::world::tests_support::tiny_job;
-        let (w, agg) = tiny_job(streamflow::EngineConfig::test(), 2_000.0, 128, 2);
-        let r = run(
-            "DRRS",
-            w,
-            agg,
-            Box::new(drrs_core::FlexScaler::drrs()),
-            secs(1),
-            3,
-            secs(6),
-        );
-        assert!(r.migration_done().is_some());
-        assert_eq!(r.violations(), 0);
+        use scenario::{MechanismSpec, ScaleSpec, ScenarioSpec, WorkloadSpec};
+        use simcore::time::secs;
+        let spec = ScenarioSpec {
+            name: "test/harness_smoke".into(),
+            engine: scenario::EngineProfile::Perf,
+            seed: 0xD225,
+            workload: WorkloadSpec::TinyJob {
+                rate: 2_000.0,
+                universe: 128,
+                par: 2,
+            },
+            mechanism: MechanismSpec::Drrs,
+            scale: Some(ScaleSpec { at: secs(1), to: 3 }),
+            horizon: secs(6),
+            backend: simcore::SchedulerBackend::default(),
+            dispatch: streamflow::DispatchMode::default(),
+        };
+        let r = spec.run();
+        assert!(r.migration_done.is_some());
+        assert_eq!(r.violations, 0);
         let (peak, mean) = r.latency_ms(0, secs(6));
         assert!(peak >= mean);
     }

@@ -1,0 +1,343 @@
+//! `bench::scenario` — the unified experiment API: **spec → registry →
+//! runner → report**.
+//!
+//! The paper's evaluation is a grid of scenarios (workload × mechanism ×
+//! scale plan × seed). This module makes that shape first-class:
+//!
+//! * [`ScenarioSpec`] — a declarative, nameable description of **one run**:
+//!   workload parameters, mechanism, scale plan, horizon, seed, and the
+//!   engine's scheduler/dispatch cell. Specs are plain data (`Clone` +
+//!   `PartialEq`), so a run is identified by its name and reconstructible
+//!   anywhere — which is exactly what makes process-level sharding possible.
+//! * [`registry`] — the central catalog naming every run used in the repo:
+//!   the five `perf_report` scenarios, every fig02–fig15 row, and the
+//!   ablation cells. Binaries pull specs from here instead of hand-assembling
+//!   `(World, OpId)` pairs.
+//! * [`runner`] — executes specs deterministically: in-process on
+//!   [`crate::parallel_map`] (one single-threaded sim per worker thread,
+//!   canonical-order join), or sharded across processes via `--shard K/N`
+//!   (run every grid cell whose index ≡ K mod N), `--emit FILE` (write the
+//!   shard's reports as JSON) and `--merge FILES..` (recombine shards and
+//!   render exactly what the unsharded run would have rendered).
+//! * [`RunReport`] — the typed result of one run: events/sec, the
+//!   deterministic metrics digest, the latency/throughput/suspension series,
+//!   Lp/Ld, suspension, migration progress. Reports serialize to JSON and
+//!   parse back losslessly, so shard merging is byte-exact.
+//!
+//! # Determinism contract
+//!
+//! Building a spec twice yields byte-identical simulations: every field of
+//! [`ScenarioSpec`] is plain data, the engine seed is part of the spec, and
+//! the scheduler backend / dispatch mode are digest-neutral by the engine's
+//! own contract (enforced by `perf_report`). Consequently:
+//!
+//! * the same spec run twice produces the same [`RunReport`] except for
+//!   `wall_secs` (the only non-deterministic field);
+//! * a sharded sweep merged back together renders byte-identically to the
+//!   unsharded sweep — the shard assignment only partitions *which process*
+//!   runs a cell, never what the cell computes;
+//! * `RunReport` JSON round-trips exactly (floats are written in shortest
+//!   round-trip form), so nothing drifts across the emit/merge boundary.
+
+pub mod registry;
+pub mod report;
+pub mod runner;
+
+pub use report::RunReport;
+pub use runner::{Runner, Shard, SweepMode};
+
+use std::time::Instant;
+
+use baselines::{megaphone, otfs_fluid, MecesPlugin, UnboundPlugin};
+use drrs_core::{FlexScaler, MechanismConfig};
+use simcore::time::SimTime;
+use simcore::SchedulerBackend;
+use streamflow::world::tests_support::tiny_job;
+use streamflow::world::Sim;
+use streamflow::{DispatchMode, EngineConfig, NoScale, OpId, ScalePlugin, World};
+use workloads::custom::{cluster_engine_config, custom, CustomParams};
+use workloads::nexmark::{nexmark_engine_config, q7, q8, Q7Params, Q8Params};
+use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
+
+/// Which engine-configuration family a scenario runs on. Profiles are the
+/// deployment shapes the paper uses; the seed rides on the spec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineProfile {
+    /// `EngineConfig::test()` with 128 key-groups and the semantics checker
+    /// off — the `perf_report` measurement profile.
+    Perf,
+    /// The paper's single-machine NEXMark deployment (128 key-groups).
+    Nexmark,
+    /// The Twitch pipeline deployment (128 key-groups).
+    Twitch,
+    /// Twitch with the semantics checker on (fig. 2 counts order
+    /// violations as part of its story).
+    TwitchChecked,
+    /// The Swarm-cluster sensitivity deployment (256 key-groups).
+    Cluster,
+}
+
+/// The workload half of a scenario: which job to build, from serializable
+/// parameters only.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    /// The tiny source → keyed-agg → sink job used by the perf scenarios
+    /// and the determinism tests.
+    TinyJob {
+        /// Source rate, records/second.
+        rate: f64,
+        /// Key universe size.
+        universe: u64,
+        /// Aggregator parallelism.
+        par: usize,
+    },
+    /// NEXMark Q7 (sliding-window max).
+    Q7(Q7Params),
+    /// NEXMark Q8 (windowed person⋈auction join).
+    Q8(Q8Params),
+    /// The seven-operator Twitch pipeline.
+    Twitch(TwitchParams),
+    /// The custom 3-operator sensitivity workload.
+    Custom(CustomParams),
+}
+
+/// The mechanism half of a scenario: which rescaling plugin drives the run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MechanismSpec {
+    /// No scaling at all.
+    NoScale,
+    /// Full DRRS (all three mechanisms).
+    Drrs,
+    /// Any `FlexScaler` configuration (ablation variants, OTFS flavors…).
+    Flex(MechanismConfig),
+    /// Megaphone with `batch` key-groups per sequential batch.
+    Megaphone {
+        /// Key-groups per sequential migration batch.
+        batch: usize,
+    },
+    /// Meces (fetch-on-demand).
+    Meces,
+    /// The correctness-free "Unbound" probe from fig. 2.
+    Unbound,
+    /// Generalized OTFS with fluid migration.
+    OtfsFluid,
+}
+
+impl MechanismSpec {
+    /// Display label, as the figures print it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::NoScale => "No Scale",
+            Self::Drrs => "DRRS",
+            Self::Flex(cfg) => cfg.name,
+            Self::Megaphone { .. } => "Megaphone",
+            Self::Meces => "Meces",
+            Self::Unbound => "Unbound",
+            Self::OtfsFluid => "OTFS",
+        }
+    }
+
+    /// Build the scale plugin this spec describes.
+    pub fn plugin(&self) -> Box<dyn ScalePlugin> {
+        match self {
+            Self::NoScale => Box::new(NoScale),
+            Self::Drrs => Box::new(FlexScaler::drrs()),
+            Self::Flex(cfg) => Box::new(FlexScaler::new(cfg.clone())),
+            Self::Megaphone { batch } => Box::new(megaphone(*batch)),
+            Self::Meces => Box::new(MecesPlugin::new()),
+            Self::Unbound => Box::new(UnboundPlugin::new()),
+            Self::OtfsFluid => Box::new(otfs_fluid()),
+        }
+    }
+}
+
+/// A requested mid-run scale of the workload's scaling operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScaleSpec {
+    /// When to request the scale.
+    pub at: SimTime,
+    /// Target parallelism.
+    pub to: usize,
+}
+
+/// A declarative, serializable description of one experiment run.
+///
+/// Everything a run needs is in here; [`ScenarioSpec::run`] is a pure
+/// function of the spec (modulo wall-clock timing). Specs come from
+/// [`registry`]; ad-hoc variations are derived with the `with_*` builders
+/// so tests and A/B harnesses never re-assemble worlds by hand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Unique registry name, `group/detail...` (e.g. `perf/steady_50k`).
+    pub name: String,
+    /// Engine-configuration family.
+    pub engine: EngineProfile,
+    /// Engine seed (drives every RNG in the run).
+    pub seed: u64,
+    /// The job to build.
+    pub workload: WorkloadSpec,
+    /// The rescaling mechanism under test.
+    pub mechanism: MechanismSpec,
+    /// Optional mid-run scale of the workload's scaling operator.
+    pub scale: Option<ScaleSpec>,
+    /// How long to run.
+    pub horizon: SimTime,
+    /// Future-event-list backend (digest-neutral by contract).
+    pub backend: SchedulerBackend,
+    /// Event dispatch mode (digest-neutral by contract).
+    pub dispatch: DispatchMode,
+}
+
+impl ScenarioSpec {
+    /// The name's last path segment (what `perf_report` prints and what
+    /// the `BENCH_PRn.json` baselines key digests by).
+    pub fn short_name(&self) -> &str {
+        self.name.rsplit('/').next().unwrap_or(&self.name)
+    }
+
+    /// Derive a spec with a different scheduler backend.
+    pub fn with_backend(mut self, backend: SchedulerBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Derive a spec with a different dispatch mode.
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Derive a spec pinned to one (backend, dispatch) measurement cell.
+    pub fn with_cell(self, backend: SchedulerBackend, dispatch: DispatchMode) -> Self {
+        self.with_backend(backend).with_dispatch(dispatch)
+    }
+
+    /// Derive a spec with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Derive a spec with a different horizon.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Derive a spec with a different mechanism.
+    pub fn with_mechanism(mut self, mechanism: MechanismSpec) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// The engine configuration this spec resolves to.
+    pub fn engine_config(&self) -> EngineConfig {
+        let mut cfg = match self.engine {
+            EngineProfile::Perf => {
+                let mut c = EngineConfig::test();
+                c.max_key_groups = 128;
+                c.check_semantics = false;
+                c
+            }
+            EngineProfile::Nexmark => nexmark_engine_config(self.seed),
+            EngineProfile::Twitch => twitch_engine_config(self.seed),
+            EngineProfile::TwitchChecked => {
+                let mut c = twitch_engine_config(self.seed);
+                c.check_semantics = true;
+                c
+            }
+            EngineProfile::Cluster => cluster_engine_config(self.seed),
+        };
+        cfg.seed = self.seed;
+        cfg.scheduler = self.backend;
+        cfg
+    }
+
+    /// Build the world and return it with the scaling operator.
+    pub fn build_world(&self) -> (World, OpId) {
+        let cfg = self.engine_config();
+        match &self.workload {
+            WorkloadSpec::TinyJob {
+                rate,
+                universe,
+                par,
+            } => tiny_job(cfg, *rate, *universe, *par),
+            WorkloadSpec::Q7(p) => q7(cfg, p),
+            WorkloadSpec::Q8(p) => q8(cfg, p),
+            WorkloadSpec::Twitch(p) => twitch(cfg, p),
+            WorkloadSpec::Custom(p) => custom(cfg, p),
+        }
+    }
+
+    /// Build the ready-to-run simulation: world built, scale scheduled,
+    /// plugin attached, dispatch mode applied. Identical construction order
+    /// to the pre-registry binaries (schedule before `Sim::new`), so event
+    /// sequence numbers — and therefore digests — are preserved.
+    pub fn build_sim(&self) -> (Sim, OpId) {
+        let (mut w, op) = self.build_world();
+        if let Some(s) = self.scale {
+            w.schedule_scale(s.at, op, s.to);
+        }
+        let sim = Sim::new(w, self.mechanism.plugin()).with_dispatch_mode(self.dispatch);
+        (sim, op)
+    }
+
+    /// Execute the spec to completion and harvest a [`RunReport`].
+    /// `wall_secs` times only `run_until` (not world construction), like
+    /// the perf harness.
+    pub fn run(&self) -> RunReport {
+        let (mut sim, op) = self.build_sim();
+        let start = Instant::now();
+        sim.run_until(self.horizon);
+        let wall_secs = start.elapsed().as_secs_f64();
+        RunReport::harvest(self, &sim, op, wall_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::secs;
+
+    fn steady() -> ScenarioSpec {
+        registry::find("perf/steady_50k", true).expect("registered")
+    }
+
+    #[test]
+    fn perf_profile_matches_the_perf_report_configuration() {
+        let cfg = steady().engine_config();
+        assert_eq!(cfg.max_key_groups, 128);
+        assert!(!cfg.check_semantics);
+        assert_eq!(cfg.seed, 0xD225);
+        assert_eq!(cfg.scheduler, SchedulerBackend::default());
+    }
+
+    #[test]
+    fn cell_override_reaches_the_engine_config() {
+        let spec = steady().with_cell(SchedulerBackend::BinaryHeap, DispatchMode::SinglePop);
+        assert_eq!(spec.engine_config().scheduler, SchedulerBackend::BinaryHeap);
+        assert_eq!(spec.dispatch, DispatchMode::SinglePop);
+    }
+
+    #[test]
+    fn same_spec_runs_digest_identically() {
+        let spec = steady().with_horizon(secs(2));
+        let a = spec.run();
+        let b = spec.run();
+        assert_eq!(a.digest, b.digest, "same spec diverged between two runs");
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.latency, b.latency);
+    }
+
+    #[test]
+    fn mechanism_labels_match_the_figures() {
+        assert_eq!(MechanismSpec::Drrs.label(), "DRRS");
+        assert_eq!(MechanismSpec::NoScale.label(), "No Scale");
+        assert_eq!(MechanismSpec::Megaphone { batch: 4 }.label(), "Megaphone");
+        assert_eq!(MechanismSpec::OtfsFluid.label(), "OTFS");
+        assert_eq!(
+            MechanismSpec::Flex(MechanismConfig::dr_only()).label(),
+            "DR"
+        );
+    }
+}

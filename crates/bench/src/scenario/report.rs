@@ -1,0 +1,410 @@
+//! [`RunReport`] — the typed result of one scenario run, replacing ad-hoc
+//! `sim.world.metrics.*` field poking in the figure binaries.
+//!
+//! A report is fully serializable: [`RunReport::to_json`] writes it as a
+//! flat JSON object (floats in Rust's shortest round-trip form) and
+//! [`RunReport::parse`] reads it back **losslessly**, so reports can cross
+//! the process boundary during sharded sweeps without perturbing a single
+//! bit of the rendered figures. `wall_secs` is the only field that differs
+//! between two runs of the same spec — everything else is deterministic.
+
+use simcore::stats::TimeSeries;
+use simcore::time::{as_ms, SimTime};
+use streamflow::world::Sim;
+use streamflow::OpId;
+
+use super::ScenarioSpec;
+
+/// Everything a single scenario run produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Registry name of the scenario (`group/detail...`).
+    pub scenario: String,
+    /// Mechanism display label (`DRRS`, `Meces`, ...).
+    pub mechanism: String,
+    /// Engine seed the run used.
+    pub seed: u64,
+    /// When the scale was requested (0 when the spec has no scale).
+    pub scale_at: SimTime,
+    /// Run horizon.
+    pub horizon: SimTime,
+    /// Simulated events dispatched.
+    pub events: u64,
+    /// Wall-clock seconds spent in `run_until` — the only
+    /// non-deterministic field.
+    pub wall_secs: f64,
+    /// Records delivered to sinks.
+    pub sink_records: u64,
+    /// The deterministic metrics digest (same spec ⇒ same digest).
+    pub digest: u64,
+    /// Execution-order violations observed.
+    pub violations: u64,
+    /// Cumulative propagation delay `Lp`, ms.
+    pub lp_ms: f64,
+    /// Average dependency overhead `Ld`, ms.
+    pub ld_ms: f64,
+    /// Total suspension across the scaled operator's instances, ms.
+    pub suspension_ms: f64,
+    /// Bytes moved over migration links.
+    pub bytes_transferred: u64,
+    /// Migration completion time, if reached.
+    pub migration_done: Option<SimTime>,
+    /// The paper's scaling-period end, if the system re-stabilized.
+    pub scaling_period_end: Option<SimTime>,
+    /// Key-group moves in the scale plan (0 when no plan was made).
+    pub planned_moves: u64,
+    /// Planned moves whose state actually settled at the destination.
+    pub settled_moves: u64,
+    /// Mean migrations per state unit (Meces back-and-forth counting).
+    pub churn_avg: f64,
+    /// Max migrations of any single state unit.
+    pub churn_max: u32,
+    /// End-to-end latency samples `(sink arrival µs, latency µs)`.
+    pub latency: Vec<(SimTime, f64)>,
+    /// Cumulative suspension samples `(time µs, cumulative µs)`.
+    pub suspension_series: Vec<(SimTime, f64)>,
+    /// Source throughput `(second, records/s)`.
+    pub throughput: Vec<(u64, f64)>,
+}
+
+impl RunReport {
+    /// Harvest a report from a finished simulation. Must only be called
+    /// after `run_until(spec.horizon)` — it reads clocks and instance
+    /// suspension "as of now".
+    pub fn harvest(spec: &ScenarioSpec, sim: &Sim, op: OpId, wall_secs: f64) -> Self {
+        let w = &sim.world;
+        let scale_at = spec.scale.map(|s| s.at).unwrap_or(0);
+        let hold = if crate::quick() {
+            simcore::time::secs(20)
+        } else {
+            simcore::time::secs(100)
+        };
+        let suspension_total: u64 = w.ops[op.0 as usize]
+            .instances
+            .iter()
+            .map(|&i| w.insts[i.0 as usize].suspension_as_of(w.now()))
+            .sum();
+        let (planned_moves, settled_moves) = match w.scale.plan.as_ref() {
+            Some(plan) => (
+                plan.moves.len() as u64,
+                plan.moves
+                    .iter()
+                    .filter(|m| w.insts[m.to.0 as usize].state.holds_group(m.kg))
+                    .count() as u64,
+            ),
+            None => (0, 0),
+        };
+        let (churn_avg, churn_max) = w.scale.metrics.migration_churn();
+        Self {
+            scenario: spec.name.clone(),
+            mechanism: spec.mechanism.label().to_string(),
+            seed: spec.seed,
+            scale_at,
+            horizon: spec.horizon,
+            events: w.q.processed(),
+            wall_secs,
+            sink_records: w.metrics.sink_records,
+            digest: w.metrics_digest(),
+            violations: w.semantics.violations(),
+            lp_ms: as_ms(w.scale.metrics.cumulative_propagation_delay()),
+            ld_ms: w.scale.metrics.avg_dependency_overhead() / 1_000.0,
+            suspension_ms: as_ms(suspension_total),
+            bytes_transferred: w.scale.metrics.bytes_transferred,
+            migration_done: w.scale.metrics.migration_done,
+            scaling_period_end: w.metrics.scaling_period_end(
+                scale_at,
+                simcore::time::secs(50),
+                1.10,
+                hold,
+            ),
+            planned_moves,
+            settled_moves,
+            churn_avg,
+            churn_max,
+            latency: w.metrics.latency.points().to_vec(),
+            suspension_series: w.metrics.suspension.points().to_vec(),
+            throughput: w.metrics.throughput(),
+        }
+    }
+
+    /// The latency samples as a [`TimeSeries`] (for windowed statistics
+    /// with the exact semantics the engine's `Metrics` uses).
+    fn latency_series(&self) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for &(t, v) in &self.latency {
+            ts.push(t, v);
+        }
+        ts
+    }
+
+    /// Peak/mean latency (ms) over `[lo, hi)` µs — same computation as
+    /// `Metrics::latency_stats_ms`.
+    pub fn latency_ms(&self, lo: SimTime, hi: SimTime) -> (f64, f64) {
+        let ts = self.latency_series();
+        let peak = ts.peak(lo, hi).unwrap_or(0.0);
+        let mean = ts.mean(lo, hi).unwrap_or(0.0);
+        (as_ms(peak as SimTime), as_ms(mean as SimTime))
+    }
+
+    /// The latency series as per-second means in `(second, ms)`.
+    pub fn latency_series_ms(&self) -> Vec<(u64, f64)> {
+        self.latency_series()
+            .per_second_mean()
+            .into_iter()
+            .map(|(s, v)| (s, v / 1_000.0))
+            .collect()
+    }
+
+    /// The cumulative-suspension series in `(second, ms)`.
+    pub fn suspension_series_ms(&self) -> Vec<(u64, f64)> {
+        self.suspension_series
+            .iter()
+            .map(|&(t, v)| (t / 1_000_000, v / 1_000.0))
+            .collect()
+    }
+
+    /// Mean source throughput over `[lo, hi)` seconds — literally the
+    /// engine's windowed-throughput rule (`metrics::mean_per_second`), so
+    /// report-side statistics cannot drift from `Metrics::mean_throughput`.
+    pub fn mean_throughput(&self, lo: u64, hi: u64) -> f64 {
+        streamflow::metrics::mean_per_second(self.throughput.iter().copied(), lo, hi)
+    }
+
+    /// Migration completion as seconds after the scale request (`NaN` if
+    /// the migration never finished).
+    pub fn migration_secs(&self) -> f64 {
+        self.migration_done
+            .map(|t| t as f64 / 1e6 - self.scale_at as f64 / 1e6)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Fraction of the planned migration that settled, in percent
+    /// (100 when nothing was planned).
+    pub fn settled_pct(&self) -> u64 {
+        (self.settled_moves * 100)
+            .checked_div(self.planned_moves)
+            .unwrap_or(100)
+    }
+
+    /// Serialize to JSON, each scalar field on its own line and each series
+    /// on one line, indented by `indent`. Floats use Rust's shortest
+    /// round-trip formatting, so [`RunReport::parse`] recovers them
+    /// bit-exactly.
+    pub fn to_json(&self, indent: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let i = indent;
+        let _ = writeln!(s, "{i}{{");
+        let _ = writeln!(s, "{i}  \"scenario\": \"{}\",", self.scenario);
+        let _ = writeln!(s, "{i}  \"mechanism\": \"{}\",", self.mechanism);
+        let _ = writeln!(s, "{i}  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "{i}  \"scale_at\": {},", self.scale_at);
+        let _ = writeln!(s, "{i}  \"horizon\": {},", self.horizon);
+        let _ = writeln!(s, "{i}  \"events\": {},", self.events);
+        let _ = writeln!(s, "{i}  \"wall_secs\": {:?},", self.wall_secs);
+        let _ = writeln!(s, "{i}  \"sink_records\": {},", self.sink_records);
+        let _ = writeln!(s, "{i}  \"digest\": \"0x{:016x}\",", self.digest);
+        let _ = writeln!(s, "{i}  \"violations\": {},", self.violations);
+        let _ = writeln!(s, "{i}  \"lp_ms\": {:?},", self.lp_ms);
+        let _ = writeln!(s, "{i}  \"ld_ms\": {:?},", self.ld_ms);
+        let _ = writeln!(s, "{i}  \"suspension_ms\": {:?},", self.suspension_ms);
+        let _ = writeln!(s, "{i}  \"bytes_transferred\": {},", self.bytes_transferred);
+        let _ = writeln!(s, "{i}  \"migration_done\": {},", opt(self.migration_done));
+        let _ = writeln!(
+            s,
+            "{i}  \"scaling_period_end\": {},",
+            opt(self.scaling_period_end)
+        );
+        let _ = writeln!(s, "{i}  \"planned_moves\": {},", self.planned_moves);
+        let _ = writeln!(s, "{i}  \"settled_moves\": {},", self.settled_moves);
+        let _ = writeln!(s, "{i}  \"churn_avg\": {:?},", self.churn_avg);
+        let _ = writeln!(s, "{i}  \"churn_max\": {},", self.churn_max);
+        let _ = writeln!(s, "{i}  \"latency\": {},", pairs(&self.latency));
+        let _ = writeln!(
+            s,
+            "{i}  \"suspension_series\": {},",
+            pairs(&self.suspension_series)
+        );
+        let _ = writeln!(s, "{i}  \"throughput\": {}", pairs(&self.throughput));
+        let _ = writeln!(s, "{i}}}");
+        s
+    }
+
+    /// Parse a report back from the JSON [`RunReport::to_json`] writes.
+    /// Tolerates surrounding whitespace and trailing commas per line; the
+    /// field set is strict (a missing field is an error).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut fields = std::collections::HashMap::new();
+        for line in text.lines() {
+            let t = line.trim().trim_end_matches(',');
+            if let Some(rest) = t.strip_prefix('"') {
+                if let Some((key, val)) = rest.split_once("\":") {
+                    fields.insert(key.to_string(), val.trim().to_string());
+                }
+            }
+        }
+        let get = |k: &str| -> Result<&String, String> {
+            fields.get(k).ok_or_else(|| format!("missing field {k:?}"))
+        };
+        let num_u64 = |k: &str| -> Result<u64, String> {
+            get(k)?.parse().map_err(|e| format!("field {k:?}: {e}"))
+        };
+        let num_f64 = |k: &str| -> Result<f64, String> {
+            get(k)?.parse().map_err(|e| format!("field {k:?}: {e}"))
+        };
+        let num_opt = |k: &str| -> Result<Option<u64>, String> {
+            let v = get(k)?;
+            if v == "null" {
+                Ok(None)
+            } else {
+                v.parse().map(Some).map_err(|e| format!("field {k:?}: {e}"))
+            }
+        };
+        let string =
+            |k: &str| -> Result<String, String> { Ok(get(k)?.trim_matches('"').to_string()) };
+        let digest_text = string("digest")?;
+        let digest = u64::from_str_radix(digest_text.trim_start_matches("0x"), 16)
+            .map_err(|e| format!("field \"digest\": {e}"))?;
+        Ok(Self {
+            scenario: string("scenario")?,
+            mechanism: string("mechanism")?,
+            seed: num_u64("seed")?,
+            scale_at: num_u64("scale_at")?,
+            horizon: num_u64("horizon")?,
+            events: num_u64("events")?,
+            wall_secs: num_f64("wall_secs")?,
+            sink_records: num_u64("sink_records")?,
+            digest,
+            violations: num_u64("violations")?,
+            lp_ms: num_f64("lp_ms")?,
+            ld_ms: num_f64("ld_ms")?,
+            suspension_ms: num_f64("suspension_ms")?,
+            bytes_transferred: num_u64("bytes_transferred")?,
+            migration_done: num_opt("migration_done")?,
+            scaling_period_end: num_opt("scaling_period_end")?,
+            planned_moves: num_u64("planned_moves")?,
+            settled_moves: num_u64("settled_moves")?,
+            churn_avg: num_f64("churn_avg")?,
+            churn_max: num_u64("churn_max")? as u32,
+            latency: parse_pairs(get("latency")?).map_err(|e| format!("latency: {e}"))?,
+            suspension_series: parse_pairs(get("suspension_series")?)
+                .map_err(|e| format!("suspension_series: {e}"))?,
+            throughput: parse_pairs(get("throughput")?).map_err(|e| format!("throughput: {e}"))?,
+        })
+    }
+}
+
+fn opt(v: Option<SimTime>) -> String {
+    v.map(|t| t.to_string()).unwrap_or_else(|| "null".into())
+}
+
+/// `[[t0,v0],[t1,v1],...]` on one line, floats in round-trip form.
+fn pairs(xs: &[(u64, f64)]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(xs.len() * 16 + 2);
+    s.push('[');
+    for (i, (t, v)) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{t},{v:?}]");
+    }
+    s.push(']');
+    s
+}
+
+fn parse_pairs(s: &str) -> Result<Vec<(u64, f64)>, String> {
+    let inner = s
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or("not an array")?;
+    let mut out = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches(',').trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        let body = rest.strip_prefix('[').ok_or("expected [t,v] pair")?;
+        let (pair, tail) = body.split_once(']').ok_or("unterminated pair")?;
+        let (t, v) = pair.split_once(',').ok_or("pair needs two elements")?;
+        out.push((
+            t.trim().parse().map_err(|e| format!("time: {e}"))?,
+            v.trim().parse().map_err(|e| format!("value: {e}"))?,
+        ));
+        rest = tail;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            scenario: "fig15/DRRS/skew0.5/gb5/tps5000".into(),
+            mechanism: "DRRS".into(),
+            seed: 15,
+            scale_at: 40_000_000,
+            horizon: 170_000_000,
+            events: 123_456,
+            wall_secs: 0.123456789012345,
+            sink_records: 777,
+            digest: 0xc1221c2392952504,
+            violations: 0,
+            lp_ms: 1.5,
+            ld_ms: 0.25,
+            suspension_ms: 10.125,
+            bytes_transferred: 1_000_000,
+            migration_done: Some(55_000_001),
+            scaling_period_end: None,
+            planned_moves: 229,
+            settled_moves: 229,
+            churn_avg: 1.0,
+            churn_max: 1,
+            latency: vec![(100, 2.0), (200, 3.0625)],
+            suspension_series: vec![(500_000, 1234.0)],
+            throughput: vec![(0, 4999.0), (1, 5001.0)],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_bit_exactly() {
+        let r = sample();
+        let json = r.to_json("");
+        let back = RunReport::parse(&json).expect("parse");
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(""), json, "re-serialization drifted");
+    }
+
+    #[test]
+    fn round_trip_survives_awkward_floats() {
+        let mut r = sample();
+        r.wall_secs = 1.0 / 3.0;
+        r.churn_avg = f64::NAN;
+        r.latency = vec![(1, 1e-9), (2, 123456789.000001)];
+        let back = RunReport::parse(&r.to_json("  ")).expect("parse");
+        assert!(back.churn_avg.is_nan());
+        assert_eq!(back.wall_secs.to_bits(), r.wall_secs.to_bits());
+        assert_eq!(back.latency, r.latency);
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        let err = RunReport::parse("{\n  \"scenario\": \"x\"\n}").unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn windowed_helpers_match_metrics_semantics() {
+        let r = sample();
+        // mean_throughput counts empty seconds in the denominator.
+        assert!((r.mean_throughput(0, 4) - (4999.0 + 5001.0) / 4.0).abs() < 1e-9);
+        assert_eq!(r.mean_throughput(10, 20), 0.0);
+        assert_eq!(r.settled_pct(), 100);
+        let (peak, mean) = r.latency_ms(0, 1_000);
+        assert!(peak >= mean && peak > 0.0);
+    }
+}

@@ -15,7 +15,7 @@ pub enum Injection {
 }
 
 /// Full mechanism configuration for [`FlexScaler`](crate::plugin::FlexScaler).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MechanismConfig {
     /// Mechanism name for reports.
     pub name: &'static str,

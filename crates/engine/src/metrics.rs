@@ -56,18 +56,11 @@ impl Metrics {
 
     /// Mean source throughput over `[lo, hi)` seconds.
     pub fn mean_throughput(&self, lo: u64, hi: u64) -> f64 {
-        let xs: Vec<f64> = self
-            .source_counts
-            .iter()
-            .filter(|&&(s, _)| s >= lo && s < hi)
-            .map(|&(_, c)| c as f64)
-            .collect();
-        if xs.is_empty() {
-            0.0
-        } else {
-            // Average over the wall-clock window, counting empty seconds as 0.
-            xs.iter().sum::<f64>() / (hi - lo) as f64
-        }
+        mean_per_second(
+            self.source_counts.iter().map(|&(s, c)| (s, c as f64)),
+            lo,
+            hi,
+        )
     }
 
     /// Peak and mean latency (ms) over `[lo, hi)` µs.
@@ -90,6 +83,28 @@ impl Metrics {
             .latency
             .mean(scale_start.saturating_sub(pre_window), scale_start)?;
         self.latency.stabilize_time(scale_start, pre * factor, hold)
+    }
+}
+
+/// Mean of a per-second `(second, value)` series over `[lo, hi)` seconds,
+/// **counting empty seconds as 0** (the denominator is the wall-clock
+/// window, not the sample count). This is the single definition of the
+/// windowed-throughput rule: [`Metrics::mean_throughput`] uses it on the
+/// live counters, and `bench`'s `RunReport` uses it on the serialized
+/// series, so the two can never diverge.
+pub fn mean_per_second(series: impl Iterator<Item = (u64, f64)>, lo: u64, hi: u64) -> f64 {
+    let mut any = false;
+    let mut sum = 0.0;
+    for (s, v) in series {
+        if s >= lo && s < hi {
+            any = true;
+            sum += v;
+        }
+    }
+    if any {
+        sum / (hi - lo) as f64
+    } else {
+        0.0
     }
 }
 

@@ -48,7 +48,7 @@ impl SourceGen for CustomGen {
 }
 
 /// Parameters for the custom workload.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CustomParams {
     /// Input rate, records/second (paper sweep: 5K–20K).
     pub tps: f64,

@@ -105,7 +105,7 @@ pub fn nexmark_engine_config(seed: u64) -> EngineConfig {
 }
 
 /// Parameters for [`q7`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Q7Params {
     /// Total bids/second across source instances (paper: 20K).
     pub tps: f64,
@@ -159,7 +159,7 @@ pub fn q7(cfg: EngineConfig, p: &Q7Params) -> (World, OpId) {
 }
 
 /// Parameters for [`q8`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Q8Params {
     /// Total events/second (paper: 1K).
     pub tps: f64,

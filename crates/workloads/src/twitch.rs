@@ -68,7 +68,7 @@ impl SourceGen for TwitchGen {
 }
 
 /// Parameters for the Twitch pipeline.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TwitchParams {
     /// Total events across sources (paper: ~4 M).
     pub events: u64,

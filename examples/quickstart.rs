@@ -1,21 +1,13 @@
 //! Quickstart: build a small stateful job, rescale it on the fly with DRRS,
-//! and inspect what happened.
+//! and inspect what happened — all through `drrs_repro::prelude`.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use drrs_repro::drrs::FlexScaler;
-use drrs_repro::engine::graph::{EdgeKind, JobBuilder};
-use drrs_repro::engine::operator::KeyedAgg;
-use drrs_repro::engine::world::Sim;
-use drrs_repro::engine::EngineConfig;
-use drrs_repro::sim::time::{as_ms, secs};
+use drrs_repro::prelude::*;
 
 // A tiny deterministic source: 5K records/s over 1000 keys.
-use drrs_repro::engine::instance::SourceGen;
-use drrs_repro::sim::{DetRng, SimTime};
-
 struct MySource {
     rng: DetRng,
 }
@@ -105,4 +97,31 @@ fn main() {
     );
     assert!(w.scale.metrics.migration_done.is_some(), "scale completed");
     println!("\nOK: scaled 2 → 4 on the fly with zero order violations.");
+
+    // 5. The same experiment as a declarative, nameable unit: any run can
+    //    also be expressed as a ScenarioSpec (this is what the figure
+    //    binaries and the process-level sweep sharder are built on).
+    let spec = ScenarioSpec {
+        name: "example/quickstart".into(),
+        engine: EngineProfile::Perf,
+        seed: 7,
+        workload: WorkloadSpec::TinyJob {
+            rate: 5_000.0,
+            universe: 1_000,
+            par: 2,
+        },
+        mechanism: MechanismSpec::Drrs,
+        scale: Some(ScaleSpec {
+            at: secs(10),
+            to: 4,
+        }),
+        horizon: secs(25),
+        backend: SchedulerBackend::default(),
+        dispatch: DispatchMode::default(),
+    };
+    let report: RunReport = spec.run();
+    println!(
+        "as a scenario             : {} events, digest 0x{:016x}",
+        report.events, report.digest
+    );
 }

@@ -5,39 +5,30 @@
 //! hasher, or state-backend layout must keep these green — a digest
 //! mismatch means iteration order (and therefore the event interleaving)
 //! leaked into observable behavior.
+//!
+//! The scenarios under test are **named registry specs** — the same
+//! `bench::scenario::registry` entries `perf_report` measures — so the
+//! digest tests and the perf harness can never drift apart on what a
+//! scenario means. Horizons are shortened with the spec builders to keep
+//! the suite fast; everything else (rates, universes, parallelism, seeds,
+//! scale plans) is the registry's word.
 
-use drrs_repro::baselines::MecesPlugin;
-use drrs_repro::drrs::FlexScaler;
+use drrs_repro::bench::scenario::{registry, MechanismSpec, ScenarioSpec};
 use drrs_repro::engine::world::tests_support::tiny_job;
 use drrs_repro::engine::world::Sim;
-use drrs_repro::engine::{EngineConfig, NoScale, ScalePlugin};
+use drrs_repro::engine::{EngineConfig, NoScale};
 use drrs_repro::sim::time::secs;
 
-fn digest_with(seed: u64, horizon_s: u64, plugin: Box<dyn ScalePlugin>, scale: bool) -> u64 {
-    let mut cfg = EngineConfig::test();
-    cfg.seed = seed;
-    let (mut w, agg) = tiny_job(cfg, 5_000.0, 256, 2);
-    if scale {
-        w.schedule_scale(secs(1), agg, 4);
-    }
-    let mut sim = Sim::new(w, plugin);
-    sim.run_until(secs(horizon_s));
-    sim.world.metrics_digest()
-}
-
-fn digest_of_run(seed: u64, scale: bool, horizon_s: u64) -> u64 {
-    let plugin: Box<dyn ScalePlugin> = if scale {
-        Box::new(FlexScaler::drrs())
-    } else {
-        Box::new(NoScale)
-    };
-    digest_with(seed, horizon_s, plugin, scale)
+/// Fetch a named perf scenario (full variant) from the registry.
+fn perf_spec(name: &str) -> ScenarioSpec {
+    registry::find(name, false).unwrap_or_else(|| panic!("{name} not in the registry"))
 }
 
 #[test]
 fn same_seed_same_digest_steady_state() {
-    let a = digest_of_run(0xD225, false, 5);
-    let b = digest_of_run(0xD225, false, 5);
+    let spec = perf_spec("perf/steady_50k").with_horizon(secs(5));
+    let a = spec.run().digest;
+    let b = spec.run().digest;
     assert_eq!(a, b, "steady-state run diverged between two identical runs");
 }
 
@@ -46,8 +37,9 @@ fn same_seed_same_digest_with_mid_run_scale() {
     // The scale event exercises the rewritten paths end to end: dense
     // backend extraction/installation, routing-table updates, cached
     // predecessor lists, re-routed records and the migration links.
-    let a = digest_of_run(0xD225, true, 6);
-    let b = digest_of_run(0xD225, true, 6);
+    let spec = perf_spec("perf/drrs_rescale_4_to_6").with_horizon(secs(6));
+    let a = spec.run().digest;
+    let b = spec.run().digest;
     assert_eq!(a, b, "scaling run diverged between two identical runs");
 }
 
@@ -56,9 +48,13 @@ fn same_seed_same_digest_meces() {
     // Regression: Meces' background pump used to iterate a std HashMap
     // (random SipHash order) to pick which units migrate per pump, making
     // same-seed Meces runs diverge. The pump now sorts into canonical
-    // unit order.
-    let a = digest_with(0xD225, 6, Box::new(MecesPlugin::new()), true);
-    let b = digest_with(0xD225, 6, Box::new(MecesPlugin::new()), true);
+    // unit order. Meces has no perf scenario of its own, so it rides the
+    // registry's rescale spec with the mechanism swapped.
+    let spec = perf_spec("perf/drrs_rescale_4_to_6")
+        .with_mechanism(MechanismSpec::Meces)
+        .with_horizon(secs(6));
+    let a = spec.run().digest;
+    let b = spec.run().digest;
     assert_eq!(a, b, "Meces run diverged between two identical runs");
 }
 
@@ -69,16 +65,11 @@ fn same_seed_same_digest_overload_backpressure() {
     // watermark, senders stall, and every pump cycle recycles arena slots
     // through the free list. Any nondeterminism in handle recycling or the
     // index queues would change the interleaving and split these digests.
-    let digest = |seed: u64| {
-        let mut cfg = EngineConfig::test();
-        cfg.seed = seed;
-        let (w, _) = tiny_job(cfg, 120_000.0, 1_024, 2);
-        let mut sim = Sim::new(w, Box::new(NoScale));
-        sim.run_until(secs(6));
-        sim.world.metrics_digest()
-    };
-    let a = digest(0xBEEF);
-    let b = digest(0xBEEF);
+    let spec = perf_spec("perf/overload_backpressure")
+        .with_seed(0xBEEF)
+        .with_horizon(secs(6));
+    let a = spec.run().digest;
+    let b = spec.run().digest;
     assert_eq!(a, b, "overload run diverged between two identical runs");
 }
 
@@ -87,7 +78,9 @@ fn arena_slots_are_reclaimed_in_steady_state() {
     // The record arena must plateau: live elements are bounded by channel
     // credits plus bounded backlogs, so its slot count after warm-up must
     // not grow over a 5x longer run — monotonic growth means consumed
-    // elements are leaking slots.
+    // elements are leaking slots. (Runs the world directly: the probe
+    // needs mid-run arena inspection, which a finished RunReport cannot
+    // provide.)
     let mut cfg = EngineConfig::test();
     cfg.seed = 42;
     let (w, _) = tiny_job(cfg, 5_000.0, 256, 2);
@@ -118,19 +111,13 @@ fn scheduler_backends_produce_identical_digests() {
     // mid-run scale, which schedules far-future deploy timers through the
     // calendar's overflow tier — must digest identically under both.
     use drrs_repro::sim::SchedulerBackend;
-    let digest = |backend: SchedulerBackend| {
-        let mut cfg = EngineConfig::test();
-        cfg.seed = 0xD225;
-        cfg.scheduler = backend;
-        let (mut w, agg) = tiny_job(cfg, 5_000.0, 256, 2);
-        w.schedule_scale(secs(1), agg, 4);
-        let mut sim = Sim::new(w, Box::new(FlexScaler::drrs()));
-        sim.run_until(secs(6));
-        sim.world.metrics_digest()
-    };
+    let spec = perf_spec("perf/drrs_rescale_4_to_6").with_horizon(secs(6));
     assert_eq!(
-        digest(SchedulerBackend::BinaryHeap),
-        digest(SchedulerBackend::Calendar),
+        spec.clone()
+            .with_backend(SchedulerBackend::BinaryHeap)
+            .run()
+            .digest,
+        spec.with_backend(SchedulerBackend::Calendar).run().digest,
         "scheduler backends diverged — the calendar queue broke the FIFO \
          tie-break or dropped/reordered an event"
     );
@@ -147,17 +134,21 @@ fn massed_same_instant_runs_digest_identically_across_backends_and_dispatch_mode
     // mode} combinations are required to produce byte-identical digests
     // (and event counts), on a run that also crosses a mid-flight rescale
     // so boxed control/priority events ride inside the massed traffic.
+    use drrs_repro::bench::scenario::WorkloadSpec;
     use drrs_repro::engine::DispatchMode;
     use drrs_repro::sim::SchedulerBackend;
-    let run = |backend: SchedulerBackend, mode: DispatchMode| {
-        let mut cfg = EngineConfig::test();
-        cfg.seed = 0x5EED;
-        cfg.scheduler = backend;
-        let (mut w, agg) = tiny_job(cfg, 50_000.0, 1_024, 4);
-        w.schedule_scale(secs(2), agg, 6);
-        let mut sim = Sim::new(w, Box::new(FlexScaler::drrs())).with_dispatch_mode(mode);
-        sim.run_until(secs(4));
-        (sim.world.metrics_digest(), sim.world.q.processed())
+    let mut spec = perf_spec("perf/drrs_rescale_4_to_6")
+        .with_seed(0x5EED)
+        .with_horizon(secs(4));
+    // Narrow the key universe so deliveries mass harder per instant.
+    spec.workload = WorkloadSpec::TinyJob {
+        rate: 50_000.0,
+        universe: 1_024,
+        par: 4,
+    };
+    let run = |backend, mode| {
+        let r = spec.clone().with_cell(backend, mode).run();
+        (r.digest, r.events)
     };
     let reference = run(SchedulerBackend::BinaryHeap, DispatchMode::SinglePop);
     assert!(
@@ -181,8 +172,9 @@ fn massed_same_instant_runs_digest_identically_across_backends_and_dispatch_mode
 fn different_seeds_differ() {
     // Digest sanity: the digest must actually observe the run (two seeds
     // colliding would make the equality tests above vacuous).
-    let a = digest_of_run(1, true, 5);
-    let b = digest_of_run(2, true, 5);
+    let spec = perf_spec("perf/drrs_rescale_4_to_6").with_horizon(secs(5));
+    let a = spec.clone().with_seed(1).run().digest;
+    let b = spec.with_seed(2).run().digest;
     assert_ne!(a, b, "digest is insensitive to the seed");
 }
 
@@ -190,7 +182,8 @@ fn different_seeds_differ() {
 fn digest_stable_across_horizons_prefix() {
     // Running longer must change the digest (it ingests more events) —
     // guards against the digest accidentally hashing only static topology.
-    let a = digest_of_run(7, false, 3);
-    let b = digest_of_run(7, false, 5);
+    let spec = perf_spec("perf/steady_50k").with_seed(7);
+    let a = spec.clone().with_horizon(secs(3)).run().digest;
+    let b = spec.with_horizon(secs(5)).run().digest;
     assert_ne!(a, b);
 }
