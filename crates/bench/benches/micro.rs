@@ -180,6 +180,86 @@ fn bench_batch_drain(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_region_sync(c: &mut Criterion) {
+    // The region-partitioned scheduler's overheads in isolation, next to
+    // `batch_drain` (its single-queue counterpart):
+    //
+    // * `spsc_ring_*` — the cross-region transport: cost of moving 8-byte
+    //   record handles through the bounded SPSC ring in burst-sized chunks
+    //   (the shape a region drain produces).
+    // * `churn_rK_*` — steady-state pop/schedule churn on the region
+    //   scheduler at 1 and 2 regions, at 1k and 100k pending events. The
+    //   r2 cells pay the full conservative-sync accounting per pop (region
+    //   clocks, safe-until bounds from the lookahead matrix, min-rule
+    //   grants, null-message counting), so r2-minus-r1 at equal pending is
+    //   the null-message/synchronization overhead per event.
+    const CHURN: u64 = 10_000;
+    let mut g = c.benchmark_group("region_sync");
+    g.throughput(Throughput::Elements(CHURN));
+    for burst in [64usize, 512] {
+        g.bench_function(&format!("spsc_ring_burst_{burst}"), |b| {
+            b.iter_with_setup(
+                || simcore::spsc::ring::<u64>(burst),
+                |(mut tx, mut rx)| {
+                    let mut acc = 0u64;
+                    let mut sent = 0u64;
+                    while sent < CHURN {
+                        for _ in 0..burst as u64 {
+                            tx.push(sent).expect("ring sized to burst");
+                            sent += 1;
+                        }
+                        while let Some(v) = rx.pop() {
+                            acc = acc.wrapping_add(v);
+                        }
+                    }
+                    black_box(acc)
+                },
+            )
+        });
+    }
+    for regions in [1usize, 2] {
+        for pending in [1_000usize, 100_000] {
+            let name = format!("churn_r{regions}_{pending}_pending");
+            g.bench_function(&name, |b| {
+                b.iter_with_setup(
+                    || {
+                        let mut q: FutureEventList<u64> = FutureEventList::with_backend_regions(
+                            SchedulerBackend::Calendar,
+                            pending,
+                            regions,
+                        );
+                        if regions == 2 {
+                            // A cut with one 500 µs data channel each way
+                            // of the partition (finite lookahead: the
+                            // accounting must actually bound progress and
+                            // mint null-message grants, not short-circuit
+                            // on SimTime::MAX).
+                            q.set_region_lookahead(&[0, 500, 500, 0]);
+                        }
+                        let mut rng = DetRng::seed(7);
+                        for i in 0..pending as u64 {
+                            let r = (i as usize) % regions;
+                            q.schedule_tagged(r, sim_like_delay(&mut rng), i);
+                        }
+                        (q, rng)
+                    },
+                    |(mut q, mut rng)| {
+                        let mut acc = 0u64;
+                        for i in 0..CHURN {
+                            let (_, e) = q.pop().expect("pending events");
+                            acc = acc.wrapping_add(e);
+                            let r = (i as usize) % regions;
+                            q.schedule_tagged(r, sim_like_delay(&mut rng), i);
+                        }
+                        black_box((acc, q.len(), q.region_sync_stats().null_msgs))
+                    },
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_routing(c: &mut Criterion) {
     let targets: Vec<InstId> = (0..12).map(InstId).collect();
     let table = RoutingTable::uniform(128, &targets);
@@ -357,6 +437,7 @@ criterion_group!(
     bench_event_queue,
     bench_scheduler_backends,
     bench_batch_drain,
+    bench_region_sync,
     bench_routing,
     bench_state_backend,
     bench_dense_backend_hot_access,

@@ -13,7 +13,8 @@
 //!
 //! Usage: `perf_report [--out FILE] [--baseline FILE] [--quick]
 //!                     [--backend heap|calendar|both]
-//!                     [--dispatch single|batch|both] [--reps N]
+//!                     [--dispatch single|batch|both]
+//!                     [--regions 1|2|K|both] [--reps N]
 //!                     [--require-digest-match]`
 //!
 //! The scenario matrix is not private to this binary: it is the `perf/`
@@ -24,15 +25,19 @@
 //! scenario digests to the recorded `BENCH_PRn.json` trajectory.
 //!
 //! By default every scenario runs on the full {scheduler backend} ×
-//! {dispatch mode} grid — binary heap and calendar queue, single-pop and
-//! batch drain — interleaved (so machine-load drift hits every cell
-//! equally), and the process **hard-fails** if any scenario's digest
-//! differs between any two cells: both the calendar queue and batch
-//! dispatch are required to be behavior-preserving rewrites, proven by
-//! digests, not assumed. `--reps N` repeats each cell N times and reports
-//! the median events/sec (used for the recorded `BENCH_PRn.json` A/Bs).
-//! `--backend` / `--dispatch` restrict the grid to one axis value (used by
-//! CI's per-cell digest-stability job).
+//! {dispatch mode} × {region count} grid — binary heap and calendar queue,
+//! single-pop and batch drain, sequential (regions=1) and region-partitioned
+//! (regions=2) scheduling — interleaved (so machine-load drift hits every
+//! cell equally), and the process **hard-fails** if any scenario's digest
+//! differs between any two cells: the calendar queue, batch dispatch and
+//! region partitioning are all required to be behavior-preserving rewrites,
+//! proven by digests, not assumed. `--reps N` repeats each cell N times and
+//! reports the median events/sec (used for the recorded `BENCH_PRn.json`
+//! A/Bs). `--backend` / `--dispatch` / `--regions` restrict the grid to one
+//! axis value (used by CI's per-cell digest-stability job); `--regions both`
+//! is the default `{1, 2}` pair, any integer `K` pins that region count.
+//! The headline cell stays the sequential engine (regions=1) — the region
+//! A/B is reported alongside, never silently substituted.
 //!
 //! With `--baseline`, the report embeds the baseline's events/sec and the
 //! relative improvement, so `BENCH_PRn.json` carries the before/after pair
@@ -51,11 +56,17 @@ use streamflow::DispatchMode;
 struct Cell {
     backend: SchedulerBackend,
     dispatch: DispatchMode,
+    regions: usize,
 }
 
 impl Cell {
     fn label(self) -> String {
-        format!("{}/{}", self.backend.name(), self.dispatch.name())
+        format!(
+            "{}/{}/r{}",
+            self.backend.name(),
+            self.dispatch.name(),
+            self.regions
+        )
     }
 }
 
@@ -108,6 +119,7 @@ fn time_run(spec: &ScenarioSpec, cell: Cell) -> RunSample {
     let (mut sim, _) = spec
         .clone()
         .with_cell(cell.backend, cell.dispatch)
+        .with_regions(cell.regions)
         .build_sim();
     let start = Instant::now();
     sim.run_until(spec.horizon);
@@ -127,7 +139,11 @@ fn run_scenario(spec: &ScenarioSpec, cells: &[Cell], reps: usize) -> ScenarioRes
     let name = spec.short_name();
     // One warmup run per cell (page in code, warm the allocator).
     for &c in cells {
-        let (mut sim, _) = spec.clone().with_cell(c.backend, c.dispatch).build_sim();
+        let (mut sim, _) = spec
+            .clone()
+            .with_cell(c.backend, c.dispatch)
+            .with_regions(c.regions)
+            .build_sim();
         sim.run_until(secs(1));
     }
     let mut samples: Vec<Vec<RunSample>> = cells.iter().map(|_| Vec::new()).collect();
@@ -271,40 +287,77 @@ fn main() {
             }
         },
     };
+    let regions_arg = flag("--regions").and_then(|i| args.get(i + 1).cloned());
+    let region_counts: Vec<usize> = match regions_arg.as_deref() {
+        None | Some("both") => vec![1, 2],
+        Some(s) => match s.parse::<usize>() {
+            Ok(k) if k >= 1 => vec![k],
+            _ => {
+                eprintln!("perf_report: unknown --regions {s} (want 1|2|K|both)");
+                std::process::exit(2);
+            }
+        },
+    };
     // The grid, backend-major so repetitions interleave across backends
     // first (the historically noisier axis).
-    let cells: Vec<Cell> = backends
-        .iter()
-        .flat_map(|&backend| {
-            dispatches
-                .iter()
-                .map(move |&dispatch| Cell { backend, dispatch })
-        })
-        .collect();
+    let mut cells: Vec<Cell> = Vec::new();
+    for &backend in &backends {
+        for &dispatch in &dispatches {
+            for &regions in &region_counts {
+                cells.push(Cell {
+                    backend,
+                    dispatch,
+                    regions,
+                });
+            }
+        }
+    }
+    let cells = cells;
     // The report's headline numbers come from the engine's defaults
-    // (calendar queue, batch dispatch) when they're in the grid; on a
-    // restricted grid, from the cell closest to the defaults — a
-    // `--backend heap` run must still headline batch dispatch (and emit
-    // the batch-vs-single A/B), not silently fall back to the first cell.
-    let find = |b: SchedulerBackend, d: DispatchMode| {
-        cells.iter().position(|c| c.backend == b && c.dispatch == d)
+    // (calendar queue, batch dispatch, sequential regions=1) when they're
+    // in the grid; on a restricted grid, from the cell closest to the
+    // defaults — a `--backend heap` run must still headline batch dispatch
+    // (and emit the batch-vs-single A/B), not silently fall back to the
+    // first cell. The region-partitioned cells never headline: regions=1
+    // stays the reference engine.
+    let find = |b: SchedulerBackend, d: DispatchMode, r: usize| {
+        cells
+            .iter()
+            .position(|c| c.backend == b && c.dispatch == d && c.regions == r)
     };
-    let headline = find(SchedulerBackend::default(), DispatchMode::default())
+    let headline = find(SchedulerBackend::default(), DispatchMode::default(), 1)
         .or_else(|| {
             cells
                 .iter()
-                .position(|c| c.dispatch == DispatchMode::default())
+                .position(|c| c.dispatch == DispatchMode::default() && c.regions == 1)
         })
         .or_else(|| {
             cells
                 .iter()
-                .position(|c| c.backend == SchedulerBackend::default())
+                .position(|c| c.backend == SchedulerBackend::default() && c.regions == 1)
         })
+        .or_else(|| cells.iter().position(|c| c.regions == 1))
         .unwrap_or(0);
-    // Reference cells for the two A/B axes, when present.
-    let heap_ref = find(SchedulerBackend::BinaryHeap, cells[headline].dispatch);
-    let single_ref = find(cells[headline].backend, DispatchMode::SinglePop)
-        .filter(|_| cells[headline].dispatch == DispatchMode::Batch);
+    // Reference cells for the three A/B axes, when present.
+    let heap_ref = find(
+        SchedulerBackend::BinaryHeap,
+        cells[headline].dispatch,
+        cells[headline].regions,
+    );
+    let single_ref = find(
+        cells[headline].backend,
+        DispatchMode::SinglePop,
+        cells[headline].regions,
+    )
+    .filter(|_| cells[headline].dispatch == DispatchMode::Batch);
+    // The region A/B compares the headline (sequential) cell against the
+    // largest partitioned region count sharing its backend/dispatch.
+    let regions_ref = region_counts
+        .iter()
+        .copied()
+        .filter(|&r| r > cells[headline].regions)
+        .max()
+        .and_then(|r| find(cells[headline].backend, cells[headline].dispatch, r));
 
     eprintln!(
         "perf_report: running scenario matrix (quick={quick}, reps={reps}, cells={})...",
@@ -351,6 +404,7 @@ fn main() {
         "  \"dispatch\": \"{}\",",
         cells[headline].dispatch.name()
     );
+    let _ = writeln!(json, "  \"regions\": {},", cells[headline].regions);
     let _ = writeln!(json, "  \"aggregate_events_per_sec\": {aggregate:.0},");
     if let Some(h) = heap_ref.filter(|&h| h != headline) {
         let agg_heap = aggregate_for(h);
@@ -378,6 +432,24 @@ fn main() {
             cells[headline].backend.name(),
             aggregate,
             agg_single,
+            gain * 100.0
+        );
+    }
+    if let Some(rr) = regions_ref {
+        let agg_regions = aggregate_for(rr);
+        let gain = agg_regions / aggregate.max(1e-9) - 1.0;
+        let k = cells[rr].regions;
+        let _ = writeln!(
+            json,
+            "  \"aggregate_events_per_sec_regions{k}\": {agg_regions:.0},"
+        );
+        let _ = writeln!(json, "  \"region_partitioning_improvement\": {gain:.4},");
+        eprintln!(
+            "perf_report: regions A/B ({}/{}): {k} regions {:.0} ev/s vs sequential {:.0} ev/s ({:+.1}%), digests identical",
+            cells[headline].backend.name(),
+            cells[headline].dispatch.name(),
+            agg_regions,
+            aggregate,
             gain * 100.0
         );
     }
@@ -441,6 +513,16 @@ fn main() {
                 "      \"events_per_sec_single_pop\": {single_eps:.0},"
             );
             let _ = writeln!(json, "      \"batch_vs_single\": {gain:.4},");
+        }
+        if let Some(rr) = regions_ref {
+            let region_eps = r.events_per_sec[rr];
+            let gain = region_eps / eps.max(1e-9) - 1.0;
+            let k = cells[rr].regions;
+            let _ = writeln!(
+                json,
+                "      \"events_per_sec_regions{k}\": {region_eps:.0},"
+            );
+            let _ = writeln!(json, "      \"regions_vs_sequential\": {gain:.4},");
         }
         let _ = writeln!(json, "      \"sink_records\": {},", r.sink_records);
         let _ = writeln!(json, "      \"digest\": \"0x{:016x}\"", r.digest);

@@ -6,12 +6,17 @@
 //! scenario --run perf/steady_50k       # one run; prints a digest line
 //! scenario --run NAME --emit report.json   # also write the RunReport JSON
 //! scenario --group perf                # run a whole group, one line each
+//! scenario --group perf --regions 2    # same grid on 2 scheduler regions
+//! scenario --group perf --threads 4    # pin the worker pool to 4 threads
 //! ```
 //!
 //! The digest lines on stdout are fully deterministic (`name digest events
 //! sink_records`), so `scenario --group perf` run twice and diffed is a
 //! process-level determinism smoke — CI's `digest-stability` job uses
-//! exactly that. `QUICK=1` compresses the grids as everywhere else.
+//! exactly that, and diffs `--regions 1` against `--regions 2` to enforce
+//! the region-count digest contract. `--threads N` pins the worker pool
+//! (first-class form of the `SWEEP_THREADS` env var, which stays as the
+//! fallback). `QUICK=1` compresses the grids as everywhere else.
 
 use bench::quick;
 use bench::scenario::registry;
@@ -20,6 +25,7 @@ use bench::scenario::Runner;
 fn usage() -> ! {
     eprintln!(
         "usage: scenario --list | --run NAME [--emit FILE] | --group PREFIX\n\
+         \x20       [--regions K] [--threads N]\n\
          (QUICK=1 in the environment compresses timelines)"
     );
     std::process::exit(2);
@@ -29,6 +35,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| args.iter().position(|a| a == name);
     let value = |name: &str| flag(name).and_then(|i| args.get(i + 1).cloned());
+    let parsed = |name: &str| {
+        value(name).map(|v| {
+            v.parse::<usize>().unwrap_or_else(|e| {
+                eprintln!("scenario: {name} {v:?}: {e}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let regions = parsed("--regions");
+    let threads = parsed("--threads");
 
     if flag("--list").is_some() {
         for s in registry::all(quick()) {
@@ -38,10 +54,13 @@ fn main() {
     }
 
     if let Some(name) = value("--run") {
-        let Some(spec) = registry::find(&name, quick()) else {
+        let Some(mut spec) = registry::find(&name, quick()) else {
             eprintln!("scenario: unknown scenario {name:?} (see --list)");
             std::process::exit(2);
         };
+        if let Some(r) = regions {
+            spec = spec.with_regions(r);
+        }
         let report = spec.run();
         if let Some(path) = value("--emit") {
             std::fs::write(&path, report.to_json(""))
@@ -59,12 +78,16 @@ fn main() {
         let specs: Vec<_> = registry::all(quick())
             .into_iter()
             .filter(|s| s.name.starts_with(&prefix))
+            .map(|s| match regions {
+                Some(r) => s.with_regions(r),
+                None => s,
+            })
             .collect();
         if specs.is_empty() {
             eprintln!("scenario: no scenarios match prefix {prefix:?} (see --list)");
             std::process::exit(2);
         }
-        let reports = Runner::in_process().run(&specs);
+        let reports = Runner::in_process().with_threads(threads).run(&specs);
         for r in &reports {
             println!(
                 "{} digest 0x{:016x} events {} sink_records {}",

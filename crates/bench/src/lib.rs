@@ -49,6 +49,20 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_with(items, None, f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count. `threads: None`
+/// falls back to the `SWEEP_THREADS` env var and then to
+/// `available_parallelism` — an explicit count (e.g. from `--threads N`)
+/// always wins over the environment, so a flag on the command line cannot
+/// be silently overridden by a stale exported variable.
+pub fn parallel_map_with<T, R, F>(items: Vec<T>, threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
@@ -56,10 +70,14 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::env::var("SWEEP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
+    let threads = threads
         .filter(|&t| t >= 1)
+        .or_else(|| {
+            std::env::var("SWEEP_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&t| t >= 1)
+        })
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -133,6 +151,14 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_with_explicit_thread_count_preserves_order() {
+        for threads in [1, 2, 7] {
+            let out = parallel_map_with((0..64u64).collect::<Vec<_>>(), Some(threads), |i| i + 1);
+            assert_eq!(out, (1..=64u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
     fn pm_formats_single_and_multi() {
         assert!(pm(&[10.0]).contains("10"));
         let m = pm(&[10.0, 20.0]);
@@ -157,6 +183,7 @@ mod tests {
             horizon: secs(6),
             backend: simcore::SchedulerBackend::default(),
             dispatch: streamflow::DispatchMode::default(),
+            regions: 1,
         };
         let r = spec.run();
         assert!(r.migration_done.is_some());

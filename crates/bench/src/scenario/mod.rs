@@ -52,7 +52,7 @@ use baselines::{megaphone, otfs_fluid, MecesPlugin, UnboundPlugin};
 use drrs_core::{FlexScaler, MechanismConfig};
 use simcore::time::SimTime;
 use simcore::SchedulerBackend;
-use streamflow::world::tests_support::tiny_job;
+use streamflow::world::tests_support::{tiny_job, twin_jobs};
 use streamflow::world::Sim;
 use streamflow::{DispatchMode, EngineConfig, NoScale, OpId, ScalePlugin, World};
 use workloads::custom::{cluster_engine_config, custom, CustomParams};
@@ -99,6 +99,20 @@ pub enum WorkloadSpec {
     Twitch(TwitchParams),
     /// The custom 3-operator sensitivity workload.
     Custom(CustomParams),
+    /// `pipes` disjoint copies of the tiny job side by side. The operator
+    /// graph has no edges between the copies, so a region partitioner puts
+    /// them in different regions with zero cut channels and infinite
+    /// lookahead — the best case for region-partitioned execution.
+    TwinPipes {
+        /// Source rate per pipeline, records/second.
+        rate: f64,
+        /// Key universe size.
+        universe: u64,
+        /// Aggregator parallelism per pipeline.
+        par: usize,
+        /// Number of disjoint pipelines.
+        pipes: usize,
+    },
 }
 
 /// The mechanism half of a scenario: which rescaling plugin drives the run.
@@ -186,6 +200,9 @@ pub struct ScenarioSpec {
     pub backend: SchedulerBackend,
     /// Event dispatch mode (digest-neutral by contract).
     pub dispatch: DispatchMode,
+    /// Scheduler region count (digest-neutral by contract: any region
+    /// count pops the identical event order; see `EngineConfig::regions`).
+    pub regions: usize,
 }
 
 impl ScenarioSpec {
@@ -210,6 +227,12 @@ impl ScenarioSpec {
     /// Derive a spec pinned to one (backend, dispatch) measurement cell.
     pub fn with_cell(self, backend: SchedulerBackend, dispatch: DispatchMode) -> Self {
         self.with_backend(backend).with_dispatch(dispatch)
+    }
+
+    /// Derive a spec with a different scheduler region count.
+    pub fn with_regions(mut self, regions: usize) -> Self {
+        self.regions = regions;
+        self
     }
 
     /// Derive a spec with a different seed.
@@ -250,6 +273,7 @@ impl ScenarioSpec {
         };
         cfg.seed = self.seed;
         cfg.scheduler = self.backend;
+        cfg.regions = self.regions;
         cfg
     }
 
@@ -266,6 +290,17 @@ impl ScenarioSpec {
             WorkloadSpec::Q8(p) => q8(cfg, p),
             WorkloadSpec::Twitch(p) => twitch(cfg, p),
             WorkloadSpec::Custom(p) => custom(cfg, p),
+            WorkloadSpec::TwinPipes {
+                rate,
+                universe,
+                par,
+                pipes,
+            } => (
+                // The scaling operator is the first pipeline's aggregator
+                // (operators are minted src0, agg0, sink0, src1, ...).
+                twin_jobs(cfg, *rate, *universe, *par, *pipes),
+                OpId(1),
+            ),
         }
     }
 
@@ -317,6 +352,14 @@ mod tests {
         let spec = steady().with_cell(SchedulerBackend::BinaryHeap, DispatchMode::SinglePop);
         assert_eq!(spec.engine_config().scheduler, SchedulerBackend::BinaryHeap);
         assert_eq!(spec.dispatch, DispatchMode::SinglePop);
+    }
+
+    #[test]
+    fn regions_override_reaches_the_engine_config() {
+        let spec = steady().with_regions(2);
+        assert_eq!(spec.regions, 2);
+        assert_eq!(spec.engine_config().regions, 2);
+        assert_eq!(steady().engine_config().regions, 1, "sequential default");
     }
 
     #[test]

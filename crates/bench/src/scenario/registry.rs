@@ -41,6 +41,7 @@ fn spec(
         horizon,
         backend: SchedulerBackend::default(),
         dispatch: DispatchMode::default(),
+        regions: 1,
     }
 }
 
@@ -93,6 +94,28 @@ pub fn perf_scenarios(quick: bool) -> Vec<ScenarioSpec> {
         perf(
             "overload_backpressure",
             tiny(120_000.0, 1_024, 2),
+            MechanismSpec::NoScale,
+            None,
+        ),
+        // The two region-stress scenarios (PR 7): both mass on the order of
+        // 100k pending events in the future-event list, which is where
+        // per-region calendar geometry pays. `cut_pipeline_100k` has a data
+        // cut edge for the partitioner to find; `twin_pipelines_100k` has
+        // zero cut channels and infinite lookahead (the PDES best case).
+        perf(
+            "cut_pipeline_100k",
+            tiny(400_000.0, 16_384, 8),
+            MechanismSpec::NoScale,
+            None,
+        ),
+        perf(
+            "twin_pipelines_100k",
+            WorkloadSpec::TwinPipes {
+                rate: 200_000.0,
+                universe: 8_192,
+                par: 4,
+                pipes: 2,
+            },
             MechanismSpec::NoScale,
             None,
         ),
@@ -632,6 +655,8 @@ mod tests {
                 "megaphone_rescale_4_to_6",
                 "drrs_scale_in_6_to_3",
                 "overload_backpressure",
+                "cut_pipeline_100k",
+                "twin_pipelines_100k",
             ]
         );
     }

@@ -58,21 +58,34 @@ impl Shard {
 }
 
 /// Executes scenario grids. A `Runner` is either whole-grid (the default)
-/// or restricted to one [`Shard`].
+/// or restricted to one [`Shard`], and optionally pins its worker-thread
+/// count (otherwise `SWEEP_THREADS` / `available_parallelism` decide).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Runner {
     shard: Option<Shard>,
+    threads: Option<usize>,
 }
 
 impl Runner {
     /// A runner that executes the whole grid in this process.
     pub fn in_process() -> Self {
-        Self { shard: None }
+        Self::default()
     }
 
     /// A runner that executes only `shard`'s stripe of the grid.
     pub fn sharded(shard: Shard) -> Self {
-        Self { shard: Some(shard) }
+        Self {
+            shard: Some(shard),
+            threads: None,
+        }
+    }
+
+    /// Pin the worker-pool size for this runner (`--threads N`). Takes
+    /// precedence over the `SWEEP_THREADS` env var; each worker still runs
+    /// one single-threaded deterministic simulation at a time.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Run the owned subset of `specs` on the worker pool and return
@@ -84,7 +97,7 @@ impl Runner {
             .filter(|(i, _)| self.shard.map(|s| s.owns(*i)).unwrap_or(true))
             .map(|(i, s)| (i, s.clone()))
             .collect();
-        crate::parallel_map(picked, |(i, spec)| (i, spec.run()))
+        crate::parallel_map_with(picked, self.threads, |(i, spec)| (i, spec.run()))
     }
 
     /// Run the full grid (requires an unsharded runner) and return reports

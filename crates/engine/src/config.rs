@@ -56,6 +56,13 @@ pub struct EngineConfig {
     /// this); the calendar queue is the fast default, the binary heap the
     /// A/B reference.
     pub scheduler: SchedulerBackend,
+    /// Number of scheduler regions for conservative region-partitioned
+    /// PDES (see `simcore::region`). 1 (the default) is the plain
+    /// single-queue sequential engine — the reference every region count
+    /// is digest-verified against. Behavior-neutral by contract: any
+    /// region count pops the identical `(at, seq)` event order, so this
+    /// knob is purely a performance axis like `scheduler`.
+    pub regions: usize,
     /// RNG seed for the run.
     pub seed: u64,
 }
@@ -86,6 +93,7 @@ impl Default for EngineConfig {
             sample_interval: ms(500),
             check_semantics: false,
             scheduler: SchedulerBackend::default(),
+            regions: 1,
             seed: 0xD225,
         }
     }
@@ -119,6 +127,7 @@ mod tests {
         assert!(c.channel_capacity > 0);
         assert!(c.quantum_records > 0);
         assert!(c.sub_group_fanout >= 1);
+        assert_eq!(c.regions, 1, "the sequential engine is the default");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod keygroup;
 pub mod metrics;
 pub mod operator;
 pub mod record;
+pub mod region;
 pub mod scaling;
 pub mod semantics;
 pub mod state;
@@ -63,6 +64,7 @@ pub use config::EngineConfig;
 pub use graph::{EdgeKind, JobBuilder};
 pub use ids::{InstId, Key, KeyGroup, OpId, SubscaleId};
 pub use record::{Record, ScaleSignal, SignalKind, StreamElement};
+pub use region::RegionMap;
 pub use scaling::{NoScale, ScalePlan, ScalePlugin, Selection};
 pub use simcore::SchedulerBackend;
 pub use world::{DispatchMode, Sim, World};

@@ -70,6 +70,12 @@ pub struct World {
     pub scale: ScaleContext,
     /// Run metrics.
     pub metrics: Metrics,
+    /// Operator/instance → scheduler-region assignment plus the lookahead
+    /// matrix (trivial when `cfg.regions <= 1`). Region tags steer which
+    /// per-region queue stores an event — never its pop order, which is
+    /// the global `(at, seq)` total order for any region count (see
+    /// `simcore::region`).
+    pub region_map: crate::region::RegionMap,
     /// Per-key order checker (enabled via config).
     pub semantics: SemanticsChecker,
     /// Deterministic randomness.
@@ -213,15 +219,39 @@ impl World {
             inst.rr_cursor = vec![0; edges.len()];
         }
 
+        // Partition the operator graph into scheduler regions (trivial for
+        // the default regions=1) before the event list exists — source
+        // ticks below are already tagged.
+        let region_map = if cfg.regions > 1 {
+            crate::region::RegionMap::compute(
+                cfg.regions,
+                &ops,
+                &edges,
+                &chans,
+                insts.len(),
+                cfg.ctrl_latency,
+            )
+        } else {
+            crate::region::RegionMap::single(ops.len(), insts.len())
+        };
+
         // Pre-size the future-event list: in steady state it holds at most
         // a few events per instance (ticks, quanta) plus in-flight elements
         // bounded by per-channel credits. The backend comes from config;
-        // both pop identical sequences, so this is a pure perf knob.
-        let mut q = EventQueue::with_backend(cfg.scheduler, insts.len() * 8 + chans.len() * 4 + 64);
+        // both pop identical sequences, so this is a pure perf knob — and
+        // so is the region count (any partitioning pops the identical
+        // global `(at, seq)` order).
+        let mut q = EventQueue::with_backend_regions(
+            cfg.scheduler,
+            insts.len() * 8 + chans.len() * 4 + 64,
+            region_map.k(),
+        );
+        q.set_region_lookahead(region_map.lookahead());
         // Arm source ticks (jittered so they do not all fire in lockstep).
         for inst in insts.iter() {
             if inst.source.is_some() {
-                q.schedule(rng.below(1_000), Ev::SourceTick { inst: inst.id });
+                let r = region_map.inst(inst.id);
+                q.schedule_tagged(r, rng.below(1_000), Ev::SourceTick { inst: inst.id });
             }
         }
         q.schedule(cfg.sample_interval, Ev::Sample);
@@ -243,6 +273,7 @@ impl World {
             edges,
             scale: ScaleContext::default(),
             metrics: Metrics::default(),
+            region_map,
             semantics: SemanticsChecker::new(),
             rng,
             pending_runs: (0..n).map(|_| Vec::new()).collect(),
@@ -257,6 +288,12 @@ impl World {
     #[inline]
     pub fn now(&self) -> SimTime {
         self.q.now()
+    }
+
+    /// Scheduler region of an instance (0 on a single-region world).
+    #[inline]
+    fn reg(&self, inst: InstId) -> usize {
+        self.region_map.inst(inst)
     }
 
     /// The operator an instance belongs to.
@@ -284,7 +321,8 @@ impl World {
 
     /// Schedule a generic instance wake-up.
     pub fn wake(&mut self, inst: InstId) {
-        self.q.schedule(0, Ev::Wake { inst });
+        let r = self.reg(inst);
+        self.q.schedule_tagged(r, 0, Ev::Wake { inst });
     }
 
     /// Request a rescale of `op` to `new_parallelism` at time `at`, with the
@@ -333,7 +371,12 @@ impl World {
         if c.backlog.is_empty() && c.has_credit() {
             c.in_flight += 1;
             let lat = c.latency;
-            self.q.schedule(
+            // Deliveries dispatch in the *receiver's* region — on a cut
+            // channel this is the cross-region hop whose wire latency is
+            // the forward lookahead.
+            let reg = self.region_map.inst(c.to);
+            self.q.schedule_tagged(
+                reg,
                 lat,
                 Ev::Deliver {
                     ch,
@@ -355,7 +398,9 @@ impl World {
     pub fn send_uncredited(&mut self, ch: ChannelId, elem: StreamElement) {
         let r = self.arena.insert(elem);
         let lat = self.chans[ch.0 as usize].latency;
-        self.q.schedule(
+        let reg = self.region_map.inst(self.chans[ch.0 as usize].to);
+        self.q.schedule_tagged(
+            reg,
             lat,
             Ev::Deliver {
                 ch,
@@ -368,7 +413,8 @@ impl World {
     /// Send a priority message out-of-band to an instance.
     pub fn send_priority(&mut self, to: InstId, msg: PriorityMsg) {
         let lat = self.cfg.ctrl_latency;
-        self.q.schedule(lat, Ev::priority(to, msg));
+        let reg = self.reg(to);
+        self.q.schedule_tagged(reg, lat, Ev::priority(to, msg));
     }
 
     /// Move backlog elements onto the wire while credit allows, and unblock
@@ -382,7 +428,9 @@ impl World {
             let r = c.backlog.pop_front().expect("non-empty");
             c.in_flight += 1;
             let lat = c.latency;
-            self.q.schedule(
+            let reg = self.region_map.inst(c.to);
+            self.q.schedule_tagged(
+                reg,
                 lat,
                 Ev::Deliver {
                     ch,
@@ -682,7 +730,8 @@ impl World {
             + 1;
         self.scale.metrics.first_migration.entry(ss).or_insert(now);
         self.scale.metrics.bytes_transferred += bytes;
-        self.q.schedule(dur, Ev::LinkSendDone { from });
+        let reg = self.reg(from);
+        self.q.schedule_tagged(reg, dur, Ev::LinkSendDone { from });
     }
 
     /// Install a migrated unit at `inst`. `active = false` keeps the
@@ -839,6 +888,73 @@ impl World {
         }
     }
 
+    /// Dispatch a whole same-instant run (drained by `pop_run_at_most`),
+    /// fusing massed `Deliver` bursts: when consecutive deliveries target
+    /// the same channel and the receiver provably cannot start work, the
+    /// per-event `try_start` is skipped and the credit decrement is
+    /// batched into one channel borrow per (channel, streak).
+    ///
+    /// **Exactness.** Single-pop semantics per delivery are
+    /// `in_flight -= 1; queue.push_back; try_start(to)`. `try_start`
+    /// returns without any side effect when the receiver is halted, busy,
+    /// not yet operational, or output-blocked (for a source,
+    /// `drain_source` breaks immediately on `blocked_out`) — and none of
+    /// those guard fields can change while we only push handles and count
+    /// credits, so skipping those calls is observationally identical. The
+    /// moment a delivery's `try_start` is *not* provably a no-op, the
+    /// deferred credits are flushed first — `try_start → build_run →
+    /// chan_pop → pump` reads `has_credit()`, which must see the exact
+    /// sequential `in_flight`. Deliveries are still pushed strictly one
+    /// at a time before their own `try_start` (batching the pushes would
+    /// let the first quantum see later records). The cross-dispatch
+    /// digest check in `perf_report` enforces all of this.
+    pub fn dispatch_run(&mut self, plugin: &mut dyn ScalePlugin, buf: &mut Vec<Ev>) {
+        // Deferred credit decrements for the current Deliver streak.
+        let mut cur: Option<(ChannelId, usize)> = None;
+        macro_rules! flush {
+            () => {
+                if let Some((ch, credits)) = cur.take() {
+                    if credits > 0 {
+                        let c = &mut self.chans[ch.0 as usize];
+                        debug_assert!(
+                            c.in_flight >= credits,
+                            "batched credit underflow on {:?}",
+                            c.id
+                        );
+                        c.in_flight = c.in_flight.saturating_sub(credits);
+                    }
+                }
+            };
+        }
+        for ev in buf.drain(..) {
+            if let Ev::Deliver { ch, elem, credited } = ev {
+                match &mut cur {
+                    Some((c, credits)) if *c == ch => *credits += credited as usize,
+                    _ => {
+                        flush!();
+                        cur = Some((ch, credited as usize));
+                    }
+                }
+                let to = self.chans[ch.0 as usize].to;
+                let noop = {
+                    let i = &self.insts[to.0 as usize];
+                    i.halted || i.busy || self.q.now() < i.operational_at || i.blocked_out
+                };
+                self.chans[ch.0 as usize].queue.push_back(elem);
+                if !noop {
+                    flush!();
+                    self.try_start(plugin, to);
+                }
+            } else {
+                // Any other event may observe channel credit (wakes,
+                // control, proc-done all can reach `pump`): settle first.
+                flush!();
+                self.dispatch(plugin, ev);
+            }
+        }
+        flush!();
+    }
+
     fn on_priority(&mut self, plugin: &mut dyn ScalePlugin, to: InstId, msg: PriorityMsg) {
         match msg {
             PriorityMsg::Signal(sig) => plugin.on_priority_signal(self, to, sig),
@@ -869,7 +985,9 @@ impl World {
         };
         link.busy = false;
         let lat = self.cfg.net_latency;
-        self.q.schedule(
+        let reg = self.reg(to);
+        self.q.schedule_tagged(
+            reg,
             lat,
             Ev::priority(
                 to,
@@ -1036,6 +1154,17 @@ impl World {
         // cached predecessor lists must see the new instances.
         self.refresh_pred_caches_after(op);
 
+        // Scale-out instances inherit their operator's scheduler region,
+        // and the freshly wired channels fold into the lookahead matrix
+        // (they connect already-linked region pairs, so the matrix can
+        // only stay equal — but the cut-channel count must stay honest).
+        self.region_map.extend_for_new_instances(&self.insts);
+        if self.region_map.k() > 1 {
+            self.region_map
+                .rebuild_lookahead(&self.edges, &self.chans, self.cfg.ctrl_latency);
+            self.q.set_region_lookahead(self.region_map.lookahead());
+        }
+
         // Compute the moves with the uniform re-partitioning strategy.
         let base = self
             .keyed_in_edges(op)
@@ -1169,7 +1298,8 @@ impl World {
             }
         }
         self.drain_source(inst);
-        self.q.schedule(TICK, Ev::SourceTick { inst });
+        let reg = self.reg(inst);
+        self.q.schedule_tagged(reg, TICK, Ev::SourceTick { inst });
         let _ = plugin;
     }
 
@@ -1252,7 +1382,9 @@ impl World {
                     // The slot holds an empty Vec (drained by the previous
                     // `on_proc_done`); dropping it frees nothing.
                     self.pending_runs[inst.0 as usize] = records;
-                    self.q.schedule(service.max(1), Ev::ProcDone { inst, gen });
+                    let reg = self.reg(inst);
+                    self.q
+                        .schedule_tagged(reg, service.max(1), Ev::ProcDone { inst, gen });
                     return;
                 }
                 Selection::Suspend => {
@@ -1550,7 +1682,9 @@ impl World {
                 i.busy = true;
                 i.proc_gen += 1;
                 let gen = i.proc_gen;
-                self.q.schedule(cost, Ev::ProcDone { inst, gen });
+                let reg = self.reg(inst);
+                self.q
+                    .schedule_tagged(reg, cost, Ev::ProcDone { inst, gen });
             }
             let wm_out = self.insts[inst.0 as usize].watermark;
             self.broadcast_watermark(inst, wm_out);
@@ -1598,7 +1732,9 @@ impl World {
                 i.busy = true;
                 i.proc_gen += 1;
                 let gen = i.proc_gen;
-                self.q.schedule(cost, Ev::ProcDone { inst, gen });
+                let reg = self.reg(inst);
+                self.q
+                    .schedule_tagged(reg, cost, Ev::ProcDone { inst, gen });
             }
             if role == OpRole::Sink {
                 let now = self.now();
@@ -1716,9 +1852,7 @@ impl Sim {
                 // dispatch would put them, because their sequence numbers
                 // are larger than everything already drained.
                 while self.world.q.pop_run_at_most(t, buf).is_some() {
-                    for ev in buf.drain(..) {
-                        self.world.dispatch(plugin, ev);
-                    }
+                    self.world.dispatch_run(plugin, buf);
                 }
             }
         }
@@ -1788,6 +1922,47 @@ pub mod tests_support {
         b.connect(agg, sink, EdgeKind::Rebalance);
         let w = b.build();
         (w, agg)
+    }
+
+    /// Build `pipes` fully disjoint source → keyed-agg → sink pipelines in
+    /// one job. The region partitioner keeps connected components whole,
+    /// so with `cfg.regions >= pipes` every pipeline gets its own region
+    /// and zero channels cross a region boundary (infinite lookahead) —
+    /// the best case for region-partitioned scheduling, and still required
+    /// to be digest-identical to the single-region run.
+    pub fn twin_jobs(
+        cfg: EngineConfig,
+        rate: f64,
+        universe: u64,
+        par: usize,
+        pipes: usize,
+    ) -> World {
+        use crate::graph::{EdgeKind, JobBuilder};
+        use crate::operator::KeyedAgg;
+        let mut b = JobBuilder::new(cfg);
+        for p in 0..pipes {
+            let src = b.source(
+                &format!("src{p}"),
+                1,
+                Box::new(move |_| Box::new(FixedGen::new(rate, universe))),
+            );
+            let agg = b.operator(
+                &format!("agg{p}"),
+                par,
+                Box::new(|| {
+                    Box::new(KeyedAgg {
+                        service: 50,
+                        bytes_per_key: 1_000,
+                        bytes_per_record: 0,
+                        emit_every: 1,
+                    })
+                }),
+            );
+            let sink = b.sink(&format!("sink{p}"), 1);
+            b.connect(src, agg, EdgeKind::Keyed);
+            b.connect(agg, sink, EdgeKind::Rebalance);
+        }
+        b.build()
     }
 }
 
@@ -2132,5 +2307,75 @@ mod tests {
             digest(DispatchMode::Batch),
             "batch dispatch changed the event interleaving"
         );
+    }
+
+    #[test]
+    fn region_counts_produce_identical_digests() {
+        // The region count is a pure perf knob like the backend and the
+        // dispatch mode: any partitioning must pop the identical global
+        // (at, seq) order. A mid-run rescale exercises scale-out region
+        // inheritance and the lookahead refresh.
+        let digest = |regions: usize, mode: DispatchMode| {
+            let mut cfg = EngineConfig::test();
+            cfg.seed = 0x7E91;
+            cfg.regions = regions;
+            let (mut w, agg) = tiny_job(cfg, 8_000.0, 256, 2);
+            w.schedule_scale(secs(1), agg, 4);
+            let mut sim = Sim::new(w, Box::new(NoScale)).with_dispatch_mode(mode);
+            sim.run_until(secs(4));
+            (sim.world.metrics_digest(), sim.world.q.processed())
+        };
+        let reference = digest(1, DispatchMode::SinglePop);
+        for regions in [1usize, 2, 3] {
+            for mode in [DispatchMode::SinglePop, DispatchMode::Batch] {
+                assert_eq!(
+                    digest(regions, mode),
+                    reference,
+                    "regions={regions} mode={mode:?} diverged from the sequential engine"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_pipelines_have_no_cut_and_identical_digests() {
+        let digest = |regions: usize| {
+            let mut cfg = EngineConfig::test();
+            cfg.seed = 0x2F2F;
+            cfg.regions = regions;
+            let w = twin_jobs(cfg, 4_000.0, 128, 2, 2);
+            if regions == 2 {
+                assert_eq!(
+                    w.region_map.cut_channels(),
+                    0,
+                    "disjoint pipelines must not be split across a cut"
+                );
+            }
+            let mut sim = Sim::new(w, Box::new(NoScale));
+            sim.run_until(secs(3));
+            (sim.world.metrics_digest(), sim.world.q.processed())
+        };
+        assert_eq!(digest(1), digest(2));
+    }
+
+    #[test]
+    fn region_sync_stats_account_conservative_progress() {
+        let mut cfg = EngineConfig::test();
+        cfg.regions = 2;
+        let (w, _) = tiny_job(cfg, 4_000.0, 128, 2);
+        let mut sim = Sim::new(w, Box::new(NoScale));
+        sim.run_until(secs(2));
+        let stats = sim.world.q.region_sync_stats();
+        assert!(stats.runs > 0, "no runs were accounted");
+        // A cut pipeline has zero-lookahead reverse edges, so some pops
+        // must have needed the global-minimum rule (the lockstep the
+        // merged scheduler collapses — see simcore::region docs).
+        assert!(
+            stats.min_rule_grants > 0,
+            "a cut pipeline cannot advance on lookahead alone"
+        );
+        // Both regions made progress.
+        assert!(sim.world.q.region_clock(0) > 0);
+        assert!(sim.world.q.region_clock(1) > 0);
     }
 }

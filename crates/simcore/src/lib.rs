@@ -20,14 +20,17 @@
 pub mod calendar;
 pub mod hash;
 pub mod queue;
+pub mod region;
 pub mod rng;
 pub mod slab;
+pub mod spsc;
 pub mod stats;
 pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::{EventQueue, FutureEventList, SchedulerBackend};
+pub use region::{RegionScheduler, SyncStats};
 pub use rng::{DetRng, Zipf};
 pub use slab::{Slab, SlabRef};
 pub use stats::{Histogram, Summary, TimeSeries};

@@ -25,6 +25,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::calendar::CalendarQueue;
+use crate::region::RegionScheduler;
 use crate::time::SimTime;
 
 /// A timestamped event with its schedule-order sequence number. Ordered by
@@ -94,9 +95,134 @@ impl SchedulerBackend {
     }
 }
 
-enum Backend<E> {
+/// One priority-queue instance behind a [`FutureEventList`] — the raw
+/// mechanics with none of the list's shell state (clock, sequence minting,
+/// past-clamp, processed counter). Extracted so the region scheduler
+/// ([`RegionScheduler`](crate::region::RegionScheduler)) can own one queue
+/// *per region* while a single shell keeps minting globally-unique
+/// `(at, seq)` keys across all of them.
+pub(crate) enum BackendQueue<E> {
     Heap(BinaryHeap<Reverse<Scheduled<E>>>),
     Calendar(CalendarQueue<E>),
+}
+
+impl<E> BackendQueue<E> {
+    pub(crate) fn new(kind: SchedulerBackend, cap: usize) -> Self {
+        match kind {
+            SchedulerBackend::BinaryHeap => Self::Heap(BinaryHeap::with_capacity(cap)),
+            SchedulerBackend::Calendar => Self::Calendar(CalendarQueue::with_capacity(cap)),
+        }
+    }
+
+    pub(crate) fn kind(&self) -> SchedulerBackend {
+        match self {
+            Self::Heap(_) => SchedulerBackend::BinaryHeap,
+            Self::Calendar(_) => SchedulerBackend::Calendar,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Self::Heap(h) => h.len(),
+            Self::Calendar(c) => c.len(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, s: Scheduled<E>) {
+        match self {
+            Self::Heap(h) => h.push(Reverse(s)),
+            Self::Calendar(c) => c.push(s),
+        }
+    }
+
+    /// Pop the earliest entry if due at or before `t`.
+    pub(crate) fn pop_at_most(&mut self, t: SimTime) -> Option<Scheduled<E>> {
+        match self {
+            Self::Heap(h) => {
+                if h.peek().is_none_or(|Reverse(s)| s.at > t) {
+                    return None;
+                }
+                Some(h.pop().map(|Reverse(s)| s).expect("peeked"))
+            }
+            Self::Calendar(c) => c.pop_at_most(t),
+        }
+    }
+
+    /// Drain the earliest same-instant run (if due by `t`), appending
+    /// payloads to `buf` in seq order. Does not clear `buf` — the caller
+    /// owns that decision.
+    pub(crate) fn pop_run_at_most(
+        &mut self,
+        t: SimTime,
+        buf: &mut Vec<E>,
+    ) -> Option<(SimTime, usize)> {
+        match self {
+            Self::Heap(h) => {
+                if h.peek().is_none_or(|Reverse(s)| s.at > t) {
+                    return None;
+                }
+                let Reverse(first) = h.pop().expect("peeked");
+                let at = first.at;
+                let start = buf.len();
+                buf.push(first.event);
+                // FIFO within the run comes from the heap's (at, seq)
+                // ordering: equal-`at` entries surface in seq order.
+                while h.peek().is_some_and(|Reverse(s)| s.at == at) {
+                    let Reverse(s) = h.pop().expect("peeked");
+                    buf.push(s.event);
+                }
+                Some((at, buf.len() - start))
+            }
+            Self::Calendar(c) => c.pop_run_at_most(t, buf),
+        }
+    }
+
+    /// Like [`pop_run_at_most`](Self::pop_run_at_most) but keeps each
+    /// entry's `(at, seq)` key — the region scheduler needs the keys to
+    /// merge same-instant runs drained from different regions back into
+    /// the global FIFO order.
+    pub(crate) fn pop_run_keyed_at_most(
+        &mut self,
+        t: SimTime,
+        out: &mut Vec<Scheduled<E>>,
+    ) -> Option<(SimTime, usize)> {
+        match self {
+            Self::Heap(h) => {
+                if h.peek().is_none_or(|Reverse(s)| s.at > t) {
+                    return None;
+                }
+                let Reverse(first) = h.pop().expect("peeked");
+                let at = first.at;
+                let start = out.len();
+                out.push(first);
+                while h.peek().is_some_and(|Reverse(s)| s.at == at) {
+                    let Reverse(s) = h.pop().expect("peeked");
+                    out.push(s);
+                }
+                Some((at, out.len() - start))
+            }
+            Self::Calendar(c) => c.pop_run_keyed_at_most(t, out),
+        }
+    }
+
+    /// The `(at, seq)` key of the earliest pending entry. `&mut self` for
+    /// the same reason as [`FutureEventList::peek_time`]: the calendar
+    /// backend positions its scan cursor while peeking.
+    pub(crate) fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        match self {
+            Self::Heap(h) => h.peek().map(|Reverse(s)| (s.at, s.seq)),
+            Self::Calendar(c) => c.peek_key(),
+        }
+    }
+
+    pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            Self::Heap(h) => h.peek().map(|Reverse(s)| s.at),
+            Self::Calendar(c) => c.peek_time(),
+        }
+    }
 }
 
 /// A deterministic future-event list with a pluggable backend.
@@ -106,10 +232,17 @@ enum Backend<E> {
 /// shared by every backend — a backend only ever sees fully-formed
 /// `(at, seq, event)` triples and must return them in `(at, seq)` order.
 pub struct FutureEventList<E> {
-    backend: Backend<E>,
+    lists: Lists<E>,
     now: SimTime,
     seq: u64,
     processed: u64,
+}
+
+/// The list's storage: one backend queue, or one per region merged under
+/// the shared `(at, seq)` total order (see [`crate::region`]).
+enum Lists<E> {
+    Single(BackendQueue<E>),
+    Regions(RegionScheduler<E>),
 }
 
 /// The historical name of the future-event list, kept as an alias so call
@@ -139,12 +272,35 @@ impl<E> FutureEventList<E> {
     /// Create an empty list on an explicit backend with pre-allocated
     /// storage for about `cap` pending events.
     pub fn with_backend(kind: SchedulerBackend, cap: usize) -> Self {
-        let backend = match kind {
-            SchedulerBackend::BinaryHeap => Backend::Heap(BinaryHeap::with_capacity(cap)),
-            SchedulerBackend::Calendar => Backend::Calendar(CalendarQueue::with_capacity(cap)),
-        };
         Self {
-            backend,
+            lists: Lists::Single(BackendQueue::new(kind, cap)),
+            now: 0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Create an empty list whose pending set is partitioned into
+    /// `regions` per-region queues merged under the list's global
+    /// `(at, seq)` order (conservative region-partitioned PDES; see
+    /// [`crate::region`]). `regions <= 1` degrades to the plain
+    /// single-queue list — same type, zero overhead. Events are assigned
+    /// to regions via [`schedule_tagged`](Self::schedule_tagged) /
+    /// [`schedule_at_tagged`](Self::schedule_at_tagged); the untagged
+    /// `schedule` / `schedule_at` land in region 0.
+    ///
+    /// The popped `(time, event)` sequence is byte-identical to a
+    /// single-queue list fed the same schedule calls **for every region
+    /// assignment**: the merge compares globally-unique `(at, seq)` keys,
+    /// so region tagging is purely a performance decision (smaller
+    /// per-region populations, per-region calendar geometry), never a
+    /// semantic one.
+    pub fn with_backend_regions(kind: SchedulerBackend, cap: usize, regions: usize) -> Self {
+        if regions <= 1 {
+            return Self::with_backend(kind, cap);
+        }
+        Self {
+            lists: Lists::Regions(RegionScheduler::new(kind, cap, regions)),
             now: 0,
             seq: 0,
             processed: 0,
@@ -153,9 +309,18 @@ impl<E> FutureEventList<E> {
 
     /// Which backend this list runs on.
     pub fn backend(&self) -> SchedulerBackend {
-        match &self.backend {
-            Backend::Heap(_) => SchedulerBackend::BinaryHeap,
-            Backend::Calendar(_) => SchedulerBackend::Calendar,
+        match &self.lists {
+            Lists::Single(b) => b.kind(),
+            Lists::Regions(r) => r.kind(),
+        }
+    }
+
+    /// Number of regions the pending set is partitioned into (1 for a
+    /// plain single-queue list).
+    pub fn regions(&self) -> usize {
+        match &self.lists {
+            Lists::Single(_) => 1,
+            Lists::Regions(r) => r.regions(),
         }
     }
 
@@ -175,9 +340,9 @@ impl<E> FutureEventList<E> {
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        match &self.backend {
-            Backend::Heap(h) => h.len(),
-            Backend::Calendar(c) => c.len(),
+        match &self.lists {
+            Lists::Single(b) => b.len(),
+            Lists::Regions(r) => r.len(),
         }
     }
 
@@ -197,12 +362,28 @@ impl<E> FutureEventList<E> {
     /// "now" — the simulator never travels backwards.
     #[inline]
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.schedule_at_tagged(0, at, event);
+    }
+
+    /// Schedule `event` `delay` after the current time, assigning it to
+    /// `region` (ignored on a single-queue list; clamped to the last
+    /// region otherwise). Region assignment never affects pop order —
+    /// only which per-region queue stores the event.
+    #[inline]
+    pub fn schedule_tagged(&mut self, region: usize, delay: SimTime, event: E) {
+        self.schedule_at_tagged(region, self.now.saturating_add(delay), event);
+    }
+
+    /// Schedule `event` at an absolute time in `region`. See
+    /// [`schedule_tagged`](Self::schedule_tagged).
+    #[inline]
+    pub fn schedule_at_tagged(&mut self, region: usize, at: SimTime, event: E) {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        match &mut self.backend {
-            Backend::Heap(h) => h.push(Reverse(Scheduled { at, seq, event })),
-            Backend::Calendar(c) => c.push(Scheduled { at, seq, event }),
+        match &mut self.lists {
+            Lists::Single(b) => b.push(Scheduled { at, seq, event }),
+            Lists::Regions(r) => r.push(region, Scheduled { at, seq, event }),
         }
     }
 
@@ -217,14 +398,9 @@ impl<E> FutureEventList<E> {
     /// calendar backend positions its scan cursor once per event instead
     /// of once for the peek and again for the pop.
     pub fn pop_at_most(&mut self, t: SimTime) -> Option<(SimTime, E)> {
-        let s = match &mut self.backend {
-            Backend::Heap(h) => {
-                if h.peek().is_none_or(|Reverse(s)| s.at > t) {
-                    return None;
-                }
-                h.pop().map(|Reverse(s)| s).expect("peeked")
-            }
-            Backend::Calendar(c) => c.pop_at_most(t)?,
+        let s = match &mut self.lists {
+            Lists::Single(b) => b.pop_at_most(t)?,
+            Lists::Regions(r) => r.pop_at_most(t)?,
         };
         debug_assert!(s.at >= self.now, "event queue time went backwards");
         self.now = s.at;
@@ -257,23 +433,9 @@ impl<E> FutureEventList<E> {
     /// their sequence numbers are larger.
     pub fn pop_run_at_most(&mut self, t: SimTime, buf: &mut Vec<E>) -> Option<SimTime> {
         buf.clear();
-        let (at, n) = match &mut self.backend {
-            Backend::Heap(h) => {
-                if h.peek().is_none_or(|Reverse(s)| s.at > t) {
-                    return None;
-                }
-                let Reverse(first) = h.pop().expect("peeked");
-                let at = first.at;
-                buf.push(first.event);
-                // FIFO within the run comes from the heap's (at, seq)
-                // ordering: equal-`at` entries surface in seq order.
-                while h.peek().is_some_and(|Reverse(s)| s.at == at) {
-                    let Reverse(s) = h.pop().expect("peeked");
-                    buf.push(s.event);
-                }
-                (at, buf.len())
-            }
-            Backend::Calendar(c) => c.pop_run_at_most(t, buf)?,
+        let (at, n) = match &mut self.lists {
+            Lists::Single(b) => b.pop_run_at_most(t, buf)?,
+            Lists::Regions(r) => r.pop_run_at_most(t, buf)?,
         };
         debug_assert!(at >= self.now, "event queue time went backwards");
         debug_assert_eq!(n, buf.len());
@@ -311,9 +473,64 @@ impl<E> FutureEventList<E> {
     /// scan cursor while peeking (the work is then reused by the next
     /// `pop`); the logical state is unchanged.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        match &mut self.backend {
-            Backend::Heap(h) => h.peek().map(|Reverse(s)| s.at),
-            Backend::Calendar(c) => c.peek_time(),
+        match &mut self.lists {
+            Lists::Single(b) => b.peek_time(),
+            Lists::Regions(r) => r.peek_time(),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Region introspection (conservative-PDES accounting; see
+    // `crate::region`). All of these are trivial on a single-queue list.
+    // -----------------------------------------------------------------
+
+    /// Install the region lookahead matrix (row-major `k × k`;
+    /// `la[from][to]` = minimum latency of any event a `from`-region
+    /// handler can schedule into `to`). No-op on a single-queue list.
+    pub fn set_region_lookahead(&mut self, la: &[SimTime]) {
+        if let Lists::Regions(r) = &mut self.lists {
+            r.set_lookahead(la);
+        }
+    }
+
+    /// The local clock of `region`: the timestamp of the last event popped
+    /// from it (0 before the first pop). A single-queue list reports the
+    /// global clock.
+    pub fn region_clock(&self, region: usize) -> SimTime {
+        match &self.lists {
+            Lists::Single(_) => self.now,
+            Lists::Regions(r) => r.clock(region),
+        }
+    }
+
+    /// The conservative bound `region` may advance to on neighbor clocks +
+    /// lookahead alone (Chandy–Misra–Bryant). `SimTime::MAX` on a
+    /// single-queue list.
+    pub fn region_safe_until(&self, region: usize) -> SimTime {
+        match &self.lists {
+            Lists::Single(_) => SimTime::MAX,
+            Lists::Regions(r) => r.safe_until(region),
+        }
+    }
+
+    /// Which regions may dispatch their head event right now (lookahead
+    /// grant, or the global-minimum rule — see
+    /// [`RegionScheduler::grants`]). A single-queue list grants region 0
+    /// whenever non-empty.
+    pub fn region_grants(&mut self, out: &mut Vec<bool>) {
+        out.clear();
+        match &mut self.lists {
+            Lists::Single(b) => out.push(b.len() > 0),
+            Lists::Regions(r) => r.grants(out),
+        }
+    }
+
+    /// Conservative-sync accounting counters (zeroes on a single-queue
+    /// list).
+    pub fn region_sync_stats(&self) -> crate::region::SyncStats {
+        match &self.lists {
+            Lists::Single(_) => crate::region::SyncStats::default(),
+            Lists::Regions(r) => r.sync_stats(),
         }
     }
 }

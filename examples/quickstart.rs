@@ -118,6 +118,7 @@ fn main() {
         horizon: secs(25),
         backend: SchedulerBackend::default(),
         dispatch: DispatchMode::default(),
+        regions: 1,
     };
     let report: RunReport = spec.run();
     println!(

@@ -353,6 +353,97 @@ proptest! {
     }
 
     #[test]
+    fn region_partitioning_preserves_digests_on_random_graphs(
+        // Random linear operator graphs (random stage count, per-stage
+        // parallelism, edge kinds, rate) run under a random region count:
+        // the K-region schedule must produce a byte-identical metrics
+        // digest, event count and final clock to the sequential engine,
+        // in both dispatch modes. This is the region contract the engine
+        // unit tests pin on fixed jobs, generalized over graph shape.
+        seed in 0u64..1000,
+        stages in 1usize..4,
+        pars in proptest::collection::vec(1usize..4, 3),
+        services in proptest::collection::vec(10u64..120, 3),
+        regions in 2usize..6,
+        batch in any::<bool>(),
+        rate in 1_000u64..8_000,
+    ) {
+        use drrs_repro::engine::graph::{EdgeKind, JobBuilder};
+        use drrs_repro::engine::operator::KeyedAgg;
+        use drrs_repro::engine::world::tests_support::FixedGen;
+        use drrs_repro::engine::world::DispatchMode;
+
+        let run = |k: usize| {
+            let mut cfg = EngineConfig::test();
+            cfg.seed = seed;
+            cfg.regions = k;
+            let mut b = JobBuilder::new(cfg);
+            let src = b.source(
+                "src",
+                1,
+                Box::new(move |_| Box::new(FixedGen::new(rate as f64, 256))),
+            );
+            let mut prev = src;
+            for s in 0..stages {
+                let service = services[s];
+                let op = b.operator(
+                    &format!("op{s}"),
+                    pars[s],
+                    Box::new(move || Box::new(KeyedAgg {
+                        service,
+                        bytes_per_key: 500,
+                        bytes_per_record: 0,
+                        emit_every: 1,
+                    })),
+                );
+                // Keyed state demands keyed routing on every operator
+                // inbound edge; only the sink edge may rebalance.
+                b.connect(prev, op, EdgeKind::Keyed);
+                prev = op;
+            }
+            let sink = b.sink("sink", 1);
+            b.connect(prev, sink, EdgeKind::Rebalance);
+            let mode = if batch { DispatchMode::Batch } else { DispatchMode::SinglePop };
+            let mut sim = Sim::new(b.build(), Box::new(drrs_repro::engine::NoScale))
+                .with_dispatch_mode(mode);
+            sim.run_until(secs(2));
+            (
+                sim.world.metrics_digest(),
+                sim.world.q.processed(),
+                sim.world.q.now(),
+                sim.world.metrics.sink_records,
+            )
+        };
+        let reference = run(1);
+        let partitioned = run(regions);
+        prop_assert_eq!(reference, partitioned, "{} regions diverged from sequential", regions);
+    }
+
+    #[test]
+    fn region_scheduler_never_deadlocks(
+        // Backpressured tiny job: blocked senders are woken by receiver-side
+        // pumps, which are zero-lookahead reverse edges between regions —
+        // the classic conservative-PDES deadlock shape. Any region count
+        // must still drain every event up to the horizon and land the
+        // clock exactly there, with every region's own clock caught up on
+        // its pending work.
+        seed in 0u64..200,
+        regions in 2usize..6,
+        par in 1usize..4,
+    ) {
+        let mut cfg = EngineConfig::test();
+        cfg.seed = seed;
+        cfg.regions = regions;
+        let (w, _) = tiny_job(cfg, 30_000.0, 64, par);
+        let mut sim = Sim::new(w, Box::new(drrs_repro::engine::NoScale));
+        sim.run_until(secs(2));
+        prop_assert!(sim.world.q.processed() > 0, "no events dispatched");
+        prop_assert_eq!(sim.world.q.now(), secs(2), "clock stalled before the horizon");
+        let stats = sim.world.q.region_sync_stats();
+        prop_assert!(stats.runs > 0, "no region runs accounted");
+    }
+
+    #[test]
     fn channel_credits_never_oversubscribe(seed in 0u64..200) {
         let mut cfg = EngineConfig::test();
         cfg.seed = seed;
