@@ -260,6 +260,93 @@ fn bench_region_sync(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parallel_epochs(c: &mut Criterion) {
+    // The thread-per-region executor's fixed costs in isolation, next to
+    // `region_sync` (the sequential conservative-sync accounting):
+    //
+    // * `epoch_barrier_kK` — the two-barrier epoch protocol at K worker
+    //   threads: publish the region clock, barrier, compute the global
+    //   minimum, barrier. This is the floor every epoch pays even when no
+    //   region dispatches anything, so epochs/sec here bounds how finely
+    //   lookahead can slice the horizon before synchronization dominates.
+    //   (On a host with fewer cores than K the barriers context-switch,
+    //   which is the honest cost on that host.)
+    // * `ring_drain_kK_N` — consumer-side drain of a full K×(K-1) cross-cut
+    //   mailbox holding N 8-byte handles, the shape one epoch's "drain
+    //   rings" step sees after a bursty epoch. Rings are sized to hold
+    //   their share so this isolates the SPSC pop path (the executor's
+    //   overflow spill is measured implicitly by perf_report, not here).
+    use simcore::spsc::EpochBarrier;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const EPOCHS: u64 = 1_000;
+    let mut g = c.benchmark_group("parallel_epochs");
+    for k in [2usize, 4] {
+        g.throughput(Throughput::Elements(EPOCHS));
+        g.bench_function(&format!("epoch_barrier_k{k}"), |b| {
+            b.iter(|| {
+                let barrier = EpochBarrier::new(k);
+                let next: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+                std::thread::scope(|s| {
+                    for r in 0..k {
+                        let barrier = &barrier;
+                        let next = &next;
+                        s.spawn(move || {
+                            let mut acc = 0u64;
+                            for e in 0..EPOCHS {
+                                next[r].store(e, Ordering::SeqCst);
+                                barrier.wait();
+                                let m = next
+                                    .iter()
+                                    .map(|n| n.load(Ordering::SeqCst))
+                                    .min()
+                                    .expect("k >= 1");
+                                acc = acc.wrapping_add(m);
+                                barrier.wait();
+                            }
+                            black_box(acc);
+                        });
+                    }
+                });
+            })
+        });
+    }
+    for k in [2usize, 4] {
+        let rings = k * (k - 1);
+        for msgs in [1_000usize, 100_000] {
+            g.throughput(Throughput::Elements(msgs as u64));
+            g.bench_function(&format!("ring_drain_k{k}_{msgs}_msgs"), |b| {
+                b.iter_with_setup(
+                    || {
+                        let per_ring = msgs.div_ceil(rings);
+                        let mut mailbox = Vec::with_capacity(rings);
+                        let mut sent = 0usize;
+                        for _ in 0..rings {
+                            let (mut tx, rx) = simcore::spsc::ring::<u64>(per_ring);
+                            for _ in 0..per_ring.min(msgs - sent) {
+                                tx.push(sent as u64).expect("ring sized to share");
+                                sent += 1;
+                            }
+                            mailbox.push((tx, rx));
+                        }
+                        mailbox
+                    },
+                    |mut mailbox| {
+                        let mut acc = 0u64;
+                        for (_tx, rx) in &mut mailbox {
+                            while let Some(v) = rx.pop() {
+                                acc = acc.wrapping_add(v);
+                            }
+                        }
+                        black_box(acc)
+                    },
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_routing(c: &mut Criterion) {
     let targets: Vec<InstId> = (0..12).map(InstId).collect();
     let table = RoutingTable::uniform(128, &targets);
@@ -438,6 +525,7 @@ criterion_group!(
     bench_scheduler_backends,
     bench_batch_drain,
     bench_region_sync,
+    bench_parallel_epochs,
     bench_routing,
     bench_state_backend,
     bench_dense_backend_hot_access,

@@ -15,7 +15,7 @@
 //!                     [--backend heap|calendar|both]
 //!                     [--dispatch single|batch|both]
 //!                     [--regions 1|2|K|both] [--reps N]
-//!                     [--require-digest-match]`
+//!                     [--require-digest-match] [--no-parallel]`
 //!
 //! The scenario matrix is not private to this binary: it is the `perf/`
 //! group of `bench::scenario::registry`, the same named specs the digest
@@ -41,7 +41,23 @@
 //!
 //! With `--baseline`, the report embeds the baseline's events/sec and the
 //! relative improvement, so `BENCH_PRn.json` carries the before/after pair
-//! measured on the same machine.
+//! measured on the same machine. Because the scenario matrix grows over
+//! PRs, the raw aggregate ratio can compare different scenario sets; the
+//! report therefore also emits `comparable_improvement`, computed only
+//! over the intersection of scenario names present in both the current
+//! run and the baseline (summed events/sec on each side), which is the
+//! honest PR-over-PR number.
+//!
+//! The report additionally carries the thread-per-region **parallel A/B
+//! axis** (disable with `--no-parallel`): the fixed-parallelism 100k
+//! scenarios run at `resume_latency = 100 µs` on regions ∈ {2, 4}, once
+//! on the sequential PDES engine and once on `run_threaded` (one OS
+//! thread per region over the SPSC rings), interleaved. The two engines
+//! are required to produce identical digests — a mismatch is a hard
+//! failure — and the measured seq/par events/sec pair plus `host_cpus`
+//! are recorded as-is: on a single-core host the parallel engine is
+//! expected to *lose* (barrier + ring traffic with no extra cores), and
+//! the report records that honestly rather than hiding the axis.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -207,11 +223,17 @@ fn scenario_matrix(quick: bool, cells: &[Cell], reps: usize) -> Vec<ScenarioResu
 struct Baseline {
     total_events_per_sec: f64,
     digests: Vec<(String, u64)>,
+    /// Per-scenario headline events/sec, keyed by scenario name — feeds
+    /// `comparable_improvement` over the name intersection.
+    events_per_sec: Vec<(String, f64)>,
 }
 
 /// Minimal field extraction from our own JSON (no serde in the offline
 /// container): finds `"name": ..., "events_per_sec": ..., "digest": ...`
-/// triples in document order plus the top-level aggregate.
+/// triples in document order plus the top-level aggregate. The parallel
+/// A/B entries deliberately key their scenario as `"scenario"` (not
+/// `"name"`) so their PDES-mode digests and seq/par rates never shadow
+/// the sequential trajectory parsed here.
 fn parse_baseline(text: &str) -> Baseline {
     let mut b = Baseline::default();
     let grab_num = |line: &str| -> Option<f64> {
@@ -238,6 +260,10 @@ fn parse_baseline(text: &str) -> Baseline {
             b.total_events_per_sec = grab_num(t).unwrap_or(0.0);
         } else if t.starts_with("\"name\"") {
             cur_name = grab_str(t);
+        } else if t.starts_with("\"events_per_sec\"") {
+            if let (Some(n), Some(v)) = (cur_name.clone(), grab_num(t)) {
+                b.events_per_sec.push((n, v));
+            }
         } else if t.starts_with("\"digest\"") {
             if let (Some(n), Some(d)) = (cur_name.take(), grab_str(t)) {
                 if let Ok(d) = u64::from_str_radix(d.trim_start_matches("0x"), 16) {
@@ -247,6 +273,107 @@ fn parse_baseline(text: &str) -> Baseline {
         }
     }
     b
+}
+
+/// Resume latency (µs) used by the parallel A/B axis: enough reverse-edge
+/// lookahead for real epochs without distorting the workload timeline.
+const PARALLEL_RESUME_LATENCY: u64 = 100;
+
+/// One (scenario × region count) row of the parallel A/B axis: the
+/// sequential PDES engine vs the thread-per-region executor at the same
+/// `resume_latency`, digest-checked against each other.
+struct ParallelResult {
+    name: String,
+    regions: usize,
+    threads: usize,
+    events: u64,
+    seq_events_per_sec: f64,
+    par_events_per_sec: f64,
+    digest: u64,
+}
+
+/// Run the parallel A/B axis: the fixed-parallelism (no mid-run rescale)
+/// 100k scenarios at `resume_latency = 100 µs`, regions ∈ {2, 4}, each
+/// rep one sequential run immediately followed by one threaded run (so
+/// machine-load drift hits both engines equally). Hard-fails on any
+/// seq/par digest or event-count divergence — the thread-per-region
+/// executor is required to be an exact rewrite of the sequential PDES
+/// loop, proven per rep, not assumed.
+fn parallel_axis(quick: bool, reps: usize) -> Vec<ParallelResult> {
+    let names = ["perf/cut_pipeline_100k", "perf/twin_pipelines_100k"];
+    let mut out = Vec::new();
+    for name in names {
+        let Some(base) = registry::find(name, quick) else {
+            continue;
+        };
+        for k in [2usize, 4] {
+            let spec = base
+                .clone()
+                .with_regions(k)
+                .with_resume_latency(PARALLEL_RESUME_LATENCY);
+            // Warm both engines on a shortened horizon (page in code,
+            // spawn threads once) before any timed rep.
+            {
+                let w = spec.clone().with_horizon(secs(1));
+                let _ = w.run();
+                let _ = w.run_threaded();
+            }
+            let mut seq_eps = Vec::new();
+            let mut par_eps = Vec::new();
+            let mut threads = 0;
+            let mut reference: Option<(u64, u64)> = None;
+            for _rep in 0..reps {
+                // Sequential side timed symmetrically with run_threaded:
+                // both include building the Sim(s) inside the window.
+                let start = Instant::now();
+                let (mut sim, _) = spec.build_sim();
+                sim.run_until(spec.horizon);
+                let seq_wall = start.elapsed().as_secs_f64();
+                let seq_events = sim.world.q.processed();
+                let seq_digest = sim.world.metrics_digest();
+                drop(sim);
+                let (par, par_wall) = spec.run_threaded();
+                if par.digest() != seq_digest || par.obs.processed != seq_events {
+                    eprintln!(
+                        "perf_report: FATAL: parallel A/B {name} r{k}: threaded run gave \
+                         0x{:016x} ({} events) vs sequential 0x{seq_digest:016x} ({seq_events} events)",
+                        par.digest(),
+                        par.obs.processed,
+                    );
+                    eprintln!(
+                        "perf_report: the thread-per-region executor is required to be \
+                         digest-exact against the sequential PDES engine — correctness bug"
+                    );
+                    std::process::exit(1);
+                }
+                if let Some((e, d)) = reference {
+                    if (seq_events, seq_digest) != (e, d) {
+                        eprintln!(
+                            "perf_report: FATAL: parallel A/B {name} r{k}: digest drifted \
+                             across repetitions (determinism bug)"
+                        );
+                        std::process::exit(1);
+                    }
+                } else {
+                    reference = Some((seq_events, seq_digest));
+                }
+                threads = par.threads;
+                seq_eps.push(seq_events as f64 / seq_wall.max(1e-9));
+                par_eps.push(par.obs.processed as f64 / par_wall.max(1e-9));
+            }
+            let (events, digest) = reference.expect("reps >= 1");
+            out.push(ParallelResult {
+                name: base.short_name().to_string(),
+                regions: k,
+                threads,
+                events,
+                seq_events_per_sec: median(&seq_eps),
+                par_events_per_sec: median(&par_eps),
+                digest,
+            });
+        }
+    }
+    out
 }
 
 fn main() {
@@ -265,6 +392,7 @@ fn main() {
         .unwrap_or(1usize)
         .max(1);
     let require_digest_match = flag("--require-digest-match").is_some();
+    let no_parallel = flag("--no-parallel").is_some();
     let backend_arg = flag("--backend").and_then(|i| args.get(i + 1).cloned());
     let backends: Vec<SchedulerBackend> = match backend_arg.as_deref() {
         None | Some("both") => vec![SchedulerBackend::BinaryHeap, SchedulerBackend::Calendar],
@@ -369,6 +497,19 @@ fn main() {
     );
     let results = scenario_matrix(quick, &cells, reps);
 
+    let parallel = if no_parallel {
+        Vec::new()
+    } else {
+        eprintln!(
+            "perf_report: running parallel A/B axis (resume_latency={PARALLEL_RESUME_LATENCY}us, \
+             regions 2 and 4, seq vs threaded)..."
+        );
+        parallel_axis(quick, reps)
+    };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
     let total_events: u64 = results.iter().map(|r| r.events).sum();
     let aggregate_for = |cell_idx: usize| {
         let wall: f64 = results.iter().map(|r| r.wall_secs[cell_idx]).sum();
@@ -463,6 +604,7 @@ fn main() {
         results.iter().map(|r| r.wall_secs[headline]).sum::<f64>()
     );
     let _ = writeln!(json, "  \"peak_rss_kb\": {},", peak_rss_kb());
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     if let Some(b) = &baseline {
         let improvement = if b.total_events_per_sec > 0.0 {
             aggregate / b.total_events_per_sec - 1.0
@@ -481,6 +623,30 @@ fn main() {
             b.total_events_per_sec
         );
         let _ = writeln!(json, "  \"improvement_over_baseline\": {improvement:.4},");
+        // Apples-to-apples PR-over-PR number: summed headline events/sec
+        // over only the scenarios present in BOTH reports, so growing the
+        // matrix can never inflate (or dilute) the trajectory.
+        let shared: Vec<(f64, f64)> = results
+            .iter()
+            .filter_map(|r| {
+                b.events_per_sec
+                    .iter()
+                    .find(|(n, _)| *n == r.name)
+                    .map(|(_, base_eps)| (r.events_per_sec[headline], *base_eps))
+            })
+            .collect();
+        if !shared.is_empty() {
+            let cur: f64 = shared.iter().map(|(eps, _)| *eps).sum();
+            let base: f64 = shared.iter().map(|(_, base)| *base).sum();
+            let comparable = cur / base.max(1e-9) - 1.0;
+            let _ = writeln!(json, "  \"comparable_scenarios\": {},", shared.len());
+            let _ = writeln!(json, "  \"comparable_improvement\": {comparable:.4},");
+            eprintln!(
+                "perf_report: comparable improvement over {} shared scenarios: {:+.1}%",
+                shared.len(),
+                comparable * 100.0
+            );
+        }
         let _ = writeln!(json, "  \"digest_match_with_baseline\": {digest_match},");
         eprintln!(
             "perf_report: {:.0} ev/s vs baseline {:.0} ev/s ({:+.1}%), digests match: {}",
@@ -489,6 +655,42 @@ fn main() {
             improvement * 100.0,
             digest_match
         );
+    }
+    if !parallel.is_empty() {
+        let _ = writeln!(
+            json,
+            "  \"parallel_resume_latency_us\": {PARALLEL_RESUME_LATENCY},"
+        );
+        let _ = writeln!(json, "  \"parallel\": [");
+        for (i, p) in parallel.iter().enumerate() {
+            let comma = if i + 1 < parallel.len() { "," } else { "" };
+            let speedup = p.par_events_per_sec / p.seq_events_per_sec.max(1e-9);
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"scenario\": \"{}\",", p.name);
+            let _ = writeln!(json, "      \"regions\": {},", p.regions);
+            let _ = writeln!(json, "      \"threads\": {},", p.threads);
+            let _ = writeln!(json, "      \"events\": {},", p.events);
+            let _ = writeln!(
+                json,
+                "      \"events_per_sec_seq\": {:.0},",
+                p.seq_events_per_sec
+            );
+            let _ = writeln!(
+                json,
+                "      \"events_per_sec_par\": {:.0},",
+                p.par_events_per_sec
+            );
+            let _ = writeln!(json, "      \"parallel_speedup\": {speedup:.4},");
+            let _ = writeln!(json, "      \"digest_match\": true,");
+            let _ = writeln!(json, "      \"digest\": \"0x{:016x}\"", p.digest);
+            let _ = writeln!(json, "    }}{comma}");
+            eprintln!(
+                "perf_report: parallel A/B {} r{}: seq {:.0} ev/s vs par {:.0} ev/s \
+                 ({speedup:.2}x on {} threads, host_cpus={host_cpus}), digests identical",
+                p.name, p.regions, p.seq_events_per_sec, p.par_events_per_sec, p.threads
+            );
+        }
+        let _ = writeln!(json, "  ],");
     }
     let _ = writeln!(json, "  \"scenarios\": [");
     for (i, r) in results.iter().enumerate() {

@@ -8,15 +8,26 @@
 //! scenario --group perf                # run a whole group, one line each
 //! scenario --group perf --regions 2    # same grid on 2 scheduler regions
 //! scenario --group perf --threads 4    # pin the worker pool to 4 threads
+//! scenario --run NAME --regions 2 --resume-latency 100 --threads 2
+//!                                      # thread-per-region parallel PDES run
+//! scenario --run NAME --sync-stats     # also print region/sync accounting
 //! ```
 //!
 //! The digest lines on stdout are fully deterministic (`name digest events
 //! sink_records`), so `scenario --group perf` run twice and diffed is a
 //! process-level determinism smoke — CI's `digest-stability` job uses
 //! exactly that, and diffs `--regions 1` against `--regions 2` to enforce
-//! the region-count digest contract. `--threads N` pins the worker pool
-//! (first-class form of the `SWEEP_THREADS` env var, which stays as the
-//! fallback). `QUICK=1` compresses the grids as everywhere else.
+//! the region-count digest contract. With `--run`, `--threads N` (N > 1)
+//! executes on the thread-per-region parallel engine instead — the digest
+//! line keeps the same format (events = merged processed count), so CI
+//! diffs a threaded run directly against the sequential run at the same
+//! `--regions`/`--resume-latency`. With `--group`, `--threads N` pins the
+//! sweep worker pool (first-class form of the `SWEEP_THREADS` env var,
+//! which stays as the fallback); each worker still runs one sequential sim.
+//! `--sync-stats` appends a second, equally deterministic line per run with
+//! the per-region event counts and the region-scheduler (sequential) or
+//! epoch (parallel) synchronization counters. `QUICK=1` compresses the
+//! grids as everywhere else.
 
 use bench::quick;
 use bench::scenario::registry;
@@ -25,7 +36,7 @@ use bench::scenario::Runner;
 fn usage() -> ! {
     eprintln!(
         "usage: scenario --list | --run NAME [--emit FILE] | --group PREFIX\n\
-         \x20       [--regions K] [--threads N]\n\
+         \x20       [--regions K] [--threads N] [--resume-latency MICROS] [--sync-stats]\n\
          (QUICK=1 in the environment compresses timelines)"
     );
     std::process::exit(2);
@@ -45,6 +56,8 @@ fn main() {
     };
     let regions = parsed("--regions");
     let threads = parsed("--threads");
+    let resume_latency = parsed("--resume-latency").map(|v| v as u64);
+    let sync_stats = flag("--sync-stats").is_some();
 
     if flag("--list").is_some() {
         for s in registry::all(quick()) {
@@ -61,6 +74,44 @@ fn main() {
         if let Some(r) = regions {
             spec = spec.with_regions(r);
         }
+        if let Some(rl) = resume_latency {
+            spec = spec.with_resume_latency(rl);
+        }
+        if threads.map(|t| t > 1).unwrap_or(false) {
+            // Thread-per-region parallel execution. There is no merged
+            // World to harvest a full RunReport from, so --emit has
+            // nothing faithful to write — reject it instead of emitting
+            // a partial report.
+            if value("--emit").is_some() {
+                eprintln!(
+                    "scenario: --emit is not supported with --threads > 1 \
+                     (no merged RunReport exists; drop --threads or --emit)"
+                );
+                std::process::exit(2);
+            }
+            let (report, _wall) = spec.run_threaded();
+            println!(
+                "{} digest 0x{:016x} events {} sink_records {}",
+                spec.name,
+                report.digest(),
+                report.obs.processed,
+                report.obs.sink_records
+            );
+            if sync_stats {
+                println!(
+                    "{} threads {} region_events {:?} epochs {} busy_epochs {} \
+                     msgs_sent {} msgs_overflowed {}",
+                    spec.name,
+                    report.threads,
+                    report.per_region_events,
+                    report.stats.epochs,
+                    report.stats.busy_epochs,
+                    report.stats.msgs_sent,
+                    report.stats.msgs_overflowed
+                );
+            }
+            return;
+        }
         let report = spec.run();
         if let Some(path) = value("--emit") {
             std::fs::write(&path, report.to_json(""))
@@ -71,6 +122,18 @@ fn main() {
             "{} digest 0x{:016x} events {} sink_records {}",
             report.scenario, report.digest, report.events, report.sink_records
         );
+        if sync_stats {
+            println!(
+                "{} region_events {:?} sync_runs {} merged_runs {} \
+                 min_rule_grants {} null_msgs {}",
+                report.scenario,
+                report.region_events,
+                report.sync_runs,
+                report.merged_runs,
+                report.min_rule_grants,
+                report.null_msgs
+            );
+        }
         return;
     }
 
@@ -78,9 +141,15 @@ fn main() {
         let specs: Vec<_> = registry::all(quick())
             .into_iter()
             .filter(|s| s.name.starts_with(&prefix))
-            .map(|s| match regions {
-                Some(r) => s.with_regions(r),
-                None => s,
+            .map(|s| {
+                let s = match regions {
+                    Some(r) => s.with_regions(r),
+                    None => s,
+                };
+                match resume_latency {
+                    Some(rl) => s.with_resume_latency(rl),
+                    None => s,
+                }
             })
             .collect();
         if specs.is_empty() {
@@ -93,6 +162,18 @@ fn main() {
                 "{} digest 0x{:016x} events {} sink_records {}",
                 r.scenario, r.digest, r.events, r.sink_records
             );
+            if sync_stats {
+                println!(
+                    "{} region_events {:?} sync_runs {} merged_runs {} \
+                     min_rule_grants {} null_msgs {}",
+                    r.scenario,
+                    r.region_events,
+                    r.sync_runs,
+                    r.merged_runs,
+                    r.min_rule_grants,
+                    r.null_msgs
+                );
+            }
         }
         return;
     }

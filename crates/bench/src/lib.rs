@@ -184,6 +184,7 @@ mod tests {
             backend: simcore::SchedulerBackend::default(),
             dispatch: streamflow::DispatchMode::default(),
             regions: 1,
+            resume_latency: 0,
         };
         let r = spec.run();
         assert!(r.migration_done.is_some());

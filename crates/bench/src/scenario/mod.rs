@@ -203,6 +203,13 @@ pub struct ScenarioSpec {
     /// Scheduler region count (digest-neutral by contract: any region
     /// count pops the identical event order; see `EngineConfig::regions`).
     pub regions: usize,
+    /// Cut-channel resume-notice latency, µs (`EngineConfig::resume_latency`).
+    /// 0 (the default) keeps the merged-exact sequential engine and every
+    /// historical digest; a positive value with `regions > 1` engages PDES
+    /// mode, where the digest contract becomes *parallel == sequential at
+    /// the same `resume_latency`* rather than equality with the 0-latency
+    /// run.
+    pub resume_latency: SimTime,
 }
 
 impl ScenarioSpec {
@@ -232,6 +239,12 @@ impl ScenarioSpec {
     /// Derive a spec with a different scheduler region count.
     pub fn with_regions(mut self, regions: usize) -> Self {
         self.regions = regions;
+        self
+    }
+
+    /// Derive a spec with a different cut-channel resume latency (µs).
+    pub fn with_resume_latency(mut self, resume_latency: SimTime) -> Self {
+        self.resume_latency = resume_latency;
         self
     }
 
@@ -274,6 +287,7 @@ impl ScenarioSpec {
         cfg.seed = self.seed;
         cfg.scheduler = self.backend;
         cfg.regions = self.regions;
+        cfg.resume_latency = self.resume_latency;
         cfg
     }
 
@@ -327,6 +341,20 @@ impl ScenarioSpec {
         let wall_secs = start.elapsed().as_secs_f64();
         RunReport::harvest(self, &sim, op, wall_secs)
     }
+
+    /// Execute the spec on the thread-per-region parallel executor
+    /// ([`streamflow::run_parallel`]) and return the merged report plus
+    /// the wall-clock seconds the execution took. When the spec is not in
+    /// PDES mode (`resume_latency == 0` or one region) this is the
+    /// sequential engine on the calling thread; either way the report's
+    /// digest obeys the *parallel == sequential at the same config*
+    /// contract. Scale plans are rejected by the engine in PDES mode, so
+    /// sweeps route only `NoScale` scenarios here.
+    pub fn run_threaded(&self) -> (streamflow::ParallelReport, f64) {
+        let start = Instant::now();
+        let report = streamflow::run_parallel(|| self.build_sim().0, self.horizon);
+        (report, start.elapsed().as_secs_f64())
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +388,32 @@ mod tests {
         assert_eq!(spec.regions, 2);
         assert_eq!(spec.engine_config().regions, 2);
         assert_eq!(steady().engine_config().regions, 1, "sequential default");
+    }
+
+    #[test]
+    fn resume_latency_override_reaches_the_engine_config() {
+        let spec = steady().with_resume_latency(100);
+        assert_eq!(spec.resume_latency, 100);
+        assert_eq!(spec.engine_config().resume_latency, 100);
+        assert_eq!(
+            steady().engine_config().resume_latency,
+            0,
+            "merged-exact default"
+        );
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential_at_the_same_config() {
+        let spec = steady()
+            .with_horizon(secs(1))
+            .with_regions(2)
+            .with_resume_latency(100);
+        let seq = spec.run();
+        let (par, _) = spec.run_threaded();
+        assert_eq!(par.threads, 2, "PDES config must engage both workers");
+        assert_eq!(par.digest(), seq.digest);
+        assert_eq!(par.obs.processed, seq.events);
+        assert_eq!(par.obs.sink_records, seq.sink_records);
     }
 
     #[test]

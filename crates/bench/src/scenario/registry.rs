@@ -42,6 +42,7 @@ fn spec(
         backend: SchedulerBackend::default(),
         dispatch: DispatchMode::default(),
         regions: 1,
+        resume_latency: 0,
     }
 }
 

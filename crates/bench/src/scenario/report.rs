@@ -59,6 +59,18 @@ pub struct RunReport {
     pub churn_avg: f64,
     /// Max migrations of any single state unit.
     pub churn_max: u32,
+    /// Events dispatched per scheduler region (one entry per region;
+    /// `[events]` for a single-region run).
+    pub region_events: Vec<u64>,
+    /// Region-scheduler dispatched runs (one pop = a run of one).
+    pub sync_runs: u64,
+    /// Runs whose same-instant events spanned regions and were merged.
+    pub merged_runs: u64,
+    /// Advances granted by the global-minimum rule alone (would have
+    /// blocked under pure neighbor-clock + lookahead CMB).
+    pub min_rule_grants: u64,
+    /// Null messages a message-passing CMB runtime would have needed.
+    pub null_msgs: u64,
     /// End-to-end latency samples `(sink arrival µs, latency µs)`.
     pub latency: Vec<(SimTime, f64)>,
     /// Cumulative suspension samples `(time µs, cumulative µs)`.
@@ -95,6 +107,10 @@ impl RunReport {
             None => (0, 0),
         };
         let (churn_avg, churn_max) = w.scale.metrics.migration_churn();
+        let region_events = (0..w.region_map.k())
+            .map(|r| w.q.region_processed(r))
+            .collect();
+        let sync = w.q.region_sync_stats();
         Self {
             scenario: spec.name.clone(),
             mechanism: spec.mechanism.label().to_string(),
@@ -121,6 +137,11 @@ impl RunReport {
             settled_moves,
             churn_avg,
             churn_max,
+            region_events,
+            sync_runs: sync.runs,
+            merged_runs: sync.merged_runs,
+            min_rule_grants: sync.min_rule_grants,
+            null_msgs: sync.null_msgs,
             latency: w.metrics.latency.points().to_vec(),
             suspension_series: w.metrics.suspension.points().to_vec(),
             throughput: w.metrics.throughput(),
@@ -219,6 +240,11 @@ impl RunReport {
         let _ = writeln!(s, "{i}  \"settled_moves\": {},", self.settled_moves);
         let _ = writeln!(s, "{i}  \"churn_avg\": {:?},", self.churn_avg);
         let _ = writeln!(s, "{i}  \"churn_max\": {},", self.churn_max);
+        let _ = writeln!(s, "{i}  \"region_events\": {},", ints(&self.region_events));
+        let _ = writeln!(s, "{i}  \"sync_runs\": {},", self.sync_runs);
+        let _ = writeln!(s, "{i}  \"merged_runs\": {},", self.merged_runs);
+        let _ = writeln!(s, "{i}  \"min_rule_grants\": {},", self.min_rule_grants);
+        let _ = writeln!(s, "{i}  \"null_msgs\": {},", self.null_msgs);
         let _ = writeln!(s, "{i}  \"latency\": {},", pairs(&self.latency));
         let _ = writeln!(
             s,
@@ -286,6 +312,12 @@ impl RunReport {
             settled_moves: num_u64("settled_moves")?,
             churn_avg: num_f64("churn_avg")?,
             churn_max: num_u64("churn_max")? as u32,
+            region_events: parse_ints(get("region_events")?)
+                .map_err(|e| format!("region_events: {e}"))?,
+            sync_runs: num_u64("sync_runs")?,
+            merged_runs: num_u64("merged_runs")?,
+            min_rule_grants: num_u64("min_rule_grants")?,
+            null_msgs: num_u64("null_msgs")?,
             latency: parse_pairs(get("latency")?).map_err(|e| format!("latency: {e}"))?,
             suspension_series: parse_pairs(get("suspension_series")?)
                 .map_err(|e| format!("suspension_series: {e}"))?,
@@ -311,6 +343,34 @@ fn pairs(xs: &[(u64, f64)]) -> String {
     }
     s.push(']');
     s
+}
+
+/// `[a,b,c]` on one line.
+fn ints(xs: &[u64]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(xs.len() * 8 + 2);
+    s.push('[');
+    for (i, v) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(']');
+    s
+}
+
+fn parse_ints(s: &str) -> Result<Vec<u64>, String> {
+    let inner = s
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or("not an array")?;
+    inner
+        .split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| t.trim().parse().map_err(|e| format!("element: {e}")))
+        .collect()
 }
 
 fn parse_pairs(s: &str) -> Result<Vec<(u64, f64)>, String> {
@@ -364,6 +424,11 @@ mod tests {
             settled_moves: 229,
             churn_avg: 1.0,
             churn_max: 1,
+            region_events: vec![100_000, 23_456],
+            sync_runs: 4_000,
+            merged_runs: 17,
+            min_rule_grants: 3,
+            null_msgs: 9,
             latency: vec![(100, 2.0), (200, 3.0625)],
             suspension_series: vec![(500_000, 1234.0)],
             throughput: vec![(0, 4999.0), (1, 5001.0)],

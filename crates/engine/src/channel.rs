@@ -57,6 +57,18 @@ pub struct Channel {
     /// Highest watermark delivered over this channel (receiver-side view;
     /// the receiver's operator watermark is the min across its channels).
     pub rx_watermark: SimTime,
+    /// Does this channel cross a region cut in PDES mode
+    /// (`resume_latency > 0`)? Set once at build time. Cut channels switch
+    /// from the synchronous `has_credit`/`pump` protocol to sender-owned
+    /// [`Self::cut_credits`] with latency-bearing `CutCredit` returns, so
+    /// neither side ever touches the other's fields — the property that
+    /// lets the two endpoints live on different threads.
+    pub cut: bool,
+    /// Sender-owned credit count for a cut channel (starts at `capacity`).
+    /// Decremented per element put on the wire; replenished by `CutCredit`
+    /// events from the receiver's region. Unused (and untouched) when
+    /// `cut` is false.
+    pub cut_credits: usize,
 }
 
 impl Channel {
@@ -75,6 +87,8 @@ impl Channel {
             capacity,
             latency,
             rx_watermark: 0,
+            cut: false,
+            cut_credits: capacity,
         }
     }
 

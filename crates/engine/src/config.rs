@@ -63,6 +63,23 @@ pub struct EngineConfig {
     /// region count pops the identical `(at, seq)` event order, so this
     /// knob is purely a performance axis like `scheduler`.
     pub regions: usize,
+    /// Latency of a sender-resume notice crossing a region cut, µs. This
+    /// is the PDES mode switch:
+    ///
+    /// * `0` (the default) — the engine keeps the merged-exact sequential
+    ///   loop: receiver-side `pump()` wakes blocked senders synchronously
+    ///   (a zero-lookahead reverse edge), every existing digest is
+    ///   byte-identical to the `regions = 1` reference, and the
+    ///   thread-per-region executor falls back to that sequential loop.
+    /// * `> 0` with `regions > 1` — cut channels switch to a latency-
+    ///   bearing credit protocol (credits return to the sender's region as
+    ///   `CutCredit` events after this delay, as resume notices do in a
+    ///   real deployment), reverse cut edges gain this much lookahead, and
+    ///   regions may genuinely execute concurrently. Exactness is then
+    ///   *parallel digest == sequential digest at the same
+    ///   `resume_latency`* — a new semantic point, not the
+    ///   `resume_latency = 0` timeline.
+    pub resume_latency: SimTime,
     /// RNG seed for the run.
     pub seed: u64,
 }
@@ -94,6 +111,7 @@ impl Default for EngineConfig {
             check_semantics: false,
             scheduler: SchedulerBackend::default(),
             regions: 1,
+            resume_latency: 0,
             seed: 0xD225,
         }
     }
@@ -128,6 +146,10 @@ mod tests {
         assert!(c.quantum_records > 0);
         assert!(c.sub_group_fanout >= 1);
         assert_eq!(c.regions, 1, "the sequential engine is the default");
+        assert_eq!(
+            c.resume_latency, 0,
+            "PDES mode is opt-in; 0 preserves the merged-exact timeline"
+        );
     }
 
     #[test]

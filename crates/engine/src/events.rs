@@ -124,6 +124,18 @@ pub enum Ev {
     /// Control-plane command. Boxed: `StartScale` embeds a whole
     /// `ScalePlan`, and control events are a vanishing fraction of traffic.
     Control(Box<ControlMsg>),
+    /// Credits returning to a cut channel's sender region (PDES mode,
+    /// `resume_latency > 0`): the receiver popped `n` elements off the cut
+    /// channel and, instead of pumping the sender's backlog synchronously,
+    /// notifies the sender's region after `resume_latency` — the
+    /// latency-bearing resume notice that gives reverse cut edges real
+    /// lookahead.
+    CutCredit {
+        /// The cut channel whose sender gets the credits.
+        ch: ChannelId,
+        /// Number of credits returned.
+        n: u32,
+    },
     /// Periodic metric sampling.
     Sample,
     /// Re-examine an instance (generic wake-up; used after unblocking).

@@ -52,6 +52,7 @@ pub mod instance;
 pub mod keygroup;
 pub mod metrics;
 pub mod operator;
+pub mod parallel;
 pub mod record;
 pub mod region;
 pub mod scaling;
@@ -63,8 +64,9 @@ pub mod world;
 pub use config::EngineConfig;
 pub use graph::{EdgeKind, JobBuilder};
 pub use ids::{InstId, Key, KeyGroup, OpId, SubscaleId};
+pub use parallel::{run_parallel, ParallelReport};
 pub use record::{Record, ScaleSignal, SignalKind, StreamElement};
 pub use region::RegionMap;
 pub use scaling::{NoScale, ScalePlan, ScalePlugin, Selection};
 pub use simcore::SchedulerBackend;
-pub use world::{DispatchMode, Sim, World};
+pub use world::{DispatchMode, Observables, Sim, World};

@@ -41,10 +41,14 @@
 //!   (migration chunks and fetches stay inside the scaled operator's own
 //!   region; rerouted-record and confirm traffic follows predecessor
 //!   edges), so any edge `a → b` also caps the entry at `ctrl_latency`,
-//! * a cut channel `a → b` makes the **reverse** entry `b → a` zero: the
-//!   receiver's `pump` wakes a backpressure-blocked sender with a
-//!   zero-delay `Ev::Wake`. This is the zero-lookahead feedback loop that
-//!   forces the merged-exact scheduler design (see `simcore::region`).
+//! * a cut channel `a → b` bounds the **reverse** entry `b → a` by the
+//!   engine's `resume_latency`: at 0 (the default) the receiver's `pump`
+//!   wakes a backpressure-blocked sender with a zero-delay `Ev::Wake` —
+//!   the zero-lookahead feedback loop that forces the merged-exact
+//!   scheduler design (see `simcore::region`). At `resume_latency > 0`
+//!   credit returns cross the cut as latency-bearing `CutCredit` events,
+//!   the reverse edge gains that much lookahead, and thread-per-region
+//!   execution (`engine::parallel`) becomes possible.
 //!
 //! Pairs with no connecting edge keep `SimTime::MAX` — fully independent
 //! pipelines never constrain each other.
@@ -93,6 +97,7 @@ impl RegionMap {
         chans: &[Channel],
         n_insts: usize,
         ctrl_latency: SimTime,
+        resume_latency: SimTime,
     ) -> Self {
         let k = k.min(ops.len()).max(1);
         if k == 1 {
@@ -132,7 +137,7 @@ impl RegionMap {
             lookahead: Vec::new(),
             cut_channels: 0,
         };
-        map.rebuild_lookahead(edges, chans, ctrl_latency);
+        map.rebuild_lookahead(edges, chans, ctrl_latency, resume_latency);
         map
     }
 
@@ -145,6 +150,7 @@ impl RegionMap {
         edges: &[EdgeRt],
         chans: &[Channel],
         ctrl_latency: SimTime,
+        resume_latency: SimTime,
     ) {
         let k = self.k;
         let mut la = vec![SimTime::MAX; k * k];
@@ -164,8 +170,10 @@ impl RegionMap {
             if a != b {
                 cut += 1;
                 la[a * k + b] = la[a * k + b].min(c.latency);
-                // pump() wakes a blocked sender at delay 0.
-                la[b * k + a] = 0;
+                // Reverse edge: at resume_latency 0, pump() wakes a
+                // blocked sender at delay 0; at > 0 the credit-return
+                // CutCredit is the earliest reverse event.
+                la[b * k + a] = la[b * k + a].min(resume_latency);
             }
         }
         self.lookahead = la;
@@ -366,7 +374,7 @@ mod tests {
     #[test]
     fn single_map_is_all_region_zero() {
         let w = pipeline_world(2);
-        let m = RegionMap::compute(1, &w.ops, &w.edges, &w.chans, w.insts.len(), 50);
+        let m = RegionMap::compute(1, &w.ops, &w.edges, &w.chans, w.insts.len(), 50, 0);
         assert_eq!(m.k(), 1);
         assert!(w.insts.iter().all(|i| m.inst(i.id) == 0));
         assert_eq!(m.cut_channels(), 0);
@@ -380,7 +388,7 @@ mod tests {
         // (1 vs 5) than src+map|sink (5 vs 1)? Equal — the earlier split
         // index wins the tie deterministically.
         let w = pipeline_world(4);
-        let m = RegionMap::compute(2, &w.ops, &w.edges, &w.chans, w.insts.len(), 50);
+        let m = RegionMap::compute(2, &w.ops, &w.edges, &w.chans, w.insts.len(), 50, 0);
         assert_eq!(m.k(), 2);
         // All instances of one operator share a region.
         for op in &w.ops {
@@ -397,7 +405,7 @@ mod tests {
     #[test]
     fn lookahead_matrix_has_forward_latency_and_zero_reverse() {
         let w = pipeline_world(2);
-        let m = RegionMap::compute(2, &w.ops, &w.edges, &w.chans, w.insts.len(), 50);
+        let m = RegionMap::compute(2, &w.ops, &w.edges, &w.chans, w.insts.len(), 50, 0);
         let k = m.k();
         let la = m.lookahead();
         // Find the cut pair (a upstream of b).
@@ -439,7 +447,7 @@ mod tests {
             b.connect(map, sink, EdgeKind::Rebalance);
         }
         let w = b.build();
-        let m = RegionMap::compute(2, &w.ops, &w.edges, &w.chans, w.insts.len(), 50);
+        let m = RegionMap::compute(2, &w.ops, &w.edges, &w.chans, w.insts.len(), 50, 0);
         assert_eq!(m.k(), 2);
         assert_eq!(m.cut_channels(), 0, "components must never be split");
         let la = m.lookahead();
@@ -457,7 +465,7 @@ mod tests {
     #[test]
     fn k_clamps_to_operator_count() {
         let w = pipeline_world(2);
-        let m = RegionMap::compute(64, &w.ops, &w.edges, &w.chans, w.insts.len(), 50);
+        let m = RegionMap::compute(64, &w.ops, &w.edges, &w.chans, w.insts.len(), 50, 0);
         assert!(m.k() <= 3, "three ops cannot make more than three regions");
         assert!(m.k() >= 2);
     }

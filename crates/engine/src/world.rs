@@ -43,10 +43,69 @@ use crate::instance::{CkptAlign, Instance, SourceState};
 use crate::keygroup::{uniform_repartition, RoutingTable};
 use crate::metrics::Metrics;
 use crate::operator::{OpCtx, OpRole, WmCtx};
-use crate::record::{Record, RecordArena, RecordKind, StreamElement};
+use crate::record::{Record, RecordArena, RecordKind, RecordRef, StreamElement};
 use crate::scaling::{ScaleContext, ScalePlan, ScalePlugin, Selection};
 use crate::semantics::SemanticsChecker;
 use crate::state::{StateBackend, StateUnit};
+
+/// Region-crossing event keys carry this bit (PDES mode). Cross events are
+/// keyed explicitly — `CROSS_BIT | src_region << 48 | per-link counter` —
+/// instead of drawing from the queue's global `seq` mint, so the
+/// sequential reference engine and the thread-per-region replicas assign
+/// the *same* key to the same message. Local mints stay far below this
+/// bit, so at one instant inside one region all local events order before
+/// all cross arrivals, identically in both engines.
+pub const CROSS_BIT: u64 = 1 << 63;
+
+/// How region-crossing deliveries travel in PDES mode
+/// (`resume_latency > 0`, `regions > 1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossMode {
+    /// Push cross events straight into this world's own (multi-region)
+    /// event list. This is the sequential PDES reference engine: one
+    /// thread, one world, region-major pop order — the digest every
+    /// parallel run is checked against.
+    Inline,
+    /// Stage cross events in [`World::take_outbox`] as plain-data
+    /// [`CrossMsg`]s. The thread-per-region executor
+    /// ([`crate::parallel`]) drains the outbox after each epoch slice and
+    /// ships the messages over SPSC rings to the owning replica.
+    Outbox,
+}
+
+/// A region-crossing message staged for the parallel executor. Plain data
+/// (`Send`): the stream element travels **by value** between per-thread
+/// world replicas — arena handles never cross a thread boundary.
+#[derive(Debug)]
+pub struct CrossMsg {
+    /// Destination region.
+    pub dst: usize,
+    /// Absolute arrival time.
+    pub at: SimTime,
+    /// Explicit event key (see [`CROSS_BIT`]).
+    pub key: u64,
+    /// What arrives.
+    pub payload: CrossPayload,
+}
+
+/// Payload of a [`CrossMsg`].
+#[derive(Debug)]
+pub enum CrossPayload {
+    /// An element coming off the wire of a cut channel.
+    Deliver {
+        /// Target channel.
+        ch: ChannelId,
+        /// The element itself (re-parked in the receiving replica's arena).
+        elem: StreamElement,
+    },
+    /// Credits returning to a cut channel's sender region.
+    Credit {
+        /// The cut channel whose sender gets the credits.
+        ch: ChannelId,
+        /// Number of credits returned.
+        n: u32,
+    },
+}
 
 /// The simulation world. Holds every entity; scaling mechanisms manipulate
 /// it through the methods in the `impl` blocks below.
@@ -92,6 +151,25 @@ pub struct World {
     /// Suspension series tracks instances of this op (set at scale time;
     /// defaults to all Transform ops).
     suspension_op: Option<OpId>,
+    /// Is PDES mode active (`resume_latency > 0` and more than one
+    /// region)? Frozen at build time. When false, nothing in the
+    /// cut-channel credit machinery runs and every digest is byte-for-byte
+    /// the merged-exact sequential timeline.
+    pdes: bool,
+    /// Where region-crossing events go in PDES mode (see [`CrossMode`]).
+    cross_mode: CrossMode,
+    /// Per ordered region pair `(src, dst)` counters minting cross-event
+    /// keys (row-major `k × k`). Sender handlers run in the same relative
+    /// order in every engine, so these counters — and thus the keys —
+    /// agree between the sequential reference and the parallel replicas.
+    cross_seq: Vec<u64>,
+    /// Per-region RNG stripes for PDES mode: region-local draws (latency
+    /// marker keys) must not share one global stream, or the draw order
+    /// would depend on cross-region interleaving. Seeded from `cfg.seed`
+    /// per region; unused when `pdes` is false.
+    rngs: Vec<DetRng>,
+    /// Staged outgoing cross messages (only in [`CrossMode::Outbox`]).
+    outbox: Vec<CrossMsg>,
 }
 
 /// The predecessor list of `op`: all upstream instances feeding its keyed
@@ -230,10 +308,31 @@ impl World {
                 &chans,
                 insts.len(),
                 cfg.ctrl_latency,
+                cfg.resume_latency,
             )
         } else {
             crate::region::RegionMap::single(ops.len(), insts.len())
         };
+
+        // PDES mode: nonzero resume latency with a real partition. Cut
+        // channels switch to the sender-owned credit protocol, same-instant
+        // pop order becomes region-major, and randomness is striped per
+        // region — all chosen so the sequential PDES engine and the
+        // thread-per-region replicas produce identical digests.
+        let pdes = cfg.resume_latency > 0 && region_map.k() > 1;
+        if pdes {
+            assert!(
+                cfg.checkpoint_interval.is_none(),
+                "PDES mode (resume_latency > 0, regions > 1) does not support \
+                 periodic checkpointing: barrier alignment across cut channels \
+                 is not wired into the credit protocol yet"
+            );
+            for c in chans.iter_mut() {
+                if region_map.inst(c.from) != region_map.inst(c.to) {
+                    c.cut = true;
+                }
+            }
+        }
 
         // Pre-size the future-event list: in steady state it holds at most
         // a few events per instance (ticks, quanta) plus in-flight elements
@@ -247,6 +346,9 @@ impl World {
             region_map.k(),
         );
         q.set_region_lookahead(region_map.lookahead());
+        if pdes {
+            q.set_region_major(true);
+        }
         // Arm source ticks (jittered so they do not all fire in lockstep).
         for inst in insts.iter() {
             if inst.source.is_some() {
@@ -260,6 +362,12 @@ impl World {
         }
 
         let n = insts.len();
+        let k = region_map.k();
+        // Region-striped RNGs (PDES mode): splitmix-style per-region seeds
+        // derived from the run seed.
+        let rngs = (0..k)
+            .map(|r| DetRng::seed(cfg.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1)))
+            .collect();
         // Pre-size the arena to the steady-state bound: live elements are
         // capped by per-channel credits plus modest backlogs.
         let arena = RecordArena::with_capacity(chans.len() * (cfg.channel_capacity + 4) + 64);
@@ -281,6 +389,72 @@ impl World {
             run_buf_pool: Vec::new(),
             next_ckpt: 0,
             suspension_op: None,
+            pdes,
+            cross_mode: CrossMode::Inline,
+            cross_seq: vec![0; k * k],
+            rngs,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Is PDES mode active (`resume_latency > 0` and more than one
+    /// region)?
+    #[inline]
+    pub fn pdes(&self) -> bool {
+        self.pdes
+    }
+
+    /// Select where region-crossing events go (PDES mode only — see
+    /// [`CrossMode`]). The thread-per-region executor flips its replicas
+    /// to [`CrossMode::Outbox`] before running.
+    pub fn set_cross_mode(&mut self, mode: CrossMode) {
+        debug_assert!(
+            self.pdes || mode == CrossMode::Inline,
+            "cross mode is meaningless outside PDES mode"
+        );
+        self.cross_mode = mode;
+    }
+
+    /// Take the staged outgoing cross messages (see [`CrossMode::Outbox`]).
+    /// Returns the internal buffer by value; hand the (drained) vector
+    /// back via [`Self::put_outbox_scratch`] to avoid reallocating.
+    pub fn take_outbox(&mut self) -> Vec<CrossMsg> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Return a drained outbox buffer so its allocation is reused. Only
+    /// installs the buffer when no new messages were staged in between
+    /// (the executor takes/puts around a dispatch-free drain, so this is
+    /// always the case there).
+    pub fn put_outbox_scratch(&mut self, mut scratch: Vec<CrossMsg>) {
+        scratch.clear();
+        if self.outbox.is_empty() && self.outbox.capacity() < scratch.capacity() {
+            self.outbox = scratch;
+        }
+    }
+
+    /// Apply a cross message shipped from another replica: re-park the
+    /// element (or credit notice) in this world under its explicit key.
+    /// Counterpart of the [`CrossMode::Outbox`] send side.
+    pub fn apply_cross_msg(&mut self, m: CrossMsg) {
+        match m.payload {
+            CrossPayload::Deliver { ch, elem } => {
+                let r = self.arena.insert(elem);
+                self.q.push_keyed(
+                    m.dst,
+                    m.at,
+                    m.key,
+                    Ev::Deliver {
+                        ch,
+                        elem: r,
+                        credited: false,
+                    },
+                );
+            }
+            CrossPayload::Credit { ch, n } => {
+                self.q
+                    .push_keyed(m.dst, m.at, m.key, Ev::CutCredit { ch, n });
+            }
         }
     }
 
@@ -366,6 +540,10 @@ impl World {
     /// consumption — and only its handle moves through backlog, wire and
     /// receiver queue.
     pub fn send(&mut self, ch: ChannelId, elem: StreamElement) {
+        if self.pdes && self.chans[ch.0 as usize].cut {
+            self.send_cut(ch, elem);
+            return;
+        }
         let r = self.arena.insert(elem);
         let c = &mut self.chans[ch.0 as usize];
         if c.backlog.is_empty() && c.has_credit() {
@@ -394,9 +572,16 @@ impl World {
     }
 
     /// Send a control element bypassing the backlog and credits (used for
-    /// barriers that are "priority in the output cache").
+    /// barriers that are "priority in the output cache"). On a cut channel
+    /// in PDES mode the element still travels as a keyed cross delivery —
+    /// uncredited in both engines, so credit accounting is untouched
+    /// either way.
     pub fn send_uncredited(&mut self, ch: ChannelId, elem: StreamElement) {
         let r = self.arena.insert(elem);
+        if self.pdes && self.chans[ch.0 as usize].cut {
+            self.cross_deliver_ref(ch, r);
+            return;
+        }
         let lat = self.chans[ch.0 as usize].latency;
         let reg = self.region_map.inst(self.chans[ch.0 as usize].to);
         self.q.schedule_tagged(
@@ -408,6 +593,104 @@ impl World {
                 credited: false,
             },
         );
+    }
+
+    /// `send` for a cut channel in PDES mode: the sender-owned credit pool
+    /// replaces `has_credit()`'s receiver-side reads, so this path touches
+    /// no receiver state at all — the property that lets the two channel
+    /// endpoints live on different threads.
+    fn send_cut(&mut self, ch: ChannelId, elem: StreamElement) {
+        let r = self.arena.insert(elem);
+        let c = &mut self.chans[ch.0 as usize];
+        if c.backlog.is_empty() && c.cut_credits > 0 {
+            c.cut_credits -= 1;
+            self.cross_deliver_ref(ch, r);
+        } else {
+            c.backlog.push_back(r);
+            if c.backlog.len() >= self.cfg.backlog_block {
+                let from = c.from;
+                self.insts[from.0 as usize].blocked_out = true;
+            }
+        }
+    }
+
+    /// Put one arena-parked element on the wire of a cut channel: mint the
+    /// explicit cross key and either push it into this world's own queue
+    /// (sequential reference) or stage a by-value [`CrossMsg`] for the
+    /// executor (see [`CrossMode`]). Always uncredited — cut channels
+    /// account credits on the sender side only.
+    fn cross_deliver_ref(&mut self, ch: ChannelId, r: RecordRef) {
+        let (lat, src, dst) = {
+            let c = &self.chans[ch.0 as usize];
+            (
+                c.latency,
+                self.region_map.inst(c.from),
+                self.region_map.inst(c.to),
+            )
+        };
+        let at = self.now() + lat;
+        let key = self.mint_cross_key(src, dst);
+        match self.cross_mode {
+            CrossMode::Inline => {
+                self.q.push_keyed(
+                    dst,
+                    at,
+                    key,
+                    Ev::Deliver {
+                        ch,
+                        elem: r,
+                        credited: false,
+                    },
+                );
+            }
+            CrossMode::Outbox => {
+                let elem = self.arena.remove(r);
+                self.outbox.push(CrossMsg {
+                    dst,
+                    at,
+                    key,
+                    payload: CrossPayload::Deliver { ch, elem },
+                });
+            }
+        }
+    }
+
+    /// Receiver side of the cut-credit protocol: after popping an element
+    /// off a cut channel, notify the *sender's* region that one credit is
+    /// free — after `resume_latency`, as a resume notice would take in a
+    /// real deployment. This latency is exactly the reverse-edge lookahead
+    /// in the region matrix.
+    fn return_cut_credit(&mut self, ch: ChannelId) {
+        let (src, dst) = {
+            let c = &self.chans[ch.0 as usize];
+            (self.region_map.inst(c.to), self.region_map.inst(c.from))
+        };
+        let at = self.now() + self.cfg.resume_latency;
+        let key = self.mint_cross_key(src, dst);
+        match self.cross_mode {
+            CrossMode::Inline => {
+                self.q.push_keyed(dst, at, key, Ev::CutCredit { ch, n: 1 });
+            }
+            CrossMode::Outbox => {
+                self.outbox.push(CrossMsg {
+                    dst,
+                    at,
+                    key,
+                    payload: CrossPayload::Credit { ch, n: 1 },
+                });
+            }
+        }
+    }
+
+    /// Mint the next cross-event key for the ordered region pair
+    /// `(src, dst)` (see [`CROSS_BIT`]).
+    #[inline]
+    fn mint_cross_key(&mut self, src: usize, dst: usize) -> u64 {
+        let k = self.region_map.k();
+        let ctr = &mut self.cross_seq[src * k + dst];
+        let key = CROSS_BIT | ((src as u64) << 48) | *ctr;
+        *ctr += 1;
+        key
     }
 
     /// Send a priority message out-of-band to an instance.
@@ -460,7 +743,7 @@ impl World {
     pub fn chan_pop(&mut self, ch: ChannelId) -> Option<StreamElement> {
         match self.chans[ch.0 as usize].queue.pop_front() {
             Some(r) => {
-                self.pump(ch);
+                self.after_chan_pop(ch);
                 Some(self.arena.remove(r))
             }
             None => None,
@@ -472,10 +755,23 @@ impl World {
     pub fn chan_remove_at(&mut self, ch: ChannelId, idx: usize) -> Option<StreamElement> {
         match self.chans[ch.0 as usize].queue.remove(idx) {
             Some(r) => {
-                self.pump(ch);
+                self.after_chan_pop(ch);
                 Some(self.arena.remove(r))
             }
             None => None,
+        }
+    }
+
+    /// A receiver-queue slot just freed: refill the channel. On a cut
+    /// channel in PDES mode the freed credit travels back to the sender's
+    /// region as a latency-bearing `CutCredit` event; everywhere else the
+    /// synchronous `pump` runs as before.
+    #[inline]
+    fn after_chan_pop(&mut self, ch: ChannelId) {
+        if self.pdes && self.chans[ch.0 as usize].cut {
+            self.return_cut_credit(ch);
+        } else {
+            self.pump(ch);
         }
     }
 
@@ -811,36 +1107,42 @@ impl World {
     /// per-instance progress, state sizes and watermarks. Two runs with the
     /// same seed and timeline must produce identical digests — the
     /// regression guard for every hot-path data-structure swap.
+    /// Delegates to [`Observables::digest`] so a sequential world and a
+    /// merge of parallel replicas hash the exact same serialization.
     pub fn metrics_digest(&self) -> u64 {
-        // FNV-1a over a canonical serialization of the observables.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut put = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        };
-        put(self.metrics.sink_records);
-        put(self.q.processed());
-        put(self.metrics.latency.len() as u64);
-        for &(t, v) in self.metrics.latency.points() {
-            put(t);
-            put(v.to_bits());
+        self.observables().digest()
+    }
+
+    /// Snapshot everything [`Self::metrics_digest`] hashes into a
+    /// plain-data, `Send` value. The thread-per-region executor collects
+    /// one per replica and [`Observables::merge`]s them into the view the
+    /// sequential engine would have produced.
+    pub fn observables(&self) -> Observables {
+        Observables {
+            sink_records: self.metrics.sink_records,
+            processed: self.q.processed(),
+            latency: self.metrics.latency.points().to_vec(),
+            source_counts: self.metrics.source_counts.clone(),
+            violations: self.semantics.violations(),
+            per_inst: self
+                .insts
+                .iter()
+                .map(|i| InstObservables {
+                    processed: i.processed,
+                    watermark: i.watermark,
+                    state_bytes: i.state.total_bytes(),
+                    state_keys: i.state.total_keys() as u64,
+                    suspended_total: i.suspended_total,
+                })
+                .collect(),
+            inst_regions: self
+                .insts
+                .iter()
+                .map(|i| self.region_map.inst(i.id) as u8)
+                .collect(),
+            bytes_transferred: self.scale.metrics.bytes_transferred,
+            now: self.now(),
         }
-        for &(s, c) in &self.metrics.source_counts {
-            put(s);
-            put(c);
-        }
-        put(self.semantics.violations());
-        for inst in &self.insts {
-            put(inst.processed);
-            put(inst.watermark);
-            put(inst.state.total_bytes());
-            put(inst.state.total_keys() as u64);
-            put(inst.suspended_total);
-        }
-        put(self.scale.metrics.bytes_transferred);
-        h
     }
 
     /// Total nominal state bytes across instances of an operator.
@@ -883,8 +1185,37 @@ impl World {
             Ev::ProcDone { inst, gen } => self.on_proc_done(plugin, inst, gen),
             Ev::LinkSendDone { from } => self.on_link_done(plugin, from),
             Ev::Control(cmd) => self.on_control(plugin, *cmd),
+            Ev::CutCredit { ch, n } => self.on_cut_credit(ch, n),
             Ev::Sample => self.on_sample(),
             Ev::Wake { inst } => self.try_start(plugin, inst),
+        }
+    }
+
+    /// Credits returned to a cut channel's sender (PDES mode): grow the
+    /// sender-owned pool, drain backlog onto the wire while credit lasts,
+    /// and apply the same hysteresis unblock `pump` uses.
+    fn on_cut_credit(&mut self, ch: ChannelId, n: u32) {
+        self.chans[ch.0 as usize].cut_credits += n as usize;
+        loop {
+            let c = &mut self.chans[ch.0 as usize];
+            if c.backlog.is_empty() || c.cut_credits == 0 {
+                break;
+            }
+            c.cut_credits -= 1;
+            let r = c.backlog.pop_front().expect("non-empty");
+            self.cross_deliver_ref(ch, r);
+        }
+        let from = self.chans[ch.0 as usize].from;
+        if self.insts[from.0 as usize].blocked_out {
+            let resume = self.cfg.backlog_resume;
+            let clear = self.insts[from.0 as usize]
+                .out_channels
+                .iter()
+                .all(|&oc| self.chans[oc.0 as usize].backlogged() < resume);
+            if clear {
+                self.insts[from.0 as usize].blocked_out = false;
+                self.wake(from);
+            }
         }
     }
 
@@ -1046,6 +1377,12 @@ impl World {
     }
 
     fn start_scale(&mut self, mut plan: ScalePlan) {
+        assert!(
+            !self.pdes,
+            "scaling operations are not supported in PDES mode \
+             (resume_latency > 0, regions > 1): migration links and \
+             re-routing cross regions without credit/lookahead accounting"
+        );
         // Concurrent scaling requests (paper §IV-B scenario 1): the newer
         // request supersedes the older one. We realize this as deferral —
         // re-present the request once in-flight migrations have landed, so
@@ -1160,8 +1497,12 @@ impl World {
         // only stay equal — but the cut-channel count must stay honest).
         self.region_map.extend_for_new_instances(&self.insts);
         if self.region_map.k() > 1 {
-            self.region_map
-                .rebuild_lookahead(&self.edges, &self.chans, self.cfg.ctrl_latency);
+            self.region_map.rebuild_lookahead(
+                &self.edges,
+                &self.chans,
+                self.cfg.ctrl_latency,
+                self.cfg.resume_latency,
+            );
             self.q.set_region_lookahead(self.region_map.lookahead());
         }
 
@@ -1257,6 +1598,8 @@ impl World {
     fn on_source_tick(&mut self, plugin: &mut dyn ScalePlugin, inst: InstId) {
         const TICK: SimTime = 10_000; // 10 ms generation granularity
         let now = self.now();
+        let reg = self.reg(inst);
+        let pdes = self.pdes;
         {
             let i = &mut self.insts[inst.0 as usize];
             let src = i.source.as_mut().expect("source tick on non-source");
@@ -1281,10 +1624,18 @@ impl World {
                 src.generated += c;
                 left -= c;
             }
-            // Latency markers.
+            // Latency markers. In PDES mode the key draw comes from the
+            // region's own RNG stripe: a single global stream would make
+            // the draw order depend on how source ticks across regions
+            // interleave, which the parallel replicas cannot reproduce.
             while src.next_marker <= now {
                 src.next_marker += self.cfg.marker_interval;
-                let mut m = Record::data(self.rng.below(u32::MAX as u64), 0, now);
+                let key = if pdes {
+                    self.rngs[reg].below(u32::MAX as u64)
+                } else {
+                    self.rng.below(u32::MAX as u64)
+                };
+                let mut m = Record::data(key, 0, now);
                 m.kind = RecordKind::Marker;
                 m.created = now;
                 src.pending.push_back(m);
@@ -1298,7 +1649,6 @@ impl World {
             }
         }
         self.drain_source(inst);
-        let reg = self.reg(inst);
         self.q.schedule_tagged(reg, TICK, Ev::SourceTick { inst });
         let _ = plugin;
     }
@@ -1747,6 +2097,133 @@ impl World {
     }
 }
 
+/// Per-instance slice of [`Observables`]: exactly the five values
+/// `metrics_digest` hashes per instance, in hash order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InstObservables {
+    /// Records processed.
+    pub processed: u64,
+    /// Operator watermark.
+    pub watermark: SimTime,
+    /// Nominal state bytes.
+    pub state_bytes: u64,
+    /// Distinct keys held.
+    pub state_keys: u64,
+    /// Cumulative suspension time.
+    pub suspended_total: SimTime,
+}
+
+/// A plain-data (`Send`) snapshot of everything
+/// [`World::metrics_digest`] hashes, in the exact serialization order the
+/// digest consumes. Exists so the thread-per-region executor can collect
+/// one snapshot per replica, [`merge`](Self::merge) them, and compare
+/// [`digest`](Self::digest) against the sequential engine — byte-for-byte
+/// the same hash function over byte-for-byte the same serialization.
+#[derive(Clone, Debug)]
+pub struct Observables {
+    /// Records absorbed by sinks.
+    pub sink_records: u64,
+    /// Events popped off the future-event list.
+    pub processed: u64,
+    /// Latency samples `(t, µs)` in recording order.
+    pub latency: Vec<(SimTime, f64)>,
+    /// Per-second source emission counts `(second, records)`, ascending.
+    pub source_counts: Vec<(u64, u64)>,
+    /// Per-key order violations observed.
+    pub violations: u64,
+    /// Per-instance progress, indexed by `InstId`.
+    pub per_inst: Vec<InstObservables>,
+    /// Region owning each instance (identical across replicas; drives the
+    /// per-instance and latency merges).
+    pub inst_regions: Vec<u8>,
+    /// Migration bytes moved by the scaling mechanism.
+    pub bytes_transferred: u64,
+    /// The clock when the snapshot was taken.
+    pub now: SimTime,
+}
+
+impl Observables {
+    /// FNV-1a over the canonical serialization — the digest
+    /// [`World::metrics_digest`] has always produced.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        put(self.sink_records);
+        put(self.processed);
+        put(self.latency.len() as u64);
+        for &(t, v) in &self.latency {
+            put(t);
+            put(v.to_bits());
+        }
+        for &(s, c) in &self.source_counts {
+            put(s);
+            put(c);
+        }
+        put(self.violations);
+        for i in &self.per_inst {
+            put(i.processed);
+            put(i.watermark);
+            put(i.state_bytes);
+            put(i.state_keys);
+            put(i.suspended_total);
+        }
+        put(self.bytes_transferred);
+        h
+    }
+
+    /// Merge per-replica snapshots (one per region, indexed by region)
+    /// into the view the sequential PDES engine would have produced:
+    ///
+    /// * counters (`sink_records`, `processed`, `violations`,
+    ///   `bytes_transferred`) sum — each replica only ever touches its own
+    ///   region's share;
+    /// * latency samples k-way merge by `(t, region)` — exactly the
+    ///   sequential recording order, because region-major pop order breaks
+    ///   same-instant ties by ascending region;
+    /// * per-second source counts merge-sum per bucket;
+    /// * each instance's row comes from the replica that owns its region
+    ///   (the only replica that ever advanced it).
+    pub fn merge(replicas: &[Observables]) -> Observables {
+        assert!(!replicas.is_empty(), "nothing to merge");
+        let inst_regions = replicas[0].inst_regions.clone();
+        let mut latency: Vec<(SimTime, u8, f64)> = Vec::new();
+        for (r, o) in replicas.iter().enumerate() {
+            latency.extend(o.latency.iter().map(|&(t, v)| (t, r as u8, v)));
+        }
+        latency.sort_by_key(|&(t, r, _)| (t, r));
+        let mut source_counts: Vec<(u64, u64)> = Vec::new();
+        for o in replicas {
+            for &(s, c) in &o.source_counts {
+                match source_counts.binary_search_by_key(&s, |e| e.0) {
+                    Ok(i) => source_counts[i].1 += c,
+                    Err(i) => source_counts.insert(i, (s, c)),
+                }
+            }
+        }
+        let per_inst = inst_regions
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| replicas[r as usize].per_inst[i])
+            .collect();
+        Observables {
+            sink_records: replicas.iter().map(|o| o.sink_records).sum(),
+            processed: replicas.iter().map(|o| o.processed).sum(),
+            latency: latency.into_iter().map(|(t, _, v)| (t, v)).collect(),
+            source_counts,
+            violations: replicas.iter().map(|o| o.violations).sum(),
+            per_inst,
+            inst_regions,
+            bytes_transferred: replicas.iter().map(|o| o.bytes_transferred).sum(),
+            now: replicas.iter().map(|o| o.now).max().unwrap_or(0),
+        }
+    }
+}
+
 /// How the driver pulls events off the future-event list.
 ///
 /// The two modes are required to be **behavior-identical** — same event
@@ -1834,6 +2311,17 @@ impl Sim {
     /// drain (scheduling against a stale clock used to land in the past
     /// and get past-clamped).
     pub fn run_until(&mut self, t: SimTime) {
+        self.dispatch_until(t);
+        self.world.q.advance_clock_to(t);
+    }
+
+    /// Dispatch every pending event with `at <= t` *without* advancing the
+    /// clock to `t` afterwards. The thread-per-region executor drives each
+    /// epoch slice through this (the epoch cap is not the horizon — the
+    /// clock must stay on the last dispatched event so the next slice's
+    /// cross arrivals are still in the future); [`Self::run_until`] is
+    /// this plus the final clock advance.
+    pub fn dispatch_until(&mut self, t: SimTime) {
         // Hoisted out of the dispatch loop: one plugin re-borrow per run
         // (not per event), and — in batch mode — one clock update and one
         // scheduler cursor walk per same-instant run.
@@ -1856,7 +2344,6 @@ impl Sim {
                 }
             }
         }
-        self.world.q.advance_clock_to(t);
     }
 }
 

@@ -387,6 +387,23 @@ impl<E> FutureEventList<E> {
         }
     }
 
+    /// Schedule `event` at absolute time `at` in `region` under a
+    /// caller-supplied ordering key, bypassing both sequence minting and
+    /// the past-clamp. Expert API for the PDES engines: cross-region
+    /// events (cut-channel deliveries and credit returns) must carry the
+    /// *same* key in the sequential reference engine and in every
+    /// thread-per-region replica, so the key is computed by the caller
+    /// (from per-link counters) instead of minted here. The caller owns
+    /// key uniqueness and must keep `at >= now()`; the global `seq`
+    /// counter is not advanced.
+    pub fn push_keyed(&mut self, region: usize, at: SimTime, seq: u64, event: E) {
+        debug_assert!(at >= self.now, "keyed push into the past");
+        match &mut self.lists {
+            Lists::Single(b) => b.push(Scheduled { at, seq, event }),
+            Lists::Regions(r) => r.push(region, Scheduled { at, seq, event }),
+        }
+    }
+
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.pop_at_most(SimTime::MAX)
@@ -531,6 +548,41 @@ impl<E> FutureEventList<E> {
         match &self.lists {
             Lists::Single(_) => crate::region::SyncStats::default(),
             Lists::Regions(r) => r.sync_stats(),
+        }
+    }
+
+    /// Events popped out of `region` so far. A single-queue list attributes
+    /// everything to region 0.
+    pub fn region_processed(&self, region: usize) -> u64 {
+        match &self.lists {
+            Lists::Single(_) => {
+                if region == 0 {
+                    self.processed
+                } else {
+                    0
+                }
+            }
+            Lists::Regions(r) => r.region_pops(region),
+        }
+    }
+
+    /// Enable region-major same-instant ordering (see
+    /// [`RegionScheduler::set_region_major`]). No-op on a single-queue
+    /// list.
+    pub fn set_region_major(&mut self, on: bool) {
+        if let Lists::Regions(r) = &mut self.lists {
+            r.set_region_major(on);
+        }
+    }
+
+    /// Drop every region's pending events except `keep`'s (no-op on a
+    /// single-queue list). Used by the thread-per-region executor: each
+    /// replica builds the full world identically, then prunes its queue to
+    /// the one region it owns. The clock, the `seq` counter, and the
+    /// processed count are untouched.
+    pub fn retain_region(&mut self, keep: usize) {
+        if let Lists::Regions(r) = &mut self.lists {
+            r.retain_region(keep);
         }
     }
 }

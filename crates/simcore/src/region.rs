@@ -111,6 +111,16 @@ pub struct RegionScheduler<E> {
     /// Reusable buffer for multi-region same-instant merges: contributor
     /// runs are drained keyed into it, sorted by `seq`, and handed out.
     merge_scratch: Vec<Scheduled<E>>,
+    /// Region-major ordering (see [`Self::set_region_major`]): same-instant
+    /// ties across regions break by ascending region index instead of by
+    /// global `seq`, and multi-region runs drain region by region without
+    /// the merge sort. Local `seq` values are then never compared across
+    /// regions — the property the PDES engines rely on, because each
+    /// engine mints local sequence numbers independently per region.
+    region_major: bool,
+    /// Events popped out of each region (single pops and run drains both
+    /// count per event) — the per-region load-balance view.
+    pops: Vec<u64>,
 }
 
 impl<E> RegionScheduler<E> {
@@ -132,6 +142,8 @@ impl<E> RegionScheduler<E> {
             lookahead: vec![0; regions * regions],
             stats: SyncStats::default(),
             merge_scratch: Vec::new(),
+            region_major: false,
+            pops: vec![0; regions],
         }
     }
 
@@ -192,6 +204,41 @@ impl<E> RegionScheduler<E> {
         self.stats
     }
 
+    /// Events popped out of `region` so far (single pops and run drains
+    /// both count per event).
+    #[inline]
+    pub fn region_pops(&self, region: usize) -> u64 {
+        self.pops[region]
+    }
+
+    /// Switch same-instant ordering to *region-major*: ties at one instant
+    /// across regions break by ascending region index instead of by the
+    /// globally-minted `seq`, and multi-region runs drain region by region
+    /// (each region's run internally `(at, seq)`-ordered) without the
+    /// global merge sort. In this mode local sequence numbers are never
+    /// compared across regions, which is what lets the PDES engines — one
+    /// shared queue or one replica queue per thread — mint local `seq`
+    /// values independently per region yet pop identically. Only the PDES
+    /// mode (`resume_latency > 0`) enables this; the default remains the
+    /// merged-exact global FIFO.
+    pub fn set_region_major(&mut self, on: bool) {
+        self.region_major = on;
+    }
+
+    /// Drop every region's pending events except `keep`'s. Used by the
+    /// thread-per-region executor: each replica builds the full world,
+    /// then prunes to the one region it owns. Clocks, stats, and the
+    /// lookahead matrix are left untouched.
+    pub(crate) fn retain_region(&mut self, keep: usize) {
+        let kind = self.kind();
+        for r in 0..self.queues.len() {
+            if r != keep {
+                self.queues[r] = BackendQueue::new(kind, 1);
+                self.heads[r] = Head::Empty;
+            }
+        }
+    }
+
     /// Insert an entry into `region` (clamped to the last region). The
     /// head cache stays exact: a key below the cached minimum *is* the new
     /// minimum (its `seq` is the largest ever minted, so it can never tie).
@@ -221,13 +268,20 @@ impl<E> RegionScheduler<E> {
     }
 
     /// The region holding the global minimum and its key. Unique: `seq`
-    /// values are globally unique.
+    /// values are globally unique (default mode); in region-major mode a
+    /// same-instant tie goes to the lowest region index (the strict `<`
+    /// on `at` keeps the first-seen head).
     fn min_head(&self) -> Option<(usize, SimTime, u64)> {
         let mut best: Option<(usize, SimTime, u64)> = None;
         for (r, h) in self.heads.iter().enumerate() {
             if let Head::Key(at, seq) = *h {
                 debug_assert_ne!(*h, Head::Stale);
-                if best.is_none_or(|(_, bat, bseq)| (at, seq) < (bat, bseq)) {
+                let better = if self.region_major {
+                    best.is_none_or(|(_, bat, _)| at < bat)
+                } else {
+                    best.is_none_or(|(_, bat, bseq)| (at, seq) < (bat, bseq))
+                };
+                if better {
                     best = Some((r, at, seq));
                 }
             }
@@ -274,6 +328,7 @@ impl<E> RegionScheduler<E> {
         let s = self.queues[r].pop_at_most(t).expect("head said due");
         debug_assert_eq!(s.at, at);
         self.stats.runs += 1;
+        self.pops[r] += 1;
         self.account_advance(r, at);
         self.invalidate_head(r);
         Some(s)
@@ -304,8 +359,31 @@ impl<E> RegionScheduler<E> {
                 .expect("head said due");
             debug_assert_eq!(got_at, at);
             self.stats.runs += 1;
+            self.pops[r0] += n as u64;
             self.account_advance(r0, at);
             self.invalidate_head(r0);
+            return Some((at, n));
+        }
+        let k = self.regions();
+        if self.region_major {
+            // Region-major merge: drain contributors in ascending region
+            // index, each run already internally `(at, seq)`-ordered. No
+            // cross-region seq comparison happens — see set_region_major.
+            let mut n = 0usize;
+            for r in 0..k {
+                if matches!(self.heads[r], Head::Key(hat, _) if hat == at) {
+                    let (got_at, got_n) = self.queues[r]
+                        .pop_run_at_most(t, buf)
+                        .expect("head said due");
+                    debug_assert_eq!(got_at, at);
+                    n += got_n;
+                    self.pops[r] += got_n as u64;
+                    self.account_advance(r, at);
+                    self.invalidate_head(r);
+                }
+            }
+            self.stats.runs += 1;
+            self.stats.merged_runs += 1;
             return Some((at, n));
         }
         // Same instant pending in several regions: drain each contributor's
@@ -313,7 +391,6 @@ impl<E> RegionScheduler<E> {
         // sorting on `seq` (contributor runs are each seq-sorted already;
         // the sort is a cheap merge of a handful of sorted slices, and
         // multi-region instants are the rare case).
-        let k = self.regions();
         let mut scratch = std::mem::take(&mut self.merge_scratch);
         scratch.clear();
         let mut n = 0usize;
@@ -324,6 +401,7 @@ impl<E> RegionScheduler<E> {
                     .expect("head said due");
                 debug_assert_eq!(got_at, at);
                 n += got_n;
+                self.pops[r] += got_n as u64;
                 self.account_advance(r, at);
                 self.invalidate_head(r);
             }

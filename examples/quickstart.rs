@@ -119,6 +119,7 @@ fn main() {
         backend: SchedulerBackend::default(),
         dispatch: DispatchMode::default(),
         regions: 1,
+        resume_latency: 0,
     };
     let report: RunReport = spec.run();
     println!(

@@ -420,6 +420,121 @@ proptest! {
     }
 
     #[test]
+    fn parallel_execution_matches_sequential_on_random_graphs(
+        // The thread-per-region executor's exactness contract, generalized
+        // over graph shape: random keyed pipelines × random region count ×
+        // resume latency ∈ {0, small}. At resume_latency = 0 `run_parallel`
+        // must fall back to the sequential engine (no lookahead to run
+        // epochs on); at > 0 the threaded run must reproduce the
+        // sequential PDES engine's digest, processed count and sink
+        // records exactly — same quad, independent of thread scheduling.
+        seed in 0u64..1000,
+        stages in 1usize..4,
+        pars in proptest::collection::vec(1usize..4, 3),
+        services in proptest::collection::vec(10u64..120, 3),
+        regions in 2usize..6,
+        rl_pick in 0usize..3,
+        rate in 1_000u64..8_000,
+    ) {
+        // Resume latency axis: 0 (sequential-fallback contract) and two
+        // small real lookaheads (PDES epochs).
+        let resume_latency = [0u64, 100, 400][rl_pick];
+        use drrs_repro::engine::graph::{EdgeKind, JobBuilder};
+        use drrs_repro::engine::operator::KeyedAgg;
+        use drrs_repro::engine::world::tests_support::FixedGen;
+
+        let pars = &pars;
+        let services = &services;
+        let build = move || {
+            let mut cfg = EngineConfig::test();
+            cfg.seed = seed;
+            cfg.regions = regions;
+            cfg.resume_latency = resume_latency;
+            let mut b = JobBuilder::new(cfg);
+            let src = b.source(
+                "src",
+                1,
+                Box::new(move |_| Box::new(FixedGen::new(rate as f64, 256))),
+            );
+            let mut prev = src;
+            for s in 0..stages {
+                let service = services[s];
+                let op = b.operator(
+                    &format!("op{s}"),
+                    pars[s],
+                    Box::new(move || Box::new(KeyedAgg {
+                        service,
+                        bytes_per_key: 500,
+                        bytes_per_record: 0,
+                        emit_every: 1,
+                    })),
+                );
+                b.connect(prev, op, EdgeKind::Keyed);
+                prev = op;
+            }
+            let sink = b.sink("sink", 1);
+            b.connect(prev, sink, EdgeKind::Rebalance);
+            Sim::new(b.build(), Box::new(drrs_repro::engine::NoScale))
+        };
+        let mut seq = build();
+        seq.run_until(secs(1));
+        prop_assert_eq!(seq.world.q.now(), secs(1), "sequential clock short of horizon");
+        let report = drrs_repro::engine::run_parallel(build, secs(1));
+        if resume_latency == 0 {
+            prop_assert_eq!(report.threads, 1, "rl=0 must fall back to the sequential engine");
+        }
+        prop_assert_eq!(
+            report.digest(), seq.world.metrics_digest(),
+            "parallel digest diverged (k={}, rl={})", regions, resume_latency
+        );
+        prop_assert_eq!(report.obs.processed, seq.world.q.processed());
+        prop_assert_eq!(report.obs.sink_records, seq.world.metrics.sink_records);
+    }
+
+    #[test]
+    fn parallel_executor_never_deadlocks_under_backpressure(
+        // Backpressured tiny job on the threaded executor: blocked senders
+        // wake via reverse pump edges, which under PDES carry only the
+        // configured resume latency of lookahead — small lookahead + full
+        // channels is the classic conservative-deadlock shape, now with
+        // real barriers a stuck region would hang on forever. The run is
+        // executed under a wall-clock watchdog: completion within the
+        // bound *is* the deadlock-freedom property.
+        seed in 0u64..200,
+        regions in 2usize..6,
+        resume_latency in 50u64..500,
+    ) {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let report = drrs_repro::engine::run_parallel(
+                move || {
+                    let mut cfg = EngineConfig::test();
+                    cfg.seed = seed;
+                    cfg.regions = regions;
+                    cfg.resume_latency = resume_latency;
+                    let (w, _) = tiny_job(cfg, 30_000.0, 64, 2);
+                    Sim::new(w, Box::new(drrs_repro::engine::NoScale))
+                },
+                secs(1),
+            );
+            let _ = tx.send(report);
+        });
+        // Generous bound: a healthy run takes well under a second even in
+        // debug builds; a deadlocked barrier never returns at all.
+        let report = rx.recv_timeout(Duration::from_secs(120));
+        prop_assert!(report.is_ok(), "parallel run exceeded the deadlock watchdog");
+        let report = report.unwrap();
+        prop_assert!(report.obs.processed > 0, "no events dispatched");
+        prop_assert!(
+            report.threads == 1 || report.stats.epochs > 0,
+            "threaded run recorded no epochs"
+        );
+    }
+
+    #[test]
     fn region_scheduler_never_deadlocks(
         // Backpressured tiny job: blocked senders are woken by receiver-side
         // pumps, which are zero-lookahead reverse edges between regions —
