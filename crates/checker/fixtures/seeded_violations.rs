@@ -1,0 +1,31 @@
+//! Committed fixture of seeded rule violations — NOT compiled into any
+//! crate (the `fixtures` directory is excluded from `src/`). CI runs
+//! `cargo run -p checker -- --self-test`, which scans this file with
+//! scopes and allowlists disabled and fails unless **every** rule fires.
+//! If you add a rule to the checker, seed its violation here.
+
+use std::collections::HashMap; // D2
+use std::sync::atomic::{AtomicU64, Ordering}; // A1
+
+// U1 + U2: unsafe outside any allowlist, missing its annotation.
+fn seeded_unsafe(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+// D1: wall-clock read in (per --self-test scoping) a scheduling path.
+fn seeded_wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+// A2: weakened ordering outside the model-checked allowlist.
+fn seeded_weak_ordering(x: &AtomicU64) -> u64 {
+    x.load(Ordering::Relaxed)
+}
+
+// H1: allocation inside a marked hot-path function.
+// checker:hot-path
+fn seeded_hot_alloc() -> Vec<u64> {
+    let mut v = Vec::new();
+    v.push(HashMap::<u64, u64>::new().len() as u64);
+    v
+}

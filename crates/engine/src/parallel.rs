@@ -52,7 +52,7 @@
 //! a single region), the executor falls back to the plain sequential
 //! `run_until` — byte-identical to every pre-existing digest.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use simcore::sync::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use simcore::spsc::{ring, Consumer, EpochBarrier, Producer};

@@ -1,0 +1,63 @@
+//! Deterministic random source for random-schedule exploration.
+//!
+//! The shim cannot depend on `simcore` (simcore depends on *us* under
+//! `interleave-check`), so this is a self-contained SplitMix64 — the same
+//! idiom as `simcore::DetRng` and the proptest shim's `ShimRng`: seeded,
+//! stable across runs and rustc versions, and plenty for schedule
+//! sampling.
+
+/// Seedable deterministic RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct DetRng(u64);
+
+impl DetRng {
+    /// Create a generator from a seed. Any seed is fine, including 0.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = DetRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DetRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut r = DetRng::new(43);
+        assert_ne!(a[0], r.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = DetRng::new(7);
+        for n in 1..64 {
+            for _ in 0..32 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+}

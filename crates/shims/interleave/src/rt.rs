@@ -1,0 +1,921 @@
+//! The schedule-exploring runtime: virtual threads, choice points, and
+//! the approximate C11 memory model.
+//!
+//! # Execution model
+//!
+//! Each *execution* runs the user closure once with every concurrency
+//! decision resolved by the explorer. Model threads are real OS threads,
+//! but exactly one runs at a time: a thread reaching a visible operation
+//! (atomic access, cell access, mutex/condvar op, spawn/join/yield)
+//! parks in [`Rt::with`], a **scheduling decision** picks which thread
+//! performs its pending operation next, and the chosen thread executes
+//! its operation atomically under the runtime lock. Because execution is
+//! fully serialized, the explored code never exhibits a *machine-level*
+//! data race — races are detected at the model level (vector clocks on
+//! [`crate::sync::UnsafeCell`] accesses) and reported as violations
+//! instead of being undefined behavior.
+//!
+//! # Exploration
+//!
+//! Every decision with more than one option is a *choice point*: which
+//! thread runs, and which store a non-SeqCst load observes. A schedule is
+//! the sequence of choices. Two strategies run back to back:
+//!
+//! * **DFS with a bounded preemption budget** — option 0 is always "keep
+//!   running the current thread"; switching to another runnable thread
+//!   while the current one could continue costs one unit of preemption
+//!   budget. Forced switches (current thread blocked, yielded, or
+//!   finished) are free. Backtracking enumerates the tree breadth up to
+//!   [`Checker::dfs_schedules`] executions.
+//! * **Random schedules** — every choice drawn from a [`DetRng`] seeded
+//!   per execution, unbounded preemptions. Catches interleavings beyond
+//!   the preemption bound.
+//!
+//! Executions must be deterministic given their choice sequence — user
+//! closures must not branch on wall-clock time or OS randomness.
+//!
+//! # Memory model approximation
+//!
+//! Each atomic location keeps its full modification order as a store
+//! buffer. A load may observe any store not ruled out by coherence
+//! (per-thread monotone observation index) or happens-before (the newest
+//! store whose timestamp is `leq` the loader's clock is the floor — older
+//! stores are gone for this thread). Acquire loads of Release stores join
+//! the store's release clock into the loader's clock; Relaxed loads and
+//! Relaxed stores move no clocks, which is exactly what makes
+//! weakened-ordering mutants observable as cell races. SeqCst is
+//! approximated as AcqRel plus "reads the newest store" — the model does
+//! **not** build a full SC order, so it can miss exotic IRIW-style SC
+//! violations; see the `simcore::sync` module docs for the catch/can't
+//! catch table.
+
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard, Once};
+
+use crate::rng::DetRng;
+use crate::vclock::{VClock, MAX_THREADS};
+
+// ---------------------------------------------------------------------
+// Public report types
+// ---------------------------------------------------------------------
+
+/// What kind of contract the explorer saw broken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Unsynchronized conflicting accesses to an [`crate::sync::UnsafeCell`].
+    DataRace,
+    /// Every unfinished thread is blocked.
+    Deadlock,
+    /// A model thread panicked (failed assertion in the checked code).
+    Panic,
+    /// An execution exceeded the per-schedule step limit (livelock).
+    StepLimit,
+}
+
+/// A broken schedule: what went wrong plus the tail of the operation
+/// trace that led there.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Category of the failure.
+    pub kind: ViolationKind,
+    /// Human-readable description.
+    pub message: String,
+    /// The last operations executed (`thread: op(arg)`), oldest first.
+    pub trace: Vec<String>,
+}
+
+/// Outcome of a [`Checker::run`]: how much was explored and whether any
+/// schedule broke a contract.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions performed (DFS + random).
+    pub schedules: u64,
+    /// Distinct choice sequences among them.
+    pub distinct: u64,
+    /// The first violation found, if any (exploration stops on it).
+    pub violation: Option<Violation>,
+    /// Whether DFS exhausted the whole tree within its budget.
+    pub dfs_complete: bool,
+}
+
+// ---------------------------------------------------------------------
+// Checker configuration / driver
+// ---------------------------------------------------------------------
+
+/// Configures and drives schedule exploration over a model closure.
+#[derive(Clone, Debug)]
+pub struct Checker {
+    preemption_bound: usize,
+    dfs_schedules: u64,
+    random_schedules: u64,
+    seed: u64,
+    max_steps: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checker {
+    /// Default budgets: 2 preemptions, 4096 DFS executions, 1024 random
+    /// schedules, 20k steps per execution.
+    pub fn new() -> Self {
+        Self {
+            preemption_bound: 2,
+            dfs_schedules: 4096,
+            random_schedules: 1024,
+            seed: 0x5eed_1e55_c0de,
+            max_steps: 20_000,
+        }
+    }
+
+    /// Maximum involuntary context switches per DFS schedule.
+    pub fn preemption_bound(mut self, n: usize) -> Self {
+        self.preemption_bound = n;
+        self
+    }
+
+    /// Cap on DFS executions (the tree may be larger; see
+    /// [`Report::dfs_complete`]).
+    pub fn dfs_schedules(mut self, n: u64) -> Self {
+        self.dfs_schedules = n;
+        self
+    }
+
+    /// Number of additional fully random schedules.
+    pub fn random_schedules(mut self, n: u64) -> Self {
+        self.random_schedules = n;
+        self
+    }
+
+    /// Seed for the random-schedule phase.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Explore `f`. Stops at the first violation. `f` runs once per
+    /// schedule and must be deterministic given the explorer's choices.
+    pub fn run<F: Fn()>(&self, f: F) -> Report {
+        install_panic_hook();
+        let mut report = Report {
+            schedules: 0,
+            distinct: 0,
+            violation: None,
+            dfs_complete: false,
+        };
+        let mut distinct: HashSet<u64> = HashSet::new();
+
+        // Phase 1: DFS over the choice tree.
+        let mut prefix: Vec<PathEntry> = Vec::new();
+        loop {
+            if report.schedules >= self.dfs_schedules {
+                break;
+            }
+            let out = self.run_once(&f, Mode::Dfs, std::mem::take(&mut prefix));
+            report.schedules += 1;
+            distinct.insert(out.hash);
+            if out.violation.is_some() {
+                report.violation = out.violation;
+                report.distinct = distinct.len() as u64;
+                return report;
+            }
+            prefix = out.path;
+            if !advance(&mut prefix) {
+                report.dfs_complete = true;
+                break;
+            }
+        }
+
+        // Phase 2: seeded random schedules.
+        for i in 0..self.random_schedules {
+            let rng = DetRng::new(self.seed.wrapping_add(i));
+            let out = self.run_once(&f, Mode::Random(rng), Vec::new());
+            report.schedules += 1;
+            distinct.insert(out.hash);
+            if out.violation.is_some() {
+                report.violation = out.violation;
+                break;
+            }
+        }
+        report.distinct = distinct.len() as u64;
+        report
+    }
+
+    fn run_once<F: Fn()>(&self, f: &F, mode: Mode, prefix: Vec<PathEntry>) -> ExecOutcome {
+        let rt = Arc::new(Rt {
+            ex: OsMutex::new(Exec::new(
+                mode,
+                prefix,
+                self.preemption_bound,
+                self.max_steps,
+            )),
+            cv: OsCondvar::new(),
+            os_handles: OsMutex::new(Vec::new()),
+        });
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), 0)));
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        match result {
+            Ok(()) => {
+                // Drain any threads the closure spawned but did not join.
+                rt.drain(0);
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<Aborted>().is_none() {
+                    // A genuine panic on the driver thread (e.g. a failed
+                    // assertion in the model body).
+                    let mut ex = rt.lock();
+                    let msg = panic_message(&payload);
+                    ex.record_failure(ViolationKind::Panic, msg);
+                    rt.cv.notify_all();
+                }
+            }
+        }
+        {
+            let mut ex = rt.lock();
+            ex.threads[0].run = Run::Finished;
+            ex.done = true;
+            rt.cv.notify_all();
+        }
+        // Every spawned OS thread exits once `done`/`failed` is visible.
+        let handles = std::mem::take(&mut *rt.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        let ex = rt.lock();
+        ExecOutcome {
+            path: ex.path.clone(),
+            hash: ex.trace_hash,
+            violation: ex.failed.clone(),
+        }
+    }
+}
+
+/// Explore `f` with the default [`Checker`] and panic on any violation —
+/// the `#[test]`-friendly entry point.
+pub fn model<F: Fn()>(f: F) {
+    let report = Checker::new().run(f);
+    if let Some(v) = report.violation {
+        panic!(
+            "interleave: {:?} after {} schedules: {}\ntrace:\n  {}",
+            v.kind,
+            report.schedules,
+            v.message,
+            v.trace.join("\n  ")
+        );
+    }
+}
+
+/// DFS backtrack: advance `path` to the next unexplored prefix. Returns
+/// `false` when the whole tree has been visited.
+fn advance(path: &mut Vec<PathEntry>) -> bool {
+    while let Some(e) = path.last_mut() {
+        if e.chosen + 1 < e.total {
+            e.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+struct ExecOutcome {
+    path: Vec<PathEntry>,
+    hash: u64,
+    violation: Option<Violation>,
+}
+
+// ---------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------
+
+/// One recorded decision: which option was taken out of how many.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PathEntry {
+    chosen: usize,
+    total: usize,
+}
+
+enum Mode {
+    Dfs,
+    Random(DetRng),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockOn {
+    Mutex(usize),
+    Condvar(usize),
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Run {
+    Ready,
+    Blocked(BlockOn),
+    Finished,
+}
+
+pub(crate) struct Th {
+    pub(crate) run: Run,
+    pub(crate) clock: VClock,
+    /// Per-location coherence floor: index of the newest store this
+    /// thread has observed at each atomic location.
+    pub(crate) seen: Vec<usize>,
+    /// Clock at finish time; joined into whoever joins this thread.
+    pub(crate) final_clock: VClock,
+}
+
+/// One atomic store in a location's modification order.
+pub(crate) struct Store {
+    pub(crate) val: u64,
+    /// The storing thread's clock at store time (for the hb floor).
+    pub(crate) ts: VClock,
+    /// Set iff the store had release semantics; acquire loads join it.
+    pub(crate) release: Option<VClock>,
+}
+
+pub(crate) struct Location {
+    pub(crate) stores: Vec<Store>,
+}
+
+/// Vector-clock pair for race detection on an `UnsafeCell`:
+/// `writes[t]`/`reads[t]` hold thread `t`'s own clock component at its
+/// last write/read.
+pub(crate) struct CellClocks {
+    pub(crate) writes: VClock,
+    pub(crate) reads: VClock,
+}
+
+pub(crate) struct MutexSt {
+    pub(crate) owner: Option<usize>,
+    /// Release clock of the last unlock; joined by the next lock.
+    pub(crate) clock: VClock,
+}
+
+pub(crate) struct CvSt {
+    /// Parked waiters with the mutex each must re-acquire on wakeup.
+    pub(crate) waiters: Vec<(usize, usize)>,
+}
+
+pub(crate) struct Exec {
+    mode: Mode,
+    path: Vec<PathEntry>,
+    step: usize,
+    trace_hash: u64,
+    preemption_bound: usize,
+    preemptions: usize,
+    max_steps: usize,
+    steps: usize,
+    pub(crate) cur: usize,
+    pub(crate) threads: Vec<Th>,
+    pub(crate) locations: Vec<Location>,
+    pub(crate) cells: Vec<CellClocks>,
+    pub(crate) mutexes: Vec<MutexSt>,
+    pub(crate) condvars: Vec<CvSt>,
+    pub(crate) failed: Option<Violation>,
+    pub(crate) done: bool,
+    trace: Vec<(usize, &'static str, u64)>,
+    pub(crate) scratch: Vec<usize>,
+}
+
+impl Exec {
+    fn new(mode: Mode, prefix: Vec<PathEntry>, preemption_bound: usize, max_steps: usize) -> Self {
+        Self {
+            mode,
+            path: prefix,
+            step: 0,
+            trace_hash: 0xcbf2_9ce4_8422_2325,
+            preemption_bound,
+            preemptions: 0,
+            max_steps,
+            steps: 0,
+            cur: 0,
+            threads: vec![Th {
+                run: Run::Ready,
+                clock: VClock::zero(),
+                seen: Vec::new(),
+                final_clock: VClock::zero(),
+            }],
+            locations: Vec::new(),
+            cells: Vec::new(),
+            mutexes: Vec::new(),
+            condvars: Vec::new(),
+            failed: None,
+            done: false,
+            trace: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Resolve a choice point with `total` options (replay, DFS-default,
+    /// or random). Trivial points (one option) are not recorded.
+    pub(crate) fn choose(&mut self, total: usize) -> usize {
+        if total <= 1 {
+            return 0;
+        }
+        let chosen = if self.step < self.path.len() {
+            let e = self.path[self.step];
+            assert_eq!(
+                e.total, total,
+                "interleave: replay diverged — the model closure is not \
+                 deterministic given the explorer's choices"
+            );
+            e.chosen
+        } else {
+            let c = match &mut self.mode {
+                Mode::Dfs => 0,
+                Mode::Random(rng) => rng.below(total),
+            };
+            self.path.push(PathEntry { chosen: c, total });
+            c
+        };
+        self.step += 1;
+        // FNV-1a over (chosen, total): the schedule identity.
+        for b in [chosen as u64, total as u64] {
+            self.trace_hash ^= b;
+            self.trace_hash = self.trace_hash.wrapping_mul(0x100_0000_01b3);
+        }
+        chosen
+    }
+
+    pub(crate) fn note(&mut self, tid: usize, what: &'static str, arg: u64) {
+        if self.trace.len() >= 96 {
+            self.trace.remove(0);
+        }
+        self.trace.push((tid, what, arg));
+    }
+
+    pub(crate) fn record_failure(&mut self, kind: ViolationKind, message: String) {
+        if self.failed.is_some() {
+            return;
+        }
+        let trace = self
+            .trace
+            .iter()
+            .map(|(tid, what, arg)| format!("t{tid}: {what}({arg})"))
+            .collect();
+        self.failed = Some(Violation {
+            kind,
+            message,
+            trace,
+        });
+    }
+
+    pub(crate) fn ready_ids(&mut self, exclude: Option<usize>) -> usize {
+        self.scratch.clear();
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.run == Run::Ready && Some(i) != exclude {
+                self.scratch.push(i);
+            }
+        }
+        self.scratch.len()
+    }
+}
+
+/// Result of one attempt at a visible operation.
+pub(crate) enum Step<R> {
+    Done(R),
+    Block(BlockOn),
+    /// Contract broken (e.g. a cell race): record and tear down.
+    Fail(ViolationKind, String),
+}
+
+// ---------------------------------------------------------------------
+// Runtime: the single-token scheduler
+// ---------------------------------------------------------------------
+
+pub(crate) struct Rt {
+    pub(crate) ex: OsMutex<Exec>,
+    pub(crate) cv: OsCondvar,
+    pub(crate) os_handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Unwind payload used to tear an execution down after a violation; the
+/// panic hook swallows it on model threads.
+pub(crate) struct Aborted;
+
+pub(crate) fn abort_execution() -> ! {
+    panic::panic_any(Aborted)
+}
+
+thread_local! {
+    pub(crate) static CURRENT: std::cell::RefCell<Option<(Arc<Rt>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The `(runtime, virtual thread id)` of the calling thread, if it is a
+/// model thread.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling thread is currently part of a model execution.
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn install_panic_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            // Model threads unwind on purpose (teardown or recorded
+            // violations); keep their output quiet.
+            let on_model_thread = CURRENT.with(|c| c.borrow().is_some());
+            if !on_model_thread {
+                prev(info);
+            }
+        }));
+    });
+}
+
+pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+impl Rt {
+    pub(crate) fn lock(&self) -> OsGuard<'_, Exec> {
+        // Poisoning is expected: violations unwind while holding the
+        // lock; the state stays coherent because `failed` is set first.
+        self.ex.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Run one visible operation for virtual thread `me`.
+    ///
+    /// `me` first waits to be granted the single execution token, then
+    /// `perform` runs atomically under the runtime lock, and finally —
+    /// at the *completion* of the op — `me` makes the scheduling
+    /// decision (continue, or preempt to another runnable thread).
+    /// Deciding at completion rather than entry matters: it keeps the
+    /// decision count a pure function of the choice sequence, whereas an
+    /// entry-time decision would depend on whether this OS thread
+    /// reached the op before or after a token handoff (replay would
+    /// diverge). `perform` may return [`Step::Block`] to park the thread
+    /// — it is retried after a wakeup — or [`Step::Fail`] to report a
+    /// violation.
+    pub(crate) fn with<R>(
+        self: &Arc<Self>,
+        me: usize,
+        mut perform: impl FnMut(&mut Exec, usize) -> Step<R>,
+    ) -> R {
+        let mut ex = self.lock();
+        self.check_alive(&ex);
+        ex = self.wait_turn(ex, me);
+        loop {
+            match perform(&mut ex, me) {
+                Step::Done(r) => {
+                    self.decide(&mut ex, me, false);
+                    return r;
+                }
+                Step::Block(b) => {
+                    ex.threads[me].run = Run::Blocked(b);
+                    self.decide(&mut ex, me, true);
+                    ex = self.wait_turn(ex, me);
+                }
+                Step::Fail(kind, msg) => {
+                    ex.record_failure(kind, msg);
+                    drop(ex);
+                    self.cv.notify_all();
+                    abort_execution();
+                }
+            }
+        }
+    }
+
+    /// Voluntarily hand the token to another runnable thread (free — not
+    /// a preemption; the canonical way out of a spin loop). No-op when
+    /// `me` does not hold the token (someone else is already running) or
+    /// when nothing else can run; either way `me`'s next op parks until
+    /// it is rescheduled.
+    pub(crate) fn yield_now(self: &Arc<Self>, me: usize) {
+        let mut ex = self.lock();
+        self.check_alive(&ex);
+        if ex.cur != me {
+            return;
+        }
+        let n = ex.ready_ids(Some(me));
+        if n == 0 {
+            return;
+        }
+        ex.steps += 1;
+        let idx = ex.choose(n);
+        ex.cur = ex.scratch[idx];
+        drop(ex);
+        self.cv.notify_all();
+    }
+
+    /// Scheduling decision before an operation of `me`. With
+    /// `forced = false`, option 0 is "continue `me`" and switching costs
+    /// preemption budget; with `forced = true`, `me` cannot continue and
+    /// a switch is mandatory (deadlock if nobody is runnable).
+    fn decide(&self, ex: &mut Exec, me: usize, forced: bool) {
+        ex.steps += 1;
+        if ex.steps > ex.max_steps {
+            ex.record_failure(
+                ViolationKind::StepLimit,
+                format!("execution exceeded {} steps (livelock?)", ex.max_steps),
+            );
+            self.cv.notify_all();
+            abort_execution();
+        }
+        if !forced {
+            let others = ex.ready_ids(Some(me));
+            let budget_left = ex.preemptions < ex.preemption_bound;
+            if others == 0 || !budget_left {
+                ex.cur = me;
+                return;
+            }
+            // options: [me, other_0, other_1, ...]
+            let idx = ex.choose(others + 1);
+            if idx == 0 {
+                ex.cur = me;
+                return;
+            }
+            ex.preemptions += 1;
+            ex.cur = ex.scratch[idx - 1];
+            self.cv.notify_all();
+            return;
+        }
+        let n = ex.ready_ids(Some(me));
+        if n == 0 {
+            let states: Vec<String> = ex
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| format!("t{i}:{:?}", t.run))
+                .collect();
+            ex.record_failure(
+                ViolationKind::Deadlock,
+                format!("no runnable thread — {}", states.join(" ")),
+            );
+            self.cv.notify_all();
+            abort_execution();
+        }
+        let idx = ex.choose(n);
+        ex.cur = ex.scratch[idx];
+        self.cv.notify_all();
+    }
+
+    /// Park until the token points at `me` (and `me` is runnable again).
+    fn wait_turn<'a>(&'a self, mut ex: OsGuard<'a, Exec>, me: usize) -> OsGuard<'a, Exec> {
+        loop {
+            if ex.failed.is_some() || ex.done {
+                drop(ex);
+                abort_execution();
+            }
+            if ex.cur == me && ex.threads[me].run == Run::Ready {
+                return ex;
+            }
+            ex = self.cv.wait(ex).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn check_alive(&self, ex: &Exec) {
+        if ex.failed.is_some() || ex.done {
+            abort_execution();
+        }
+    }
+
+    /// Called by the driver after the closure returns: keep redelegating
+    /// the token to spawned threads until they all finish (or deadlock).
+    fn drain(self: &Arc<Self>, me: usize) {
+        let mut ex = self.lock();
+        loop {
+            if ex.failed.is_some() {
+                return;
+            }
+            let unfinished = ex
+                .threads
+                .iter()
+                .enumerate()
+                .any(|(i, t)| i != me && t.run != Run::Finished);
+            if !unfinished {
+                return;
+            }
+            if ex.cur == me {
+                let n = ex.ready_ids(Some(me));
+                if n == 0 {
+                    let states: Vec<String> = ex
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| format!("t{i}:{:?}", t.run))
+                        .collect();
+                    ex.record_failure(
+                        ViolationKind::Deadlock,
+                        format!(
+                            "driver finished but spawned threads are blocked — {}",
+                            states.join(" ")
+                        ),
+                    );
+                    self.cv.notify_all();
+                    return;
+                }
+                let idx = ex.choose(n);
+                ex.cur = ex.scratch[idx];
+                self.cv.notify_all();
+            }
+            ex = self.cv.wait(ex).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registration helpers used by the sync facade types
+// ---------------------------------------------------------------------
+
+impl Rt {
+    pub(crate) fn alloc_location(self: &Arc<Self>, init: u64, creator: usize) -> usize {
+        let mut ex = self.lock();
+        let ts = ex.threads[creator].clock;
+        let id = ex.locations.len();
+        ex.locations.push(Location {
+            stores: vec![Store {
+                val: init,
+                ts,
+                // The initial value is published by construction: any
+                // thread that can reach the atomic got it via a
+                // clock-joining edge (spawn), so model it as released.
+                release: Some(ts),
+            }],
+        });
+        id
+    }
+
+    pub(crate) fn alloc_cell(self: &Arc<Self>, creator: usize) -> usize {
+        let mut ex = self.lock();
+        let mut writes = VClock::zero();
+        writes.0[creator] = ex.threads[creator].clock.0[creator];
+        let id = ex.cells.len();
+        ex.cells.push(CellClocks {
+            writes,
+            reads: VClock::zero(),
+        });
+        id
+    }
+
+    pub(crate) fn alloc_mutex(self: &Arc<Self>) -> usize {
+        let mut ex = self.lock();
+        let id = ex.mutexes.len();
+        ex.mutexes.push(MutexSt {
+            owner: None,
+            clock: VClock::zero(),
+        });
+        id
+    }
+
+    pub(crate) fn alloc_condvar(self: &Arc<Self>) -> usize {
+        let mut ex = self.lock();
+        let id = ex.condvars.len();
+        ex.condvars.push(CvSt {
+            waiters: Vec::new(),
+        });
+        id
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory-model operations (called under `Rt::with`)
+// ---------------------------------------------------------------------
+
+pub(crate) fn acquiring(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+pub(crate) fn releasing(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Model an atomic load: pick an observable store (choice point when
+/// more than one), apply acquire synchronization, return its value.
+pub(crate) fn atomic_load(ex: &mut Exec, me: usize, loc: usize, ord: Ordering) -> u64 {
+    ex.threads[me].clock.tick(me);
+    let clock = ex.threads[me].clock;
+    let n = ex.locations[loc].stores.len();
+    debug_assert!(n > 0);
+    // Happens-before floor: newest store whose timestamp this thread's
+    // clock dominates. Anything older is no longer observable.
+    let mut floor = 0;
+    for i in (0..n).rev() {
+        if ex.locations[loc].stores[i].ts.leq(&clock) {
+            floor = i;
+            break;
+        }
+    }
+    if ex.threads[me].seen.len() <= loc {
+        ex.threads[me].seen.resize(loc + 1, 0);
+    }
+    floor = floor.max(ex.threads[me].seen[loc]);
+    let idx = if ord == Ordering::SeqCst || floor == n - 1 {
+        n - 1
+    } else {
+        // Choice among observable stores, newest first: option 0 is the
+        // coherent latest value, stale values are explored on backtrack.
+        let j = ex.choose(n - floor);
+        n - 1 - j
+    };
+    ex.threads[me].seen[loc] = idx;
+    let val = ex.locations[loc].stores[idx].val;
+    if acquiring(ord) {
+        if let Some(rc) = ex.locations[loc].stores[idx].release {
+            ex.threads[me].clock.join(&rc);
+        }
+    }
+    ex.note(me, "load", val);
+    val
+}
+
+/// Model an atomic store: append to the modification order, publishing
+/// the thread clock when the ordering releases.
+pub(crate) fn atomic_store(ex: &mut Exec, me: usize, loc: usize, val: u64, ord: Ordering) {
+    ex.threads[me].clock.tick(me);
+    let ts = ex.threads[me].clock;
+    let release = releasing(ord).then_some(ts);
+    let idx = ex.locations[loc].stores.len();
+    ex.locations[loc].stores.push(Store { val, ts, release });
+    if ex.threads[me].seen.len() <= loc {
+        ex.threads[me].seen.resize(loc + 1, 0);
+    }
+    ex.threads[me].seen[loc] = idx;
+    ex.note(me, "store", val);
+}
+
+/// Model a read-modify-write: always reads the newest store (RMW
+/// atomicity), applies `f`, appends the result. Returns the old value.
+pub(crate) fn atomic_rmw(
+    ex: &mut Exec,
+    me: usize,
+    loc: usize,
+    ord: Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    ex.threads[me].clock.tick(me);
+    let idx = ex.locations[loc].stores.len() - 1;
+    let old = ex.locations[loc].stores[idx].val;
+    if acquiring(ord) {
+        if let Some(rc) = ex.locations[loc].stores[idx].release {
+            ex.threads[me].clock.join(&rc);
+        }
+    }
+    let ts = ex.threads[me].clock;
+    let release = releasing(ord).then_some(ts);
+    ex.locations[loc].stores.push(Store {
+        val: f(old),
+        ts,
+        release,
+    });
+    if ex.threads[me].seen.len() <= loc {
+        ex.threads[me].seen.resize(loc + 1, 0);
+    }
+    ex.threads[me].seen[loc] = idx + 1;
+    ex.note(me, "rmw", old);
+    old
+}
+
+/// Race-check a cell access. `write = true` for `with_mut`. Returns an
+/// error message when the access races with a previous one.
+pub(crate) fn cell_access(
+    ex: &mut Exec,
+    me: usize,
+    cell: usize,
+    write: bool,
+) -> Result<(), String> {
+    ex.threads[me].clock.tick(me);
+    let clock = ex.threads[me].clock;
+    let c = &mut ex.cells[cell];
+    for u in 0..MAX_THREADS {
+        if u == me {
+            continue;
+        }
+        if c.writes.0[u] > clock.0[u] {
+            return Err(format!(
+                "data race on cell #{cell}: t{me} {} not ordered after t{u}'s write",
+                if write { "write" } else { "read" }
+            ));
+        }
+        if write && c.reads.0[u] > clock.0[u] {
+            return Err(format!(
+                "data race on cell #{cell}: t{me} write not ordered after t{u}'s read"
+            ));
+        }
+    }
+    if write {
+        c.writes.0[me] = clock.0[me];
+        ex.note(me, "cell_write", cell as u64);
+    } else {
+        c.reads.0[me] = clock.0[me];
+        ex.note(me, "cell_read", cell as u64);
+    }
+    Ok(())
+}

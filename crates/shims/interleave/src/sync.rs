@@ -1,0 +1,544 @@
+//! Model-aware drop-ins for `std::sync::atomic` types, `UnsafeCell`,
+//! `Mutex` and `Condvar`.
+//!
+//! Every type here has two personalities decided at construction time:
+//! created **inside** a model execution (a [`crate::Checker::run`]
+//! closure), it registers with the runtime and every operation becomes an
+//! explored schedule point; created **outside**, it falls back to the
+//! plain `std` primitive and behaves exactly like it. The fallback is
+//! what lets a whole crate compile against these types under
+//! `cfg(feature = "interleave-check")` while only the code under a
+//! checker actually pays for (and benefits from) exploration.
+//!
+//! # Teardown tolerance
+//!
+//! When a violation aborts an execution, threads unwind through user
+//! destructors (`Drop for spsc::Inner` does atomic loads; mutex guards
+//! unlock). Operations called while the execution is already dead return
+//! best-effort results instead of panicking if the calling thread is
+//! unwinding — a second panic inside a `Drop` would abort the process —
+//! and otherwise start this thread's teardown unwind.
+
+use std::sync::Arc;
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::LockResult;
+
+use crate::rt::{
+    self, atomic_load, atomic_rmw, atomic_store, cell_access, current, BlockOn, Run, Step,
+    ViolationKind,
+};
+
+// ---------------------------------------------------------------------
+// Shared model-handle plumbing
+// ---------------------------------------------------------------------
+
+/// `(runtime, id)` of a model-registered object.
+type Handle = (Arc<rt::Rt>, usize);
+
+/// Resolve the current virtual thread for an op on a model object; `None`
+/// means the execution is already dead and the op should degrade instead
+/// of exploring.
+fn op_thread(h: &Handle) -> Option<usize> {
+    match current() {
+        Some((rt, me)) if Arc::ptr_eq(&rt, &h.0) => {
+            let ex = h.0.lock();
+            if ex.failed.is_some() || ex.done {
+                drop(ex);
+                if std::thread::panicking() {
+                    None
+                } else {
+                    rt::abort_execution()
+                }
+            } else {
+                Some(me)
+            }
+        }
+        // A model object touched from outside its execution: the only
+        // legitimate way is teardown (driver-side drops after the run).
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Model-aware drop-in for the std atomic of the same name.
+        pub struct $name {
+            real: $std,
+            model: Option<Handle>,
+        }
+
+        impl $name {
+            /// Create the atomic; registers a model location when built
+            /// inside an execution.
+            pub fn new(v: $prim) -> Self {
+                let model = current().map(|(rt, me)| {
+                    let loc = rt.alloc_location(v as u64, me);
+                    (rt, loc)
+                });
+                Self {
+                    real: <$std>::new(v),
+                    model,
+                }
+            }
+
+            /// Atomic load with the model's visibility rules (a relaxed
+            /// load may observe stale stores under exploration).
+            pub fn load(&self, ord: Ordering) -> $prim {
+                match &self.model {
+                    None => self.real.load(ord),
+                    Some(h) => match op_thread(h) {
+                        None => self.latest(h) as $prim,
+                        Some(me) => h.0.with(me, |ex, me| {
+                            Step::Done(atomic_load(ex, me, h.1, ord) as $prim)
+                        }),
+                    },
+                }
+            }
+
+            /// Atomic store; a Release store publishes this thread's
+            /// clock for matching Acquire loads.
+            pub fn store(&self, v: $prim, ord: Ordering) {
+                match &self.model {
+                    None => self.real.store(v, ord),
+                    Some(h) => match op_thread(h) {
+                        None => {}
+                        Some(me) => h.0.with(me, |ex, me| {
+                            atomic_store(ex, me, h.1, v as u64, ord);
+                            Step::Done(())
+                        }),
+                    },
+                }
+            }
+
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: $prim, ord: Ordering) -> $prim {
+                match &self.model {
+                    None => self.real.fetch_add(v, ord),
+                    Some(h) => match op_thread(h) {
+                        None => self.latest(h) as $prim,
+                        Some(me) => h.0.with(me, |ex, me| {
+                            Step::Done(atomic_rmw(ex, me, h.1, ord, |x| {
+                                (x as $prim).wrapping_add(v) as u64
+                            }) as $prim)
+                        }),
+                    },
+                }
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: $prim, ord: Ordering) -> $prim {
+                match &self.model {
+                    None => self.real.fetch_sub(v, ord),
+                    Some(h) => match op_thread(h) {
+                        None => self.latest(h) as $prim,
+                        Some(me) => h.0.with(me, |ex, me| {
+                            Step::Done(atomic_rmw(ex, me, h.1, ord, |x| {
+                                (x as $prim).wrapping_sub(v) as u64
+                            }) as $prim)
+                        }),
+                    },
+                }
+            }
+
+            /// Atomic swap, returning the previous value.
+            pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                match &self.model {
+                    None => self.real.swap(v, ord),
+                    Some(h) => match op_thread(h) {
+                        None => self.latest(h) as $prim,
+                        Some(me) => h.0.with(me, |ex, me| {
+                            Step::Done(atomic_rmw(ex, me, h.1, ord, |_| v as u64) as $prim)
+                        }),
+                    },
+                }
+            }
+
+            /// Compare-and-exchange; the model treats success and failure
+            /// orderings like the std semantics (acquire on read, release
+            /// on successful write).
+            pub fn compare_exchange(
+                &self,
+                cur: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match &self.model {
+                    None => self.real.compare_exchange(cur, new, success, failure),
+                    Some(h) => match op_thread(h) {
+                        None => Err(self.latest(h) as $prim),
+                        Some(me) => h.0.with(me, |ex, me| {
+                            let old = atomic_load(ex, me, h.1, Ordering::SeqCst) as $prim;
+                            if old == cur {
+                                atomic_store(ex, me, h.1, new as u64, success);
+                                Step::Done(Ok(old))
+                            } else {
+                                let _ = failure;
+                                Step::Done(Err(old))
+                            }
+                        }),
+                    },
+                }
+            }
+
+            /// Weak CAS — in the model it never fails spuriously.
+            pub fn compare_exchange_weak(
+                &self,
+                cur: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(cur, new, success, failure)
+            }
+
+            /// Newest value in the modification order (teardown path).
+            fn latest(&self, h: &Handle) -> u64 {
+                let ex = h.0.lock();
+                ex.locations[h.1].stores.last().map(|s| s.val).unwrap_or(0)
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+// ---------------------------------------------------------------------
+// UnsafeCell with race detection
+// ---------------------------------------------------------------------
+
+/// Race-checked `UnsafeCell`: all access goes through [`Self::with`] /
+/// [`Self::with_mut`], which under a model verify (via vector clocks)
+/// that the access is ordered after every conflicting access by another
+/// thread. Outside a model both compile to the raw pointer access.
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    model: Option<Handle>,
+}
+
+impl<T> UnsafeCell<T> {
+    /// Wrap a value; registers race-tracking clocks when built inside an
+    /// execution.
+    pub fn new(v: T) -> Self {
+        let model = current().map(|(rt, me)| {
+            let id = rt.alloc_cell(me);
+            (rt, id)
+        });
+        Self {
+            data: std::cell::UnsafeCell::new(v),
+            model,
+        }
+    }
+
+    /// Shared (read) access to the cell's raw pointer.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some(h) = &self.model {
+            if let Some(me) = op_thread(h) {
+                h.0.with(me, |ex, me| match cell_access(ex, me, h.1, false) {
+                    Ok(()) => Step::Done(()),
+                    Err(msg) => Step::Fail(ViolationKind::DataRace, msg),
+                });
+            }
+        }
+        f(self.data.get())
+    }
+
+    /// Exclusive (write) access to the cell's raw pointer.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some(h) = &self.model {
+            if let Some(me) = op_thread(h) {
+                h.0.with(me, |ex, me| match cell_access(ex, me, h.1, true) {
+                    Ok(()) => Step::Done(()),
+                    Err(msg) => Step::Fail(ViolationKind::DataRace, msg),
+                });
+            }
+        }
+        f(self.data.get())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------
+
+enum MutexImp<T> {
+    Real(std::sync::Mutex<T>),
+    Model {
+        h: Handle,
+        data: std::cell::UnsafeCell<T>,
+    },
+}
+
+/// Model-aware drop-in for `std::sync::Mutex` (the subset the repo uses:
+/// `lock`, guard `Deref`/`DerefMut`, condvar interop).
+pub struct Mutex<T>(MutexImp<T>);
+
+// SAFETY: the Real variant is std's Sync Mutex; the Model variant's
+// `data` is only reachable through a guard, and the model runtime grants
+// mutual exclusion (a single owner thread) before any guard exists, so
+// aliasing rules match std's Mutex.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+// SAFETY: sending the mutex moves the protected value between threads,
+// which `T: Send` permits; the model handle is an Arc + index, both Send.
+unsafe impl<T: Send> Send for Mutex<T> {}
+
+/// RAII guard for [`Mutex`]; unlocking on drop is a model schedule point.
+pub struct MutexGuard<'a, T> {
+    /// `None` only transiently, while `Condvar::wait` owns the pieces.
+    imp: Option<GuardImp<'a, T>>,
+}
+
+enum GuardImp<'a, T> {
+    Real(std::sync::MutexGuard<'a, T>),
+    Model(&'a Mutex<T>),
+}
+
+impl<T> Mutex<T> {
+    /// Create the mutex; registers with the model when built inside an
+    /// execution.
+    pub fn new(v: T) -> Self {
+        match current() {
+            Some((rt, _)) => {
+                let id = rt.alloc_mutex();
+                Mutex(MutexImp::Model {
+                    h: (rt, id),
+                    data: std::cell::UnsafeCell::new(v),
+                })
+            }
+            None => Mutex(MutexImp::Real(std::sync::Mutex::new(v))),
+        }
+    }
+
+    /// Acquire the lock, blocking (in model time) while another virtual
+    /// thread owns it. Never returns a poison error in the model.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match &self.0 {
+            MutexImp::Real(m) => match m.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    imp: Some(GuardImp::Real(g)),
+                }),
+                Err(p) => Ok(MutexGuard {
+                    imp: Some(GuardImp::Real(p.into_inner())),
+                }),
+            },
+            MutexImp::Model { h, .. } => {
+                if let Some(me) = op_thread(h) {
+                    let id = h.1;
+                    h.0.with(me, |ex, me| {
+                        if ex.mutexes[id].owner.is_none() {
+                            ex.mutexes[id].owner = Some(me);
+                            ex.threads[me].clock.tick(me);
+                            let mc = ex.mutexes[id].clock;
+                            ex.threads[me].clock.join(&mc);
+                            ex.note(me, "lock", id as u64);
+                            Step::Done(())
+                        } else {
+                            Step::Block(BlockOn::Mutex(id))
+                        }
+                    });
+                }
+                Ok(MutexGuard {
+                    imp: Some(GuardImp::Model(self)),
+                })
+            }
+        }
+    }
+}
+
+fn model_unlock<T>(m: &Mutex<T>) {
+    let MutexImp::Model { h, .. } = &m.0 else {
+        return;
+    };
+    if let Some(me) = op_thread(h) {
+        let id = h.1;
+        h.0.with(me, |ex, me| {
+            ex.threads[me].clock.tick(me);
+            let tc = ex.threads[me].clock;
+            ex.mutexes[id].clock.join(&tc);
+            ex.mutexes[id].owner = None;
+            for t in ex.threads.iter_mut() {
+                if t.run == Run::Blocked(BlockOn::Mutex(id)) {
+                    t.run = Run::Ready;
+                }
+            }
+            ex.note(me, "unlock", id as u64);
+            Step::Done(())
+        });
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(GuardImp::Model(m)) = self.imp.take() {
+            model_unlock(m);
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match self.imp.as_ref().expect("guard in use") {
+            GuardImp::Real(g) => g,
+            GuardImp::Model(m) => {
+                let MutexImp::Model { data, .. } = &m.0 else {
+                    unreachable!("model guard over real mutex")
+                };
+                // SAFETY: this guard exists only while the model grants
+                // this thread sole ownership of the mutex, so no other
+                // reference to `data` can be live.
+                unsafe { &*data.get() }
+            }
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match self.imp.as_mut().expect("guard in use") {
+            GuardImp::Real(g) => g,
+            GuardImp::Model(m) => {
+                let MutexImp::Model { data, .. } = &m.0 else {
+                    unreachable!("model guard over real mutex")
+                };
+                // SAFETY: as in `deref` — model-granted exclusive
+                // ownership for the guard's lifetime.
+                unsafe { &mut *data.get() }
+            }
+        }
+    }
+}
+
+enum CvImp {
+    Real(std::sync::Condvar),
+    Model(Handle),
+}
+
+/// Model-aware drop-in for `std::sync::Condvar` (`wait`, `notify_one`,
+/// `notify_all`; no spurious wakeups are modeled).
+pub struct Condvar(CvImp);
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Create the condvar; registers with the model when built inside an
+    /// execution.
+    pub fn new() -> Self {
+        match current() {
+            Some((rt, _)) => {
+                let id = rt.alloc_condvar();
+                Condvar(CvImp::Model((rt, id)))
+            }
+            None => Condvar(CvImp::Real(std::sync::Condvar::new())),
+        }
+    }
+
+    /// Release the guard's mutex, park until notified, re-acquire.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let imp = guard.imp.take().expect("guard in use");
+        match (&self.0, imp) {
+            (CvImp::Real(cv), GuardImp::Real(g)) => match cv.wait(g) {
+                Ok(g) => Ok(MutexGuard {
+                    imp: Some(GuardImp::Real(g)),
+                }),
+                Err(p) => Ok(MutexGuard {
+                    imp: Some(GuardImp::Real(p.into_inner())),
+                }),
+            },
+            (CvImp::Model(h), GuardImp::Model(m)) => {
+                let MutexImp::Model { h: mh, .. } = &m.0 else {
+                    unreachable!("model guard over real mutex")
+                };
+                let (cv_id, mx_id) = (h.1, mh.1);
+                if let Some(me) = op_thread(h) {
+                    // Two stages inside one blocking op: release the
+                    // mutex and enlist, then — after a notify makes us
+                    // runnable — re-acquire the mutex.
+                    let mut enlisted = false;
+                    h.0.with(me, |ex, me| {
+                        if !enlisted {
+                            enlisted = true;
+                            ex.threads[me].clock.tick(me);
+                            let tc = ex.threads[me].clock;
+                            ex.mutexes[mx_id].clock.join(&tc);
+                            ex.mutexes[mx_id].owner = None;
+                            for t in ex.threads.iter_mut() {
+                                if t.run == Run::Blocked(BlockOn::Mutex(mx_id)) {
+                                    t.run = Run::Ready;
+                                }
+                            }
+                            ex.condvars[cv_id].waiters.push((me, mx_id));
+                            ex.note(me, "cv_wait", cv_id as u64);
+                            Step::Block(BlockOn::Condvar(cv_id))
+                        } else if ex.mutexes[mx_id].owner.is_none() {
+                            ex.mutexes[mx_id].owner = Some(me);
+                            ex.threads[me].clock.tick(me);
+                            let mc = ex.mutexes[mx_id].clock;
+                            ex.threads[me].clock.join(&mc);
+                            ex.note(me, "cv_wake", cv_id as u64);
+                            Step::Done(())
+                        } else {
+                            Step::Block(BlockOn::Mutex(mx_id))
+                        }
+                    });
+                }
+                Ok(MutexGuard {
+                    imp: Some(GuardImp::Model(m)),
+                })
+            }
+            _ => panic!("interleave: condvar/mutex model-real mismatch"),
+        }
+    }
+
+    /// Wake every waiter (each then re-acquires its mutex in model time).
+    pub fn notify_all(&self) {
+        self.notify(usize::MAX);
+    }
+
+    /// Wake the longest-waiting waiter, if any.
+    pub fn notify_one(&self) {
+        self.notify(1);
+    }
+
+    fn notify(&self, limit: usize) {
+        match &self.0 {
+            CvImp::Real(cv) => {
+                if limit == 1 {
+                    cv.notify_one()
+                } else {
+                    cv.notify_all()
+                }
+            }
+            CvImp::Model(h) => {
+                if let Some(me) = op_thread(h) {
+                    let cv_id = h.1;
+                    h.0.with(me, |ex, me| {
+                        ex.threads[me].clock.tick(me);
+                        let n = ex.condvars[cv_id].waiters.len().min(limit);
+                        for _ in 0..n {
+                            let (w, mx) = ex.condvars[cv_id].waiters.remove(0);
+                            ex.threads[w].run = if ex.mutexes[mx].owner.is_none() {
+                                Run::Ready
+                            } else {
+                                Run::Blocked(BlockOn::Mutex(mx))
+                            };
+                        }
+                        ex.note(me, "notify", cv_id as u64);
+                        Step::Done(())
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Fixed-width vector clocks for the happens-before partial order.
+//!
+//! The checker models at most [`MAX_THREADS`] virtual threads per
+//! execution, so clocks are plain fixed arrays — no allocation on the
+//! model's per-operation path, and componentwise `join`/`leq` compile to
+//! a handful of unrolled compares.
+
+/// Maximum virtual threads per explored execution (driver included).
+/// Model tests are deliberately tiny (2–5 threads); the scheduler
+/// asserts on spawn if this is exceeded.
+pub const MAX_THREADS: usize = 8;
+
+/// A vector clock: `c[t]` counts thread `t`'s operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VClock(pub [u64; MAX_THREADS]);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn zero() -> Self {
+        Self([0; MAX_THREADS])
+    }
+
+    /// Componentwise maximum: after `a.join(b)`, `a` dominates both.
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (componentwise ≤).
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// Advance this thread's own component by one operation.
+    pub fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_dominates_and_leq_orders() {
+        let mut a = VClock::zero();
+        let mut b = VClock::zero();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a;
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.0[0], 2);
+        assert_eq!(j.0[1], 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Litmus tests for the schedule explorer itself: each classic
+//! concurrency bug shape must be found, and each correct counterpart
+//! must survive full exploration.
+
+use std::sync::Arc;
+
+use interleave::sync::{AtomicU64, Mutex, Ordering, UnsafeCell};
+use interleave::{thread, Checker, ViolationKind};
+
+#[test]
+fn message_passing_with_release_acquire_is_clean() {
+    let report = Checker::new().run(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            // Acquire of the Release store: the data write is visible.
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.schedules > 1);
+    assert!(report.dfs_complete, "tiny litmus must be fully explored");
+}
+
+#[test]
+fn message_passing_with_relaxed_publish_is_caught() {
+    // The same shape with the flag published Relaxed: an Acquire load of
+    // a Relaxed store synchronizes nothing, so the data load may observe
+    // the stale 0 — the explorer must find that schedule.
+    let report = Checker::new().run(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale read");
+        }
+        t.join().unwrap();
+    });
+    let v = report.violation.expect("stale read must be found");
+    assert_eq!(v.kind, ViolationKind::Panic);
+    assert!(v.message.contains("stale read"), "{}", v.message);
+}
+
+#[test]
+fn unsynchronized_cell_write_is_a_data_race() {
+    let report = Checker::new().run(|| {
+        let cell = Arc::new(CellBox(UnsafeCell::new(0u64)));
+        let c2 = Arc::clone(&cell);
+        let t = thread::spawn(move || {
+            c2.0.with_mut(|p| {
+                // SAFETY: test intentionally races; the model intercepts
+                // the access before the write executes.
+                unsafe { *p = 1 }
+            });
+        });
+        cell.0.with(|p| {
+            // SAFETY: as above — the checker flags the race first.
+            let _ = unsafe { *p };
+        });
+        t.join().unwrap();
+    });
+    let v = report.violation.expect("cell race must be found");
+    assert_eq!(v.kind, ViolationKind::DataRace);
+}
+
+#[test]
+fn mutex_protected_counter_is_clean_and_complete() {
+    let report = Checker::new().run(|| {
+        let n = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    *n.lock().expect("model mutex never poisons") += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().expect("model mutex never poisons"), 2);
+    });
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.dfs_complete);
+}
+
+#[test]
+fn abba_lock_order_deadlocks() {
+    let report = Checker::new().run(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().expect("model mutex never poisons");
+            let _gb = b2.lock().expect("model mutex never poisons");
+        });
+        let _gb = b.lock().expect("model mutex never poisons");
+        let _ga = a.lock().expect("model mutex never poisons");
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+    let v = report.violation.expect("ABBA deadlock must be found");
+    assert_eq!(v.kind, ViolationKind::Deadlock);
+}
+
+#[test]
+fn relaxed_rmw_counter_never_loses_updates() {
+    // fetch_add reads the newest store regardless of ordering (RMW
+    // atomicity), so even a Relaxed counter sums correctly.
+    let report = Checker::new().run(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+    });
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+}
+
+/// `UnsafeCell` is `!Sync`; the tests share it deliberately, mirroring
+/// how `spsc::Inner` wraps its slot array.
+struct CellBox(UnsafeCell<u64>);
+// SAFETY: the tests only access the cell through the model's race
+// checker, which serializes or reports every conflicting access.
+unsafe impl Sync for CellBox {}
+// SAFETY: u64 is Send; the wrapper adds no thread affinity.
+unsafe impl Send for CellBox {}

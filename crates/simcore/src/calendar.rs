@@ -218,6 +218,7 @@ impl<E> CalendarQueue<E> {
     /// guarantees both).
     ///
     /// [`FutureEventList`]: crate::queue::FutureEventList
+    // checker:hot-path
     #[inline]
     pub fn push(&mut self, s: Scheduled<E>) {
         let day = s.at >> self.shift;
@@ -273,6 +274,7 @@ impl<E> CalendarQueue<E> {
     /// Pop the earliest event only if it is due at or before `t` — the
     /// dispatch loop's "run until the horizon" step, positioning the
     /// cursor exactly once per dispatched event.
+    // checker:hot-path
     pub fn pop_at_most(&mut self, t: SimTime) -> Option<Scheduled<E>> {
         let at = self.position_cursor()?;
         if at > t {

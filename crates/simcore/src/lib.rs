@@ -25,6 +25,7 @@ pub mod rng;
 pub mod slab;
 pub mod spsc;
 pub mod stats;
+pub mod sync;
 pub mod time;
 
 pub use calendar::CalendarQueue;

@@ -396,6 +396,7 @@ impl<E> FutureEventList<E> {
     /// (from per-link counters) instead of minted here. The caller owns
     /// key uniqueness and must keep `at >= now()`; the global `seq`
     /// counter is not advanced.
+    // checker:hot-path
     pub fn push_keyed(&mut self, region: usize, at: SimTime, seq: u64, event: E) {
         debug_assert!(at >= self.now, "keyed push into the past");
         match &mut self.lists {
@@ -414,6 +415,7 @@ impl<E> FutureEventList<E> {
     /// the dispatch loop's horizon check fused with the pop, so the
     /// calendar backend positions its scan cursor once per event instead
     /// of once for the peek and again for the pop.
+    // checker:hot-path
     pub fn pop_at_most(&mut self, t: SimTime) -> Option<(SimTime, E)> {
         let s = match &mut self.lists {
             Lists::Single(b) => b.pop_at_most(t)?,

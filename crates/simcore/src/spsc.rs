@@ -19,11 +19,16 @@
 //! ring looks full/empty. Steady-state push/pop is therefore one relaxed
 //! load, one slot write/read and one release store — no locks, no CAS, no
 //! allocation.
+//!
+//! All shared state goes through the [`crate::sync`] facade, so the same
+//! source is model-checked across thousands of thread interleavings under
+//! `--features interleave-check` (see `tests/interleave.rs`) and compiles
+//! to the bare std primitives otherwise.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use crate::sync::{AtomicUsize, Condvar, Mutex, Ordering, UnsafeCell};
 
 struct Inner<T> {
     /// Next slot the consumer will read. Owned (written) by the consumer.
@@ -34,22 +39,32 @@ struct Inner<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
 
-// The ring hands each value from exactly one thread to exactly one other
-// thread; `T: Send` is the only requirement.
+// SAFETY: the ring hands each value from exactly one thread to exactly
+// one other thread, with every slot access ordered by an acquire load of
+// the release-published index; `T: Send` is the only requirement.
 unsafe impl<T: Send> Sync for Inner<T> {}
+// SAFETY: as above — the ring owns plain `T` values and transfers them
+// across threads at most once.
 unsafe impl<T: Send> Send for Inner<T> {}
 
 impl<T> Drop for Inner<T> {
     fn drop(&mut self) {
-        // Exclusive access here: drop whatever is still queued.
-        let head = *self.head.get_mut();
-        let tail = *self.tail.get_mut();
+        // Exclusive access here (`&mut self` — the last Arc clone is
+        // gone): drop whatever is still queued. Acquire pairs with the
+        // producer's release publication of `tail`, so the slot values in
+        // [head, tail) are fully visible. The indices are free-running
+        // and may have wrapped `usize`; `i != tail` with `wrapping_add`
+        // walks exactly `tail - head` (mod 2^64) live slots, which the
+        // full/empty invariant bounds by the capacity.
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
         let mut i = head;
         while i != tail {
-            let slot = self.slots[i & self.mask].get();
-            // SAFETY: slots in [head, tail) hold initialized values that
-            // were never popped; we have `&mut self`.
-            unsafe { (*slot).assume_init_drop() };
+            self.slots[i & self.mask].with_mut(|slot| {
+                // SAFETY: slots in [head, tail) hold initialized values
+                // that were never popped; we have `&mut self`.
+                unsafe { (*slot).assume_init_drop() }
+            });
             i = i.wrapping_add(1);
         }
     }
@@ -81,27 +96,37 @@ pub struct Consumer<T> {
 /// Create a bounded SPSC ring holding at least `cap` elements (rounded up
 /// to a power of two, minimum 2).
 pub fn ring<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
+    ring_with_start(cap, 0)
+}
+
+/// [`ring`], with both indices starting at `start` instead of 0.
+///
+/// The ring's indices are free-running and wrap `usize`; starting them
+/// near `usize::MAX` exercises the wraparound paths directly. Test-only
+/// plumbing — real rings always start at 0.
+#[doc(hidden)]
+pub fn ring_with_start<T: Send>(cap: usize, start: usize) -> (Producer<T>, Consumer<T>) {
     let cap = cap.max(2).next_power_of_two();
     let slots = (0..cap)
         .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
         .collect::<Vec<_>>()
         .into_boxed_slice();
     let inner = Arc::new(Inner {
-        head: AtomicUsize::new(0),
-        tail: AtomicUsize::new(0),
+        head: AtomicUsize::new(start),
+        tail: AtomicUsize::new(start),
         mask: cap - 1,
         slots,
     });
     (
         Producer {
             inner: Arc::clone(&inner),
-            head_cache: 0,
-            tail: 0,
+            head_cache: start,
+            tail: start,
         },
         Consumer {
             inner,
-            tail_cache: 0,
-            head: 0,
+            tail_cache: start,
+            head: start,
         },
     )
 }
@@ -113,6 +138,7 @@ impl<T: Send> Producer<T> {
     }
 
     /// Enqueue `v`, or hand it back if the ring is full.
+    // checker:hot-path
     pub fn push(&mut self, v: T) -> Result<(), T> {
         let cap = self.inner.mask + 1;
         if self.tail.wrapping_sub(self.head_cache) == cap {
@@ -122,10 +148,11 @@ impl<T: Send> Producer<T> {
                 return Err(v);
             }
         }
-        let slot = self.inner.slots[self.tail & self.inner.mask].get();
-        // SAFETY: the slot at `tail` is outside [head, tail) — not owned
-        // by the consumer — and we are the only producer.
-        unsafe { (*slot).write(v) };
+        self.inner.slots[self.tail & self.inner.mask].with_mut(|slot| {
+            // SAFETY: the slot at `tail` is outside [head, tail) — not
+            // owned by the consumer — and we are the only producer.
+            unsafe { (*slot).write(v) };
+        });
         self.tail = self.tail.wrapping_add(1);
         // Release: the slot write happens-before the consumer's acquire
         // load of `tail`.
@@ -148,6 +175,7 @@ impl<T: Send> Producer<T> {
 
 impl<T: Send> Consumer<T> {
     /// Dequeue the oldest element, or `None` if the ring is empty.
+    // checker:hot-path
     pub fn pop(&mut self) -> Option<T> {
         if self.head == self.tail_cache {
             // Looks empty — refresh the cache from the producer's side.
@@ -156,10 +184,11 @@ impl<T: Send> Consumer<T> {
                 return None;
             }
         }
-        let slot = self.inner.slots[self.head & self.inner.mask].get();
-        // SAFETY: head != tail, so this slot holds a value the producer
-        // published with a release store we have acquired.
-        let v = unsafe { (*slot).assume_init_read() };
+        let v = self.inner.slots[self.head & self.inner.mask].with(|slot| {
+            // SAFETY: head != tail, so this slot holds a value the
+            // producer published with a release store we have acquired.
+            unsafe { (*slot).assume_init_read() }
+        });
         self.head = self.head.wrapping_add(1);
         // Release: the slot read happens-before the producer reusing it.
         self.inner.head.store(self.head, Ordering::Release);
@@ -188,8 +217,8 @@ impl<T: Send> Consumer<T> {
 /// exactly this wait cost at K∈{2,4}.
 pub struct EpochBarrier {
     n: u32,
-    state: std::sync::Mutex<(u32, u64)>,
-    cv: std::sync::Condvar,
+    state: Mutex<(u32, u64)>,
+    cv: Condvar,
 }
 
 impl EpochBarrier {
@@ -198,8 +227,8 @@ impl EpochBarrier {
         assert!(n >= 1, "barrier cohort must be non-empty");
         Self {
             n: n as u32,
-            state: std::sync::Mutex::new((0, 0)),
-            cv: std::sync::Condvar::new(),
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
         }
     }
 
@@ -268,6 +297,8 @@ mod tests {
         // Rc is !Send, so wrap in a Send newtype for the test: the ring
         // itself never crosses threads here.
         struct Tracked(#[allow(dead_code)] Rc<()>);
+        // SAFETY: test-only; the ring never leaves this thread, so the
+        // `Rc` clones are never shared across threads.
         unsafe impl Send for Tracked {}
         let counter = Rc::new(());
         {
@@ -279,6 +310,45 @@ mod tests {
             drop(rx);
         }
         assert_eq!(Rc::strong_count(&counter), 1, "queued elements leaked");
+    }
+
+    #[test]
+    fn index_wraparound_push_pop_and_drop() {
+        use std::rc::Rc;
+        #[derive(Debug)]
+        struct Tracked(#[allow(dead_code)] Rc<()>, usize);
+        // SAFETY: test-only; the ring never leaves this thread.
+        unsafe impl Send for Tracked {}
+        let counter = Rc::new(());
+        // Start the free-running indices 3 slots before usize::MAX so
+        // both the index arithmetic and Drop's `i != tail` walk cross
+        // the wraparound boundary with live elements in flight.
+        let start = usize::MAX - 3;
+        {
+            let (mut tx, mut rx) = ring_with_start::<Tracked>(8, start);
+            for i in 0..8 {
+                tx.push(Tracked(Rc::clone(&counter), i)).unwrap();
+            }
+            // Pop three (these straddle usize::MAX), leaving five queued
+            // with head < tail only in the wrapping sense.
+            for i in 0..3 {
+                assert_eq!(rx.pop().expect("queued").1, i);
+            }
+            assert_eq!(rx.len(), 5);
+            assert_eq!(tx.len(), 5);
+            // Refill across the boundary and verify FIFO survives.
+            for i in 8..11 {
+                tx.push(Tracked(Rc::clone(&counter), i)).unwrap();
+            }
+            assert_eq!(rx.pop().expect("queued").1, 3);
+            // Drop with 7 elements queued and wrapped indices: Drop's
+            // walk must free exactly the live range, no more, no less.
+        }
+        assert_eq!(
+            Rc::strong_count(&counter),
+            1,
+            "wrapped-index drop leaked or double-freed"
+        );
     }
 
     #[test]
@@ -310,7 +380,7 @@ mod tests {
 
     #[test]
     fn epoch_barrier_synchronizes_many_generations() {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use crate::sync::{AtomicU64, Ordering};
         const THREADS: usize = 4;
         const EPOCHS: u64 = 2_000;
         let barrier = EpochBarrier::new(THREADS);

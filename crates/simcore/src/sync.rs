@@ -1,0 +1,131 @@
+//! Concurrency facade: std primitives in real builds, a schedule
+//! explorer under `--features interleave-check`.
+//!
+//! # Why a facade
+//!
+//! The thread-per-region engine ([`crate::spsc`], `streamflow`'s
+//! `parallel` module) is lock-free on its hot path: Lamport rings with
+//! acquire/release publication and relaxed clock reads. That code is
+//! exactly the kind whose bugs survive `cargo test` for months — a
+//! weakened ordering or a reordered publish only misbehaves on some
+//! interleavings, on some hardware. This module lets the same source
+//! compile in two personalities:
+//!
+//! * **Real builds** (default): every type here is a zero-cost re-export
+//!   or `#[repr(transparent)]` wrapper over `std` — no feature flags to
+//!   get wrong, no runtime cost, identical codegen.
+//! * **Model builds** (`--features interleave-check`): the types route
+//!   through the `interleave` crate, a loom-style explorer that runs the
+//!   test closure under thousands of distinct thread schedules (bounded-
+//!   preemption DFS plus seeded random schedules) and checks every
+//!   execution for data races, deadlocks, panics and livelock.
+//!
+//! # The memory-model approximation
+//!
+//! The explorer models C11 acquire/release semantics, not just
+//! sequential consistency — otherwise a `Relaxed` publish would look
+//! correct under every explored schedule. Each atomic location keeps its
+//! full modification order (a store buffer); a load may observe any
+//! store not yet superseded for the loading thread: `Acquire` loads
+//! synchronize with the matching `Release` store (joining its vector
+//! clock), `Relaxed` loads may return stale values and transfer no
+//! visibility, and read-modify-write ops always read the newest store
+//! (RMW atomicity). `SeqCst` is approximated as acquire/release plus
+//! always-reads-newest, which cannot catch IRIW-style violations that
+//! need a total store order — acceptable here because the engine's
+//! invariants are all pairwise publication, not multi-copy atomicity.
+//! Data races on [`UnsafeCell`] accesses are detected FastTrack-style
+//! with vector clocks and reported *before* the racing access executes.
+//!
+//! # Adding a checked primitive
+//!
+//! 1. Build it on this module's types only ([`AtomicU64`],
+//!    [`AtomicUsize`], [`UnsafeCell`], [`Mutex`], [`Condvar`]) — never
+//!    `std::sync::atomic` directly; the repo `checker` lint enforces
+//!    this outside an allowlist.
+//! 2. Wrap raw shared memory in [`UnsafeCell`] and access it through
+//!    `with`/`with_mut` so the model can see (and race-check) every
+//!    access.
+//! 3. In spin/retry loops call [`hint::spin_loop`], which yields the
+//!    model's execution token (a spinning model thread that never
+//!    yields would otherwise trip the step limit).
+//! 4. Write a feature-gated test that drives the primitive inside
+//!    `interleave::Checker::run` and assert `report.violation.is_none()`
+//!    — see `tests/interleave.rs` for the ring and barrier examples.
+//!
+//! Facade types constructed *outside* a model execution fall back to
+//! real std primitives even under the feature, so ordinary unit tests
+//! keep passing when the feature is enabled.
+
+#[cfg(feature = "interleave-check")]
+pub use interleave::sync::{
+    AtomicU32, AtomicU64, AtomicUsize, Condvar, LockResult, Mutex, MutexGuard, Ordering, UnsafeCell,
+};
+
+/// Virtual threads under the model, `std::thread` otherwise.
+#[cfg(feature = "interleave-check")]
+pub mod thread {
+    pub use interleave::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Spin-loop hint that yields the model scheduler under the feature.
+#[cfg(feature = "interleave-check")]
+pub mod hint {
+    pub use interleave::hint::spin_loop;
+}
+
+#[cfg(not(feature = "interleave-check"))]
+pub use real::*;
+
+#[cfg(not(feature = "interleave-check"))]
+mod real {
+    pub use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    pub use std::sync::{Condvar, LockResult, Mutex, MutexGuard};
+
+    /// Virtual threads under the model, `std::thread` otherwise.
+    pub mod thread {
+        pub use std::thread::{spawn, yield_now, JoinHandle};
+    }
+
+    /// Spin-loop hint that yields the model scheduler under the feature.
+    pub mod hint {
+        pub use std::hint::spin_loop;
+    }
+
+    /// Interior-mutability cell with the closure-based access API the
+    /// model build requires; transparent over [`std::cell::UnsafeCell`]
+    /// in real builds, so `with`/`with_mut` inline to a bare pointer.
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct UnsafeCell<T> {
+        data: std::cell::UnsafeCell<T>,
+    }
+
+    impl<T> UnsafeCell<T> {
+        /// Wrap `v`.
+        pub const fn new(v: T) -> Self {
+            Self {
+                data: std::cell::UnsafeCell::new(v),
+            }
+        }
+
+        /// Run `f` with a shared (read) pointer to the contents.
+        ///
+        /// The pointer is only valid for the duration of `f`; callers
+        /// must uphold the usual aliasing rules, exactly as with
+        /// [`std::cell::UnsafeCell::get`].
+        #[inline(always)]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.data.get())
+        }
+
+        /// Run `f` with an exclusive (write) pointer to the contents.
+        ///
+        /// Same contract as [`Self::with`]; under the model build this
+        /// access is race-checked against all concurrent accesses.
+        #[inline(always)]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.data.get())
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property test: the facade-backed SPSC ring is byte-identical to a
+//! `VecDeque` reference in sequential use.
+//!
+//! The PR that introduced the `sync` facade rewired every slot access
+//! and index publication in `spsc` through new types; this suite pins
+//! the *functional* semantics (push/pop/len/capacity/drop) to a trivial
+//! reference model over random operation sequences, so any facade
+//! regression that survives the concurrency checker still fails here.
+//! Runs in every build mode (the facade is std re-exports by default).
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use simcore::spsc::{ring, ring_with_start};
+
+/// Tracked element: `Rc` clone counting makes lost or double-dropped
+/// elements observable.
+#[derive(Debug)]
+struct Elem(#[allow(dead_code)] Rc<()>, u64);
+// SAFETY: test-only; the ring stays on this thread for the whole run.
+unsafe impl Send for Elem {}
+
+/// One scripted op: push (value tag), pop, producer len, consumer len.
+fn apply_ops(cap: usize, start: usize, ops: &[(u8, u64)]) -> Result<(), String> {
+    let token = Rc::new(());
+    {
+        let (mut tx, mut rx) = ring_with_start::<Elem>(cap, start);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let real_cap = tx.capacity();
+        prop_assert_eq!(real_cap, cap.max(2).next_power_of_two());
+        for &(op, tag) in ops {
+            match op % 4 {
+                0 => {
+                    let fits = model.len() < real_cap;
+                    let pushed = tx.push(Elem(Rc::clone(&token), tag)).is_ok();
+                    prop_assert_eq!(pushed, fits, "push accept/reject diverged from the model");
+                    if fits {
+                        model.push_back(tag);
+                    }
+                }
+                1 => {
+                    let got = rx.pop().map(|e| e.1);
+                    prop_assert_eq!(got, model.pop_front(), "pop order diverged");
+                }
+                2 => prop_assert_eq!(tx.len(), model.len(), "producer len diverged"),
+                _ => prop_assert_eq!(rx.len(), model.len(), "consumer len diverged"),
+            }
+        }
+        prop_assert_eq!(tx.is_empty(), model.is_empty());
+        prop_assert_eq!(rx.is_empty(), model.is_empty());
+        // Scope ends with `model.len()` elements still queued: Drop must
+        // free exactly those.
+    }
+    prop_assert_eq!(
+        Rc::strong_count(&token),
+        1,
+        "ring drop leaked or double-freed queued elements"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ring_matches_vecdeque_reference(
+        cap in 0usize..=9,
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..65),
+    ) {
+        apply_ops(cap, 0, &ops)?;
+    }
+
+    #[test]
+    fn ring_matches_reference_across_index_wraparound(
+        cap in 0usize..=9,
+        back in 0usize..=12,
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..65),
+    ) {
+        // Free-running indices starting just below usize::MAX wrap during
+        // the op sequence; semantics must be indistinguishable.
+        apply_ops(cap, usize::MAX - back, &ops)?;
+    }
+}
+
+#[test]
+fn sequential_fifo_smoke() {
+    let (mut tx, mut rx) = ring::<u64>(4);
+    for i in 0..4 {
+        tx.push(i).unwrap();
+    }
+    assert!(tx.push(9).is_err());
+    for i in 0..4 {
+        assert_eq!(rx.pop(), Some(i));
+    }
+    assert_eq!(rx.pop(), None);
+}
