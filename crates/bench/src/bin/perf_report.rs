@@ -15,6 +15,7 @@
 //!                     [--backend heap|calendar|both]
 //!                     [--dispatch single|batch|both]
 //!                     [--regions 1|2|K|both] [--reps N]
+//!                     [--sink null|mem|jsonl]
 //!                     [--require-digest-match] [--no-parallel]`
 //!
 //! The scenario matrix is not private to this binary: it is the `perf/`
@@ -58,6 +59,15 @@
 //! are recorded as-is: on a single-core host the parallel engine is
 //! expected to *lose* (barrier + ring traffic with no extra cores), and
 //! the report records that honestly rather than hiding the axis.
+//!
+//! `--sink null|mem|jsonl` selects the engine event-bus sink for every
+//! run (default `null` — bus disabled). Digests are required to be
+//! sink-independent, so `--sink mem --require-digest-match` against a
+//! `--sink null` baseline is the perf-scale digest-neutrality check, and
+//! the events/sec delta against a null-sink report is the measured bus
+//! overhead. `jsonl` streams each timed run's events to a temp file
+//! through the sink-worker thread (the file is deleted after the run; the
+//! point is to pay the real streaming cost, not to keep the stream).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -65,7 +75,7 @@ use std::time::Instant;
 use bench::scenario::{registry, ScenarioSpec};
 use simcore::time::secs;
 use simcore::SchedulerBackend;
-use streamflow::DispatchMode;
+use streamflow::{BusSinkKind, DispatchMode};
 
 /// One cell of the measurement grid.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -137,9 +147,29 @@ fn time_run(spec: &ScenarioSpec, cell: Cell) -> RunSample {
         .with_cell(cell.backend, cell.dispatch)
         .with_regions(cell.regions)
         .build_sim();
+    // A JSONL-sink run pays the real streaming cost: attach the
+    // sink-worker thread on a throwaway temp file for the timed window.
+    let jsonl_path = (spec.bus_sink == BusSinkKind::Jsonl).then(|| {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "perf_report_bus_{}_{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        sim.world
+            .bus
+            .attach_jsonl(&path)
+            .unwrap_or_else(|e| panic!("attaching bus sink {}: {e}", path.display()));
+        path
+    });
     let start = Instant::now();
     sim.run_until(spec.horizon);
     let wall = start.elapsed().as_secs_f64();
+    if let Some(path) = jsonl_path {
+        sim.world.bus.finish().expect("flush bus sink");
+        let _ = std::fs::remove_file(path);
+    }
     RunSample {
         events: sim.world.q.processed(),
         wall_secs: wall,
@@ -212,10 +242,15 @@ fn run_scenario(spec: &ScenarioSpec, cells: &[Cell], reps: usize) -> ScenarioRes
     }
 }
 
-fn scenario_matrix(quick: bool, cells: &[Cell], reps: usize) -> Vec<ScenarioResult> {
+fn scenario_matrix(
+    quick: bool,
+    cells: &[Cell],
+    reps: usize,
+    sink: BusSinkKind,
+) -> Vec<ScenarioResult> {
     registry::perf_scenarios(quick)
-        .iter()
-        .map(|spec| run_scenario(spec, cells, reps))
+        .into_iter()
+        .map(|spec| run_scenario(&spec.with_bus_sink(sink), cells, reps))
         .collect()
 }
 
@@ -299,7 +334,7 @@ struct ParallelResult {
 /// seq/par digest or event-count divergence — the thread-per-region
 /// executor is required to be an exact rewrite of the sequential PDES
 /// loop, proven per rep, not assumed.
-fn parallel_axis(quick: bool, reps: usize) -> Vec<ParallelResult> {
+fn parallel_axis(quick: bool, reps: usize, sink: BusSinkKind) -> Vec<ParallelResult> {
     let names = ["perf/cut_pipeline_100k", "perf/twin_pipelines_100k"];
     let mut out = Vec::new();
     for name in names {
@@ -307,10 +342,14 @@ fn parallel_axis(quick: bool, reps: usize) -> Vec<ParallelResult> {
             continue;
         };
         for k in [2usize, 4] {
+            // The parallel A/B never attaches a writer — under `jsonl`
+            // both engines stage to the in-memory log, which still
+            // exercises publish/drain symmetrically on both sides.
             let spec = base
                 .clone()
                 .with_regions(k)
-                .with_resume_latency(PARALLEL_RESUME_LATENCY);
+                .with_resume_latency(PARALLEL_RESUME_LATENCY)
+                .with_bus_sink(sink);
             // Warm both engines on a shortened horizon (page in code,
             // spawn threads once) before any timed rep.
             {
@@ -415,6 +454,17 @@ fn main() {
             }
         },
     };
+    let sink_arg = flag("--sink").and_then(|i| args.get(i + 1).cloned());
+    let bus_sink = match sink_arg.as_deref() {
+        None => BusSinkKind::Null,
+        Some(s) => match BusSinkKind::parse(s) {
+            Some(k) => k,
+            None => {
+                eprintln!("perf_report: unknown --sink {s} (want null|mem|jsonl)");
+                std::process::exit(2);
+            }
+        },
+    };
     let regions_arg = flag("--regions").and_then(|i| args.get(i + 1).cloned());
     let region_counts: Vec<usize> = match regions_arg.as_deref() {
         None | Some("both") => vec![1, 2],
@@ -488,14 +538,15 @@ fn main() {
         .and_then(|r| find(cells[headline].backend, cells[headline].dispatch, r));
 
     eprintln!(
-        "perf_report: running scenario matrix (quick={quick}, reps={reps}, cells={})...",
+        "perf_report: running scenario matrix (quick={quick}, reps={reps}, sink={}, cells={})...",
+        bus_sink.name(),
         cells
             .iter()
             .map(|c| c.label())
             .collect::<Vec<_>>()
             .join(",")
     );
-    let results = scenario_matrix(quick, &cells, reps);
+    let results = scenario_matrix(quick, &cells, reps, bus_sink);
 
     let parallel = if no_parallel {
         Vec::new()
@@ -504,7 +555,7 @@ fn main() {
             "perf_report: running parallel A/B axis (resume_latency={PARALLEL_RESUME_LATENCY}us, \
              regions 2 and 4, seq vs threaded)..."
         );
-        parallel_axis(quick, reps)
+        parallel_axis(quick, reps, bus_sink)
     };
     let host_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -546,6 +597,7 @@ fn main() {
         cells[headline].dispatch.name()
     );
     let _ = writeln!(json, "  \"regions\": {},", cells[headline].regions);
+    let _ = writeln!(json, "  \"bus_sink\": \"{}\",", bus_sink.name());
     let _ = writeln!(json, "  \"aggregate_events_per_sec\": {aggregate:.0},");
     if let Some(h) = heap_ref.filter(|&h| h != headline) {
         let agg_heap = aggregate_for(h);

@@ -25,9 +25,17 @@
 //! sweep worker pool (first-class form of the `SWEEP_THREADS` env var,
 //! which stays as the fallback); each worker still runs one sequential sim.
 //! `--sync-stats` appends a second, equally deterministic line per run with
-//! the per-region event counts and the region-scheduler (sequential) or
-//! epoch (parallel) synchronization counters. `QUICK=1` compresses the
-//! grids as everywhere else.
+//! the per-region event counts, the region-scheduler (sequential) or
+//! epoch (parallel) synchronization counters, and the bus lag/drop
+//! accounting — every number on it is reproducible, so two `--sync-stats`
+//! runs diff clean. `--events FILE` turns on the event bus and writes the
+//! published stream as JSONL: sequential runs stream through the attached
+//! sink-worker thread; `--threads N` runs buffer per region and write the
+//! `(at, region)`-merged stream after the join. Each engine's stream is
+//! byte-deterministic across reruns (the two engines publish different —
+//! but each individually reproducible — telemetry: the parallel executor
+//! samples per-epoch sync counters and region-0 metrics ticks only).
+//! `QUICK=1` compresses the grids as everywhere else.
 
 use bench::quick;
 use bench::scenario::registry;
@@ -35,7 +43,7 @@ use bench::scenario::Runner;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenario --list | --run NAME [--emit FILE] | --group PREFIX\n\
+        "usage: scenario --list | --run NAME [--emit FILE] [--events FILE] | --group PREFIX\n\
          \x20       [--regions K] [--threads N] [--resume-latency MICROS] [--sync-stats]\n\
          (QUICK=1 in the environment compresses timelines)"
     );
@@ -77,6 +85,10 @@ fn main() {
         if let Some(rl) = resume_latency {
             spec = spec.with_resume_latency(rl);
         }
+        let events_path = value("--events");
+        if let Some(p) = &events_path {
+            spec = spec.with_events_path(p.clone());
+        }
         if threads.map(|t| t > 1).unwrap_or(false) {
             // Thread-per-region parallel execution. There is no merged
             // World to harvest a full RunReport from, so --emit has
@@ -90,6 +102,25 @@ fn main() {
                 std::process::exit(2);
             }
             let (report, _wall) = spec.run_threaded();
+            if let Some(path) = &events_path {
+                // Each replica buffered its own region's events; write the
+                // (at, region)-merged stream serially — byte-identical to
+                // what a sequential run streams through the sink worker.
+                let file =
+                    std::fs::File::create(path).unwrap_or_else(|e| panic!("creating {path}: {e}"));
+                let mut out = std::io::BufWriter::new(file);
+                for ev in &report.bus_events {
+                    ev.write_jsonl(&mut out)
+                        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                }
+                use std::io::Write as _;
+                out.flush()
+                    .unwrap_or_else(|e| panic!("flushing {path}: {e}"));
+                eprintln!(
+                    "scenario: wrote {path} ({} events)",
+                    report.bus_events.len()
+                );
+            }
             println!(
                 "{} digest 0x{:016x} events {} sink_records {}",
                 spec.name,
@@ -100,14 +131,18 @@ fn main() {
             if sync_stats {
                 println!(
                     "{} threads {} region_events {:?} epochs {} busy_epochs {} \
-                     msgs_sent {} msgs_overflowed {}",
+                     msgs_sent {} msgs_overflowed {} bus_published {} bus_dropped {} \
+                     bus_lag_max {}",
                     spec.name,
                     report.threads,
                     report.per_region_events,
                     report.stats.epochs,
                     report.stats.busy_epochs,
                     report.stats.msgs_sent,
-                    report.stats.msgs_overflowed
+                    report.stats.msgs_overflowed,
+                    report.bus.published,
+                    report.bus.dropped,
+                    report.bus.lag_max
                 );
             }
             return;
@@ -125,19 +160,30 @@ fn main() {
         if sync_stats {
             println!(
                 "{} region_events {:?} sync_runs {} merged_runs {} \
-                 min_rule_grants {} null_msgs {}",
+                 min_rule_grants {} null_msgs {} bus_published {} \
+                 bus_dropped {} bus_lag_max {}",
                 report.scenario,
                 report.region_events,
                 report.sync_runs,
                 report.merged_runs,
                 report.min_rule_grants,
-                report.null_msgs
+                report.null_msgs,
+                report.bus_published,
+                report.bus_dropped,
+                report.bus_lag_max
             );
         }
         return;
     }
 
     if let Some(prefix) = value("--group") {
+        if value("--events").is_some() {
+            eprintln!(
+                "scenario: --events needs a single run (the group's streams \
+                 would clobber one file); use --run NAME --events FILE"
+            );
+            std::process::exit(2);
+        }
         let specs: Vec<_> = registry::all(quick())
             .into_iter()
             .filter(|s| s.name.starts_with(&prefix))
@@ -165,13 +211,17 @@ fn main() {
             if sync_stats {
                 println!(
                     "{} region_events {:?} sync_runs {} merged_runs {} \
-                     min_rule_grants {} null_msgs {}",
+                     min_rule_grants {} null_msgs {} bus_published {} \
+                     bus_dropped {} bus_lag_max {}",
                     r.scenario,
                     r.region_events,
                     r.sync_runs,
                     r.merged_runs,
                     r.min_rule_grants,
-                    r.null_msgs
+                    r.null_msgs,
+                    r.bus_published,
+                    r.bus_dropped,
+                    r.bus_lag_max
                 );
             }
         }

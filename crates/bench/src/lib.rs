@@ -185,6 +185,8 @@ mod tests {
             dispatch: streamflow::DispatchMode::default(),
             regions: 1,
             resume_latency: 0,
+            bus_sink: Default::default(),
+            events_path: None,
         };
         let r = spec.run();
         assert!(r.migration_done.is_some());

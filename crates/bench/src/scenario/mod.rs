@@ -54,7 +54,7 @@ use simcore::time::SimTime;
 use simcore::SchedulerBackend;
 use streamflow::world::tests_support::{tiny_job, twin_jobs};
 use streamflow::world::Sim;
-use streamflow::{DispatchMode, EngineConfig, NoScale, OpId, ScalePlugin, World};
+use streamflow::{BusSinkKind, DispatchMode, EngineConfig, NoScale, OpId, ScalePlugin, World};
 use workloads::custom::{cluster_engine_config, custom, CustomParams};
 use workloads::nexmark::{nexmark_engine_config, q7, q8, Q7Params, Q8Params};
 use workloads::twitch::{twitch, twitch_engine_config, TwitchParams};
@@ -210,6 +210,14 @@ pub struct ScenarioSpec {
     /// the same `resume_latency`* rather than equality with the 0-latency
     /// run.
     pub resume_latency: SimTime,
+    /// Which sink the engine's event/metrics bus feeds
+    /// (`streamflow::bus`). `Null` (the default) disables the bus;
+    /// every sink is digest-neutral by the engine's contract.
+    pub bus_sink: BusSinkKind,
+    /// Stream bus events to this JSONL file (`--events`). Implies the
+    /// `Jsonl` sink for sequential runs; threaded runs buffer per region
+    /// and write the merged stream after the join.
+    pub events_path: Option<String>,
 }
 
 impl ScenarioSpec {
@@ -266,6 +274,20 @@ impl ScenarioSpec {
         self
     }
 
+    /// Derive a spec with a different event-bus sink.
+    pub fn with_bus_sink(mut self, sink: BusSinkKind) -> Self {
+        self.bus_sink = sink;
+        self
+    }
+
+    /// Derive a spec streaming bus events to a JSONL file (selects the
+    /// `Jsonl` sink).
+    pub fn with_events_path(mut self, path: impl Into<String>) -> Self {
+        self.events_path = Some(path.into());
+        self.bus_sink = BusSinkKind::Jsonl;
+        self
+    }
+
     /// The engine configuration this spec resolves to.
     pub fn engine_config(&self) -> EngineConfig {
         let mut cfg = match self.engine {
@@ -288,6 +310,7 @@ impl ScenarioSpec {
         cfg.scheduler = self.backend;
         cfg.regions = self.regions;
         cfg.resume_latency = self.resume_latency;
+        cfg.bus_sink = self.bus_sink;
         cfg
     }
 
@@ -336,9 +359,18 @@ impl ScenarioSpec {
     /// the perf harness.
     pub fn run(&self) -> RunReport {
         let (mut sim, op) = self.build_sim();
+        if let Some(path) = &self.events_path {
+            sim.world
+                .bus
+                .attach_jsonl(std::path::Path::new(path))
+                .expect("open bus events file");
+        }
         let start = Instant::now();
         sim.run_until(self.horizon);
         let wall_secs = start.elapsed().as_secs_f64();
+        // Final drain + writer join, so lag/drop counters (and the file)
+        // are complete before harvesting.
+        sim.world.bus.finish().expect("flush bus events file");
         RunReport::harvest(self, &sim, op, wall_secs)
     }
 

@@ -43,6 +43,8 @@ fn spec(
         dispatch: DispatchMode::default(),
         regions: 1,
         resume_latency: 0,
+        bus_sink: Default::default(),
+        events_path: None,
     }
 }
 

@@ -71,6 +71,15 @@ pub struct RunReport {
     pub min_rule_grants: u64,
     /// Null messages a message-passing CMB runtime would have needed.
     pub null_msgs: u64,
+    /// Bus events accepted for publication (0 under the `Null` sink).
+    pub bus_published: u64,
+    /// Bus events evicted by `DropOldest` channels (deterministic).
+    pub bus_dropped: u64,
+    /// Deepest any bus channel ever got (high-water lag, in events).
+    pub bus_lag_max: u64,
+    /// Per-class drop counts, one entry per [`streamflow::BusClass`] in
+    /// declaration order.
+    pub bus_class_drops: Vec<u64>,
     /// End-to-end latency samples `(sink arrival µs, latency µs)`.
     pub latency: Vec<(SimTime, f64)>,
     /// Cumulative suspension samples `(time µs, cumulative µs)`.
@@ -111,6 +120,7 @@ impl RunReport {
             .map(|r| w.q.region_processed(r))
             .collect();
         let sync = w.q.region_sync_stats();
+        let bus = w.bus.summary();
         Self {
             scenario: spec.name.clone(),
             mechanism: spec.mechanism.label().to_string(),
@@ -142,6 +152,10 @@ impl RunReport {
             merged_runs: sync.merged_runs,
             min_rule_grants: sync.min_rule_grants,
             null_msgs: sync.null_msgs,
+            bus_published: bus.published,
+            bus_dropped: bus.dropped,
+            bus_lag_max: bus.lag_max,
+            bus_class_drops: bus.class_drops.to_vec(),
             latency: w.metrics.latency.points().to_vec(),
             suspension_series: w.metrics.suspension.points().to_vec(),
             throughput: w.metrics.throughput(),
@@ -245,6 +259,14 @@ impl RunReport {
         let _ = writeln!(s, "{i}  \"merged_runs\": {},", self.merged_runs);
         let _ = writeln!(s, "{i}  \"min_rule_grants\": {},", self.min_rule_grants);
         let _ = writeln!(s, "{i}  \"null_msgs\": {},", self.null_msgs);
+        let _ = writeln!(s, "{i}  \"bus_published\": {},", self.bus_published);
+        let _ = writeln!(s, "{i}  \"bus_dropped\": {},", self.bus_dropped);
+        let _ = writeln!(s, "{i}  \"bus_lag_max\": {},", self.bus_lag_max);
+        let _ = writeln!(
+            s,
+            "{i}  \"bus_class_drops\": {},",
+            ints(&self.bus_class_drops)
+        );
         let _ = writeln!(s, "{i}  \"latency\": {},", pairs(&self.latency));
         let _ = writeln!(
             s,
@@ -318,6 +340,11 @@ impl RunReport {
             merged_runs: num_u64("merged_runs")?,
             min_rule_grants: num_u64("min_rule_grants")?,
             null_msgs: num_u64("null_msgs")?,
+            bus_published: num_u64("bus_published")?,
+            bus_dropped: num_u64("bus_dropped")?,
+            bus_lag_max: num_u64("bus_lag_max")?,
+            bus_class_drops: parse_ints(get("bus_class_drops")?)
+                .map_err(|e| format!("bus_class_drops: {e}"))?,
             latency: parse_pairs(get("latency")?).map_err(|e| format!("latency: {e}"))?,
             suspension_series: parse_pairs(get("suspension_series")?)
                 .map_err(|e| format!("suspension_series: {e}"))?,
@@ -429,6 +456,10 @@ mod tests {
             merged_runs: 17,
             min_rule_grants: 3,
             null_msgs: 9,
+            bus_published: 1_234,
+            bus_dropped: 56,
+            bus_lag_max: 64,
+            bus_class_drops: vec![56, 0, 0, 0, 0],
             latency: vec![(100, 2.0), (200, 3.0625)],
             suspension_series: vec![(500_000, 1234.0)],
             throughput: vec![(0, 4999.0), (1, 5001.0)],

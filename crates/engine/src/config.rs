@@ -1,6 +1,7 @@
 //! Engine-level configuration: the knobs that correspond to the paper's
 //! deployment settings (network, buffers, key-groups, deploy delay).
 
+use crate::bus::BusSinkKind;
 use simcore::time::{ms, SimTime};
 use simcore::SchedulerBackend;
 
@@ -82,6 +83,13 @@ pub struct EngineConfig {
     pub resume_latency: SimTime,
     /// RNG seed for the run.
     pub seed: u64,
+    /// Which sink the event/metrics bus feeds (see [`crate::bus`]).
+    /// `Null` (the default) disables the bus entirely: publishing is a
+    /// single branch and steady state allocates and hashes nothing, so
+    /// every digest is byte-identical to a bus-less build. Behavior-
+    /// neutral by contract for *any* sink: the bus observes, never
+    /// steers.
+    pub bus_sink: BusSinkKind,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +121,7 @@ impl Default for EngineConfig {
             regions: 1,
             resume_latency: 0,
             seed: 0xD225,
+            bus_sink: BusSinkKind::Null,
         }
     }
 }
@@ -149,6 +158,12 @@ mod tests {
         assert_eq!(
             c.resume_latency, 0,
             "PDES mode is opt-in; 0 preserves the merged-exact timeline"
+        );
+        assert_eq!(
+            c.bus_sink,
+            BusSinkKind::Null,
+            "the bus must be off by default: the Null sink is the \
+             zero-cost steady-state contract"
         );
     }
 

@@ -64,6 +64,106 @@ pub enum ControlMsg {
     CheckpointTick,
 }
 
+/// A slot-allocating side-channel for the rare, large control-plane
+/// payloads: `PriorityMsg` (with its boxed state chunks and re-routed
+/// record vectors) and `ControlMsg` (with its embedded `ScalePlan`).
+///
+/// The queue-borne [`Ev::Priority`] / [`Ev::Control`] events carry only a
+/// `u32` slot handle into this store; the payload parks here until the
+/// dispatcher consumes the event and `take`s it back out. Compared to the
+/// old `Box<PriorityMsg>` / `Box<ControlMsg>` fields this deletes the
+/// per-control-event heap allocation in steady state: slots are recycled
+/// through a free list, so after warm-up every `put` is a write into an
+/// already-allocated `Vec` cell (`events::tests` and the engine-level
+/// recycling test pin the slab high-water mark). It also keeps `Ev: Copy`
+/// -sized and shrinks the hot dispatch match — the control arms no longer
+/// touch a pointer the branch predictor has to chase.
+///
+/// Slots are strictly one-shot: `put` hands out a slot, `take` consumes
+/// it and recycles the index. Taking an empty slot is a logic error and
+/// panics.
+#[derive(Debug, Default)]
+pub struct ControlStore {
+    priority: Vec<Option<PriorityMsg>>,
+    priority_free: Vec<u32>,
+    control: Vec<Option<ControlMsg>>,
+    control_free: Vec<u32>,
+}
+
+impl ControlStore {
+    /// An empty store (no slabs allocated until the first control event).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park a priority message; returns the slot for [`Ev::Priority`].
+    /// Steady state pops a recycled index off the free list — the grow
+    /// path only runs while the live-slot high-water mark is still rising.
+    // checker:hot-path
+    pub fn put_priority(&mut self, msg: PriorityMsg) -> u32 {
+        match self.priority_free.pop() {
+            Some(slot) => {
+                self.priority[slot as usize] = Some(msg);
+                slot
+            }
+            None => {
+                let slot = self.priority.len() as u32;
+                self.priority.push(Some(msg));
+                slot
+            }
+        }
+    }
+
+    /// Consume a priority slot (dispatch time) and recycle its index.
+    // checker:hot-path
+    pub fn take_priority(&mut self, slot: u32) -> PriorityMsg {
+        let msg = self.priority[slot as usize]
+            .take()
+            .expect("priority slot taken twice or never filled");
+        self.priority_free.push(slot);
+        msg
+    }
+
+    /// Park a control command; returns the slot for [`Ev::Control`].
+    // checker:hot-path
+    pub fn put_control(&mut self, cmd: ControlMsg) -> u32 {
+        match self.control_free.pop() {
+            Some(slot) => {
+                self.control[slot as usize] = Some(cmd);
+                slot
+            }
+            None => {
+                let slot = self.control.len() as u32;
+                self.control.push(Some(cmd));
+                slot
+            }
+        }
+    }
+
+    /// Consume a control slot (dispatch time) and recycle its index.
+    // checker:hot-path
+    pub fn take_control(&mut self, slot: u32) -> ControlMsg {
+        let cmd = self.control[slot as usize]
+            .take()
+            .expect("control slot taken twice or never filled");
+        self.control_free.push(slot);
+        cmd
+    }
+
+    /// Slab high-water mark (total slots ever grown), priority + control.
+    /// A run with thousands of control events but a small high-water mark
+    /// is the recycling proof.
+    pub fn high_water(&self) -> usize {
+        self.priority.len() + self.control.len()
+    }
+
+    /// Currently occupied slots (parked, not yet dispatched).
+    pub fn live(&self) -> usize {
+        self.priority.len() - self.priority_free.len() + self.control.len()
+            - self.control_free.len()
+    }
+}
+
 /// Every event the simulator can dispatch.
 ///
 /// # Size discipline
@@ -72,11 +172,10 @@ pub enum ControlMsg {
 /// buffer copies, millions of times per run — its size is a hot-path
 /// constant. The dominant traffic (`Deliver`, `ProcDone`, `SourceTick`,
 /// `Wake`) carries at most 16 bytes inline; the rare, large control-plane
-/// payloads (`PriorityMsg` with its boxed state chunks and re-routed
-/// record vectors, `ControlMsg` with its embedded `ScalePlan`) are boxed
-/// so they can't inflate the enum. `events::ev_fits_in_16_bytes` pins
-/// `size_of::<Ev>() <= 16`; use [`Ev::priority`] / [`Ev::control`] to
-/// construct the boxed variants.
+/// payloads park in the world's [`ControlStore`] side-channel and the
+/// events carry only `u32` slot handles, so they can't inflate the enum
+/// (and cost no per-event allocation). `events::ev_fits_in_16_bytes` pins
+/// `size_of::<Ev>() <= 16`.
 #[derive(Debug)]
 pub enum Ev {
     /// Rate-controlled generation tick for a source instance.
@@ -100,14 +199,15 @@ pub enum Ev {
         /// let uncredited barriers steal credits from in-flight data.
         credited: bool,
     },
-    /// An out-of-band message arriving at an instance. Boxed: priority
-    /// messages are control-plane-rare and their payloads (state chunks,
-    /// re-routed record vectors) are far larger than the hot variants.
+    /// An out-of-band message arriving at an instance. The payload parks
+    /// in the world's [`ControlStore`] (priority messages are
+    /// control-plane-rare and far larger than the hot variants); the
+    /// event carries only the slot handle.
     Priority {
         /// Destination instance.
         to: InstId,
-        /// The message.
-        msg: Box<PriorityMsg>,
+        /// Payload slot in the [`ControlStore`].
+        slot: u32,
     },
     /// An instance finished its current processing quantum.
     ProcDone {
@@ -121,9 +221,13 @@ pub enum Ev {
         /// Sending instance.
         from: InstId,
     },
-    /// Control-plane command. Boxed: `StartScale` embeds a whole
-    /// `ScalePlan`, and control events are a vanishing fraction of traffic.
-    Control(Box<ControlMsg>),
+    /// Control-plane command. `StartScale` embeds a whole `ScalePlan`, and
+    /// control events are a vanishing fraction of traffic, so the command
+    /// parks in the [`ControlStore`] and the event carries its slot.
+    Control {
+        /// Payload slot in the [`ControlStore`].
+        slot: u32,
+    },
     /// Credits returning to a cut channel's sender region (PDES mode,
     /// `resume_latency > 0`): the receiver popped `n` elements off the cut
     /// channel and, instead of pumping the sender's backlog synchronously,
@@ -145,23 +249,6 @@ pub enum Ev {
     },
 }
 
-impl Ev {
-    /// A priority-message event (boxes the message).
-    #[inline]
-    pub fn priority(to: InstId, msg: PriorityMsg) -> Self {
-        Ev::Priority {
-            to,
-            msg: Box::new(msg),
-        }
-    }
-
-    /// A control-plane event (boxes the command).
-    #[inline]
-    pub fn control(cmd: ControlMsg) -> Self {
-        Ev::Control(Box::new(cmd))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,14 +256,50 @@ mod tests {
     #[test]
     fn ev_fits_in_16_bytes() {
         // The scheduler moves `Ev` through every bucket append, heap sift
-        // and batch-drain copy; the rare large control payloads are boxed
-        // precisely so the enum stays at the size of its hot `Deliver`
-        // variant. A regression here is a silent tax on the whole
-        // simulator — treat it like a perf bug, not a style nit.
+        // and batch-drain copy; the rare large control payloads park in
+        // the `ControlStore` side-channel precisely so the enum stays at
+        // the size of its hot `Deliver` variant. A regression here is a
+        // silent tax on the whole simulator — treat it like a perf bug,
+        // not a style nit.
         assert!(
             std::mem::size_of::<Ev>() <= 16,
-            "Ev grew to {} bytes — box the offending variant",
+            "Ev grew to {} bytes — park the offending payload in the ControlStore",
             std::mem::size_of::<Ev>()
         );
+    }
+
+    #[test]
+    fn control_store_recycles_slots() {
+        let mut s = ControlStore::new();
+        // Interleaved put/take traffic must plateau at the high-water
+        // mark of *live* slots, not grow with total event count.
+        for round in 0..1000u64 {
+            let a = s.put_control(ControlMsg::Plugin(round));
+            let b = s.put_control(ControlMsg::CheckpointTick);
+            match s.take_control(a) {
+                ControlMsg::Plugin(v) => assert_eq!(v, round),
+                other => panic!("slot mix-up: {other:?}"),
+            }
+            assert!(matches!(s.take_control(b), ControlMsg::CheckpointTick));
+        }
+        assert_eq!(s.live(), 0);
+        assert!(
+            s.high_water() <= 2,
+            "free list not recycling: {} slots grown for 2 live max",
+            s.high_water()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn control_store_slots_are_one_shot() {
+        let mut s = ControlStore::new();
+        let slot = s.put_priority(PriorityMsg::Fetch {
+            kg: KeyGroup(0),
+            sub: 0,
+            requester: InstId(0),
+        });
+        let _ = s.take_priority(slot);
+        let _ = s.take_priority(slot);
     }
 }

@@ -17,8 +17,10 @@
 //!   accounting and the scaling-plugin API every mechanism implements
 //!   ([`scaling`]),
 //! * latency / throughput / suspension measurement and the paper's
-//!   scaling-period detector ([`metrics`]), and
-//! * an execution-order semantics checker ([`semantics`]).
+//!   scaling-period detector ([`metrics`]),
+//! * an execution-order semantics checker ([`semantics`]), and
+//! * an in-flight event/metrics bus with bounded per-class channels and
+//!   pluggable sinks ([`bus`]).
 //!
 //! # Quick start
 //!
@@ -43,6 +45,7 @@
 //! assert!(sim.world.metrics.sink_records > 0);
 //! ```
 
+pub mod bus;
 pub mod channel;
 pub mod config;
 pub mod events;
@@ -61,6 +64,7 @@ pub mod state;
 pub mod window;
 pub mod world;
 
+pub use bus::{Bus, BusClass, BusEvent, BusEventKind, BusSinkKind, BusSummary};
 pub use config::EngineConfig;
 pub use graph::{EdgeKind, JobBuilder};
 pub use ids::{InstId, Key, KeyGroup, OpId, SubscaleId};

@@ -58,6 +58,7 @@ use std::sync::Mutex;
 use simcore::spsc::{ring, Consumer, EpochBarrier, Producer};
 use simcore::time::SimTime;
 
+use crate::bus::{merge_region_logs, BusEvent, BusEventKind, BusSummary};
 use crate::world::{CrossMode, CrossMsg, Observables, Sim};
 
 /// Capacity of each inter-region SPSC ring, in messages. A full ring is
@@ -65,6 +66,13 @@ use crate::world::{CrossMode, CrossMsg, Observables, Sim};
 /// same point in the next epoch (message order across the two paths is
 /// irrelevant — every cross event carries its own explicit key).
 const RING_CAP: usize = 4096;
+
+/// Publish one cumulative `SyncEpoch` bus event every this many epochs
+/// (plus the totals after the loop). Epoch counts are lock-stepped and
+/// deterministic, so the resulting bus stream is too — but at fine
+/// `resume_latency` an epoch is far more frequent than a metrics sample,
+/// so the bus samples the accounting rather than flooding the channel.
+const SYNC_EPOCH_EVERY: u64 = 64;
 
 /// Per-worker epoch accounting, summed across workers in the report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -102,6 +110,14 @@ pub struct ParallelReport {
     pub stats: EpochStats,
     /// OS threads actually used (1 on the sequential fallback).
     pub threads: usize,
+    /// Bus events from all replicas, deterministically merged: per-region
+    /// buffers folded in region order by stable `(at, region)` sort —
+    /// exactly the [`Observables::merge`] key (see
+    /// [`merge_region_logs`]). Empty with the default `Null` sink.
+    pub bus_events: Vec<BusEvent>,
+    /// Bus lag/drop accounting summed across replicas (deterministic —
+    /// every counter is a function of the simulated timeline).
+    pub bus: BusSummary,
 }
 
 impl ParallelReport {
@@ -161,6 +177,8 @@ struct WorkerOut {
     obs: Observables,
     events: u64,
     stats: EpochStats,
+    bus_events: Vec<BusEvent>,
+    bus: BusSummary,
 }
 
 /// One region's epoch loop (runs on its own thread; worker 0 runs on the
@@ -236,6 +254,24 @@ fn drive(
                 }
             }
             sim.world.put_outbox_scratch(out);
+            if sim.world.bus.enabled() {
+                // Cumulative sync accounting, sampled every
+                // `SYNC_EPOCH_EVERY` epochs. `merged` is the ring+overflow
+                // *sum*: the repo only guarantees the sum is deterministic,
+                // never the split. Draining each epoch keeps the replica's
+                // channels (which have no sample-cadence drain of their
+                // own outside region 0) from shedding events needlessly.
+                if stats.epochs % SYNC_EPOCH_EVERY == 1 {
+                    let ev = BusEventKind::SyncEpoch {
+                        epochs: stats.epochs,
+                        dispatched: sim.world.q.processed(),
+                        merged: stats.msgs_sent + stats.msgs_overflowed,
+                        grants: stats.busy_epochs,
+                    };
+                    sim.world.bus.publish(m, r as u8, ev);
+                }
+                sim.world.bus.drain();
+            }
         }
         barrier_b.wait();
         if m > horizon {
@@ -247,10 +283,24 @@ fn drive(
         }
     }
     sim.world.q.advance_clock_to(horizon);
+    if sim.world.bus.enabled() {
+        // Final cumulative totals, then flush everything to the replica's
+        // in-memory buffer for the region-order fold.
+        let ev = BusEventKind::SyncEpoch {
+            epochs: stats.epochs,
+            dispatched: sim.world.q.processed(),
+            merged: stats.msgs_sent + stats.msgs_overflowed,
+            grants: stats.busy_epochs,
+        };
+        sim.world.bus.publish(horizon, r as u8, ev);
+        sim.world.bus.drain();
+    }
     WorkerOut {
         events: sim.world.q.processed(),
         obs: sim.world.observables(),
         stats,
+        bus: sim.world.bus.summary(),
+        bus_events: sim.world.bus.take_log(),
     }
 }
 
@@ -274,11 +324,14 @@ where
         let per_region_events = (0..k.max(1))
             .map(|r| probe.world.q.region_processed(r))
             .collect();
+        probe.world.bus.drain();
         return ParallelReport {
             obs: probe.world.observables(),
             per_region_events,
             stats: EpochStats::default(),
             threads: 1,
+            bus: probe.world.bus.summary(),
+            bus_events: probe.world.bus.take_log(),
         };
     }
 
@@ -354,15 +407,24 @@ where
         .collect();
     let per_region_events: Vec<u64> = outs.iter().map(|o| o.events).collect();
     let mut stats = EpochStats::default();
+    let mut bus = BusSummary::default();
     for o in &outs {
         stats.absorb(&o.stats);
+        bus.absorb(&o.bus);
     }
-    let replicas: Vec<Observables> = outs.into_iter().map(|o| o.obs).collect();
+    let mut logs: Vec<Vec<BusEvent>> = Vec::with_capacity(k);
+    let mut replicas: Vec<Observables> = Vec::with_capacity(k);
+    for o in outs {
+        logs.push(o.bus_events);
+        replicas.push(o.obs);
+    }
     ParallelReport {
         obs: Observables::merge(&replicas),
         per_region_events,
         stats,
         threads: k,
+        bus_events: merge_region_logs(logs),
+        bus,
     }
 }
 
@@ -439,6 +501,34 @@ mod tests {
         // plus the final all-idle round.
         assert_eq!(par.stats.epochs, 2);
         assert_eq!(par.stats.msgs_sent + par.stats.msgs_overflowed, 0);
+    }
+
+    #[test]
+    fn bus_is_digest_neutral_and_deterministic_in_parallel() {
+        use crate::bus::BusSinkKind;
+        let factory_with = |sink: BusSinkKind| {
+            move || {
+                let mut c = cfg(2, 100);
+                c.bus_sink = sink;
+                let (w, _) = tiny_job(c, 20_000.0, 256, 4);
+                Sim::new(w, Box::new(NoScale))
+            }
+        };
+        let off = run_parallel(factory_with(BusSinkKind::Null), secs(1));
+        let on1 = run_parallel(factory_with(BusSinkKind::Mem), secs(1));
+        let on2 = run_parallel(factory_with(BusSinkKind::Mem), secs(1));
+        // Observing must not steer: digests identical bus-on vs bus-off.
+        assert_eq!(on1.digest(), off.digest());
+        assert_eq!(off.bus.published, 0);
+        assert!(off.bus_events.is_empty());
+        // The merged emission and every counter are run-to-run stable.
+        assert!(on1.bus.published > 0, "replicas published nothing");
+        assert_eq!(on1.bus, on2.bus);
+        assert_eq!(on1.bus_events, on2.bus_events);
+        // The fold is ordered by the Observables::merge key.
+        for w in on1.bus_events.windows(2) {
+            assert!((w[0].at, w[0].region) <= (w[1].at, w[1].region));
+        }
     }
 
     #[test]

@@ -34,9 +34,10 @@ use simcore::time::{transfer_time, SimTime};
 const MICROS_PER_SEC_DEFER: SimTime = 1_000_000;
 use simcore::{DetRng, EventQueue};
 
+use crate::bus::{Bus, BusEventKind};
 use crate::channel::Channel;
 use crate::config::EngineConfig;
-use crate::events::{ControlMsg, Ev, PriorityMsg};
+use crate::events::{ControlMsg, ControlStore, Ev, PriorityMsg};
 use crate::graph::{EdgeKind, EdgeRt, OperatorRt};
 use crate::ids::{key_group_of, ChannelId, EdgeId, InstId, KeyGroup, OpId, SubscaleId};
 use crate::instance::{CkptAlign, Instance, SourceState};
@@ -170,6 +171,15 @@ pub struct World {
     rngs: Vec<DetRng>,
     /// Staged outgoing cross messages (only in [`CrossMode::Outbox`]).
     outbox: Vec<CrossMsg>,
+    /// Low-rate control side-channel: the rare, large
+    /// `PriorityMsg`/`ControlMsg` payloads park here (slots recycled
+    /// through a free list) while the queue-borne `Ev::Priority` /
+    /// `Ev::Control` events carry only `u32` handles — no per-control-
+    /// event allocation, and `Ev` stays at hot-variant size.
+    pub ctrl: ControlStore,
+    /// The event/metrics bus (see [`crate::bus`]). Default `Null` sink =
+    /// disabled: publishing is a single branch and nothing is allocated.
+    pub bus: Bus,
 }
 
 /// The predecessor list of `op`: all upstream instances feeding its keyed
@@ -357,8 +367,10 @@ impl World {
             }
         }
         q.schedule(cfg.sample_interval, Ev::Sample);
+        let mut ctrl = ControlStore::new();
         if let Some(iv) = cfg.checkpoint_interval {
-            q.schedule(iv, Ev::control(ControlMsg::CheckpointTick));
+            let slot = ctrl.put_control(ControlMsg::CheckpointTick);
+            q.schedule(iv, Ev::Control { slot });
         }
 
         let n = insts.len();
@@ -371,6 +383,7 @@ impl World {
         // Pre-size the arena to the steady-state bound: live elements are
         // capped by per-channel credits plus modest backlogs.
         let arena = RecordArena::with_capacity(chans.len() * (cfg.channel_capacity + 4) + 64);
+        let bus = Bus::new(cfg.bus_sink);
         World {
             cfg,
             q,
@@ -394,6 +407,8 @@ impl World {
             cross_seq: vec![0; k * k],
             rngs,
             outbox: Vec::new(),
+            ctrl,
+            bus,
         }
     }
 
@@ -488,9 +503,31 @@ impl World {
         &self.ops[op.0 as usize].keyed_in_edges
     }
 
+    /// Wrap a priority message into its queue-borne event: the payload
+    /// parks in the control side-channel, the event carries the slot.
+    // checker:hot-path
+    #[inline]
+    fn ev_priority(&mut self, to: InstId, msg: PriorityMsg) -> Ev {
+        Ev::Priority {
+            to,
+            slot: self.ctrl.put_priority(msg),
+        }
+    }
+
+    /// Wrap a control command into its queue-borne event (see
+    /// [`ev_priority`](Self::ev_priority)).
+    // checker:hot-path
+    #[inline]
+    fn ev_control(&mut self, cmd: ControlMsg) -> Ev {
+        Ev::Control {
+            slot: self.ctrl.put_control(cmd),
+        }
+    }
+
     /// Schedule a plugin timer.
     pub fn schedule_plugin(&mut self, delay: SimTime, tag: u64) {
-        self.q.schedule(delay, Ev::control(ControlMsg::Plugin(tag)));
+        let ev = self.ev_control(ControlMsg::Plugin(tag));
+        self.q.schedule(delay, ev);
     }
 
     /// Schedule a generic instance wake-up.
@@ -519,16 +556,14 @@ impl World {
         strategy: crate::keygroup::Repartition,
     ) {
         let old = self.ops[op.0 as usize].instances.len();
-        self.q.schedule_at(
-            at,
-            Ev::control(ControlMsg::StartScale(ScalePlan {
-                op,
-                old_parallelism: old,
-                new_parallelism,
-                strategy,
-                moves: Vec::new(),
-            })),
-        );
+        let ev = self.ev_control(ControlMsg::StartScale(ScalePlan {
+            op,
+            old_parallelism: old,
+            new_parallelism,
+            strategy,
+            moves: Vec::new(),
+        }));
+        self.q.schedule_at(at, ev);
     }
 
     // -----------------------------------------------------------------
@@ -566,7 +601,15 @@ impl World {
             c.backlog.push_back(r);
             if c.backlog.len() >= self.cfg.backlog_block {
                 let from = c.from;
-                self.insts[from.0 as usize].blocked_out = true;
+                if !self.insts[from.0 as usize].blocked_out {
+                    self.insts[from.0 as usize].blocked_out = true;
+                    let reg = self.reg(from) as u8;
+                    self.bus.publish(
+                        self.q.now(),
+                        reg,
+                        BusEventKind::BackpressureBlock { inst: from.0 },
+                    );
+                }
             }
         }
     }
@@ -609,7 +652,15 @@ impl World {
             c.backlog.push_back(r);
             if c.backlog.len() >= self.cfg.backlog_block {
                 let from = c.from;
-                self.insts[from.0 as usize].blocked_out = true;
+                if !self.insts[from.0 as usize].blocked_out {
+                    self.insts[from.0 as usize].blocked_out = true;
+                    let reg = self.reg(from) as u8;
+                    self.bus.publish(
+                        self.q.now(),
+                        reg,
+                        BusEventKind::BackpressureBlock { inst: from.0 },
+                    );
+                }
             }
         }
     }
@@ -697,7 +748,8 @@ impl World {
     pub fn send_priority(&mut self, to: InstId, msg: PriorityMsg) {
         let lat = self.cfg.ctrl_latency;
         let reg = self.reg(to);
-        self.q.schedule_tagged(reg, lat, Ev::priority(to, msg));
+        let ev = self.ev_priority(to, msg);
+        self.q.schedule_tagged(reg, lat, ev);
     }
 
     /// Move backlog elements onto the wire while credit allows, and unblock
@@ -732,6 +784,12 @@ impl World {
                 .all(|&oc| self.chans[oc.0 as usize].backlogged() < resume);
             if clear {
                 self.insts[from.0 as usize].blocked_out = false;
+                let reg = self.reg(from) as u8;
+                self.bus.publish(
+                    self.q.now(),
+                    reg,
+                    BusEventKind::BackpressureResume { inst: from.0 },
+                );
                 self.wake(from);
             }
         }
@@ -1181,10 +1239,16 @@ impl World {
                 let to = c.to;
                 self.try_start(plugin, to);
             }
-            Ev::Priority { to, msg } => self.on_priority(plugin, to, *msg),
+            Ev::Priority { to, slot } => {
+                let msg = self.ctrl.take_priority(slot);
+                self.on_priority(plugin, to, msg)
+            }
             Ev::ProcDone { inst, gen } => self.on_proc_done(plugin, inst, gen),
             Ev::LinkSendDone { from } => self.on_link_done(plugin, from),
-            Ev::Control(cmd) => self.on_control(plugin, *cmd),
+            Ev::Control { slot } => {
+                let cmd = self.ctrl.take_control(slot);
+                self.on_control(plugin, cmd)
+            }
             Ev::CutCredit { ch, n } => self.on_cut_credit(ch, n),
             Ev::Sample => self.on_sample(),
             Ev::Wake { inst } => self.try_start(plugin, inst),
@@ -1214,6 +1278,12 @@ impl World {
                 .all(|&oc| self.chans[oc.0 as usize].backlogged() < resume);
             if clear {
                 self.insts[from.0 as usize].blocked_out = false;
+                let reg = self.reg(from) as u8;
+                self.bus.publish(
+                    self.q.now(),
+                    reg,
+                    BusEventKind::BackpressureResume { inst: from.0 },
+                );
                 self.wake(from);
             }
         }
@@ -1317,18 +1387,15 @@ impl World {
         link.busy = false;
         let lat = self.cfg.net_latency;
         let reg = self.reg(to);
-        self.q.schedule_tagged(
-            reg,
-            lat,
-            Ev::priority(
-                to,
-                PriorityMsg::Chunk {
-                    unit: Box::new(unit),
-                    subscale: ss,
-                    from,
-                },
-            ),
+        let ev = self.ev_priority(
+            to,
+            PriorityMsg::Chunk {
+                unit: Box::new(unit),
+                subscale: ss,
+                from,
+            },
         );
+        self.q.schedule_tagged(reg, lat, ev);
         self.link_start(from);
         let _ = plugin;
     }
@@ -1339,6 +1406,8 @@ impl World {
             ControlMsg::DeployDone { epoch } => {
                 if epoch == self.scale.epoch {
                     self.scale.metrics.deployed_at = Some(self.now());
+                    self.bus
+                        .publish(self.now(), 0, BusEventKind::ScaleDeployed { epoch });
                     let plan = self.scale.plan.clone().expect("deploying plan");
                     plugin.on_scale_start(self, &plan);
                 }
@@ -1348,14 +1417,14 @@ impl World {
                 // The paper (§IV-C) prevents concurrent fault tolerance and
                 // scaling: defer the checkpoint until migration completes.
                 if self.scale.in_progress {
-                    self.q.schedule(
-                        MICROS_PER_SEC_DEFER,
-                        Ev::control(ControlMsg::CheckpointTick),
-                    );
+                    let ev = self.ev_control(ControlMsg::CheckpointTick);
+                    self.q.schedule(MICROS_PER_SEC_DEFER, ev);
                     return;
                 }
                 self.next_ckpt += 1;
                 let id = self.next_ckpt;
+                self.bus
+                    .publish(self.now(), 0, BusEventKind::CheckpointStart { id });
                 for i in 0..self.insts.len() {
                     if let Some(src) = self.insts[i].source.as_mut() {
                         src.pending.push_back(Record {
@@ -1370,7 +1439,8 @@ impl World {
                     }
                 }
                 if let Some(iv) = self.cfg.checkpoint_interval {
-                    self.q.schedule(iv, Ev::control(ControlMsg::CheckpointTick));
+                    let ev = self.ev_control(ControlMsg::CheckpointTick);
+                    self.q.schedule(iv, ev);
                 }
             }
         }
@@ -1388,10 +1458,8 @@ impl World {
         // re-present the request once in-flight migrations have landed, so
         // no state unit is ever in two plans at once.
         if self.scale.in_progress {
-            self.q.schedule(
-                MICROS_PER_SEC_DEFER / 2,
-                Ev::control(ControlMsg::StartScale(plan)),
-            );
+            let ev = self.ev_control(ControlMsg::StartScale(plan));
+            self.q.schedule(MICROS_PER_SEC_DEFER / 2, ev);
             return;
         }
         let now = self.now();
@@ -1529,6 +1597,20 @@ impl World {
         self.scale.in_progress = true;
         self.scale.metrics = Default::default();
         self.scale.metrics.requested_at = Some(now);
+        {
+            let p = self.scale.plan.as_ref().expect("just set");
+            self.bus.publish(
+                now,
+                0,
+                BusEventKind::ScalePlanned {
+                    op: op.0,
+                    old_par: p.old_parallelism as u32,
+                    new_par: p.new_parallelism as u32,
+                    moves: p.moves.len() as u64,
+                    epoch,
+                },
+            );
+        }
         // Seed the unit location registry.
         let fanout = self.cfg.sub_group_fanout.max(1);
         let moves = self.scale.plan.as_ref().expect("just set").moves.clone();
@@ -1538,8 +1620,8 @@ impl World {
             }
         }
         let delay = self.cfg.deploy_delay;
-        self.q
-            .schedule(delay, Ev::control(ControlMsg::DeployDone { epoch }));
+        let ev = self.ev_control(ControlMsg::DeployDone { epoch });
+        self.q.schedule(delay, ev);
     }
 
     fn on_sample(&mut self) {
@@ -1553,6 +1635,42 @@ impl World {
                 .sum();
             self.metrics.suspension.push(now, total as f64);
         }
+        if self.bus.enabled() {
+            // Per-instance progress ticks. `Ev::Sample` is pinned to
+            // region 0, so under the thread-per-region executor (Outbox
+            // mode) the sampler sees other regions' instance state frozen
+            // at replica-pruning time — tick only the instances this
+            // replica owns; whole-fleet snapshots come from
+            // `Observables::merge`. The sequential engine ticks everyone.
+            let outbox = self.cross_mode == CrossMode::Outbox;
+            for i in 0..self.insts.len() {
+                let reg = self.region_map.inst(self.insts[i].id) as u8;
+                if outbox && reg != 0 {
+                    continue;
+                }
+                let tick = BusEventKind::MetricsTick {
+                    inst: self.insts[i].id.0,
+                    processed: self.insts[i].processed,
+                    state_bytes: self.insts[i].state.total_bytes(),
+                    watermark: self.insts[i].watermark,
+                };
+                self.bus.publish(now, reg, tick);
+            }
+            // Sequential multi-region runs surface the region scheduler's
+            // cumulative sync accounting here; the parallel executor
+            // publishes its own per-epoch `SyncEpoch` events instead.
+            if self.region_map.k() > 1 && !outbox {
+                let s = self.q.region_sync_stats();
+                let ev = BusEventKind::SyncEpoch {
+                    epochs: s.runs,
+                    dispatched: self.q.processed(),
+                    merged: s.merged_runs,
+                    grants: s.min_rule_grants,
+                };
+                self.bus.publish(now, 0, ev);
+            }
+        }
+        self.bus.on_sample();
         let iv = self.cfg.sample_interval;
         self.q.schedule(iv, Ev::Sample);
     }
@@ -2089,6 +2207,9 @@ impl World {
             if role == OpRole::Sink {
                 let now = self.now();
                 self.metrics.checkpoints.push(now, id as f64);
+                let reg = self.reg(inst) as u8;
+                self.bus
+                    .publish(now, reg, BusEventKind::CheckpointDone { id });
             } else {
                 self.broadcast_ckpt(inst, id);
             }

@@ -120,6 +120,8 @@ fn main() {
         dispatch: DispatchMode::default(),
         regions: 1,
         resume_latency: 0,
+        bus_sink: Default::default(),
+        events_path: None,
     };
     let report: RunReport = spec.run();
     println!(
